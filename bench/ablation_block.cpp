@@ -1,0 +1,96 @@
+// Ablations of the design choices DESIGN.md §5 calls out:
+//   A. Shortcut tap — the paper connects the shortcut at the BN output
+//      ("to facilitate the initialization of the overall deep network");
+//      compare vs tapping the raw block input.
+//   B. Identity vs 1×1-projection shortcut.
+//   C. GRU vs LSTM inside the residual block (paper argues GRU is the
+//      cheaper equivalent, citing [25]).
+//   D. Dropout-rate sweep (Section V-G: dropout as the overfitting
+//      mitigation on small data).
+// All on synthetic UNSW-NB15, Residual-21 backbone.
+#include "harness.h"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::bench;
+
+struct Variant {
+  std::string name;
+  models::ShortcutTap tap = models::ShortcutTap::kAfterBn;
+  models::ShortcutKind shortcut = models::ShortcutKind::kIdentity;
+  models::RecurrentKind recurrent = models::RecurrentKind::kGru;
+  float dropout = 0.3F;
+};
+
+void Run(const data::RawDataset& dataset, const Settings& s,
+         const Variant& v) {
+  const std::int64_t channels = s.channels;
+  auto factory = [v, channels](std::int64_t f, std::int64_t k, Rng& rng) {
+    models::NetworkConfig nc;
+    nc.features = f;
+    nc.n_classes = k;
+    nc.n_blocks = 5;
+    nc.residual = true;
+    nc.channels = channels;
+    nc.dropout = v.dropout;
+    nc.tap = v.tap;
+    nc.shortcut = v.shortcut;
+    nc.recurrent = v.recurrent;
+    return models::BuildNetwork(nc, rng);
+  };
+  auto tc = MakeTrainConfig(s);
+  Stopwatch timer;
+  const auto r = core::EvaluateHoldout(
+      dataset,
+      [factory, tc] {
+        return std::make_unique<core::NeuralClassifier>("ablation", factory,
+                                                        tc);
+      },
+      0.2, s.seed ^ 0xabUL);
+  PrintRow({v.name, Pct(r.detection_rate), Pct(r.accuracy),
+            Pct(r.false_alarm_rate), FormatFixed(timer.Seconds(), 1)},
+           {34, 9, 9, 9, 9});
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const Settings s = LoadSettings();
+  const auto dataset = MakeDataset(Dataset::kUnswNb15, s);
+
+  std::printf(
+      "ABLATION: Residual-21 block design choices (UNSW-NB15 synthetic)\n");
+  std::printf("records=%zu epochs=%d channels=%lld\n\n", s.records, s.epochs,
+              static_cast<long long>(s.channels));
+  PrintRow({"variant", "DR%", "ACC%", "FAR%", "sec"}, {34, 9, 9, 9, 9});
+
+  // A + baseline.
+  Run(dataset, s, {.name = "shortcut@BN-output (paper)"});
+  Run(dataset, s,
+      {.name = "shortcut@block-input",
+       .tap = models::ShortcutTap::kBlockInput});
+
+  // B.
+  Run(dataset, s,
+      {.name = "projection shortcut (1x1 conv)",
+       .shortcut = models::ShortcutKind::kProjection});
+
+  // C.
+  Run(dataset, s,
+      {.name = "LSTM in block (vs GRU)",
+       .recurrent = models::RecurrentKind::kLstm});
+
+  // D.
+  for (float rate : {0.0F, 0.3F, 0.6F}) {
+    Run(dataset, s,
+        {.name = "dropout " + FormatFixed(rate, 1), .dropout = rate});
+  }
+
+  std::printf(
+      "\nReading: the paper's BN-output tap and GRU choice should be\n"
+      "competitive with (or better than) the alternatives; dropout 0.6 is\n"
+      "the paper's value but over-regularizes at this scaled width.\n");
+  return 0;
+}

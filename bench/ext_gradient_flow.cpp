@@ -1,0 +1,124 @@
+// Extension — the Section III mechanism, observed directly. The paper
+// explains degradation via gradients that vanish (or explode) along the
+// long backward chain of a plain network, and argues the residual
+// shortcut "propagates the output error to the input layer through a
+// shorter route". This bench takes one training batch through Plain-41
+// and Residual-41 and prints the per-block gradient L2 norm from the
+// first (input-side) block to the last: in the plain network the norms
+// collapse by orders of magnitude toward the input; with shortcuts they
+// stay within a small dynamic range.
+#include <cmath>
+
+#include "harness.h"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::bench;
+
+// Gradient L2 norm of all parameters owned by one top-level layer.
+double LayerGradNorm(nn::Layer& layer) {
+  double sq = 0.0;
+  for (auto& p : layer.Params()) {
+    for (float g : p.grad->data()) sq += static_cast<double>(g) * g;
+  }
+  return std::sqrt(sq);
+}
+
+std::vector<double> BlockGradNorms(bool residual, const Settings& s,
+                                   const Tensor& x,
+                                   std::span<const int> labels,
+                                   int n_blocks) {
+  models::NetworkConfig nc;
+  nc.features = x.dim(1);
+  nc.n_classes = 10;
+  nc.n_blocks = n_blocks;
+  nc.residual = residual;
+  nc.channels = s.channels;
+  nc.dropout = 0.0F;  // isolate the propagation effect from mask noise
+  Rng rng(s.seed ^ 0x6f10ULL);
+  auto net = models::BuildNetwork(nc, rng);
+
+  net->ZeroGrad();
+  Tensor logits = net->Forward(x, /*training=*/true);
+  auto loss = nn::SoftmaxCrossEntropy(logits, labels);
+  net->Backward(loss.dlogits);
+
+  // Top-level layout: [Reshape][stem?][block 1..n][GAP][Dense].
+  const std::size_t first_block =
+      1 + (nc.channels != nc.features ? 1 : 0);
+  std::vector<double> norms;
+  for (int b = 0; b < n_blocks; ++b) {
+    norms.push_back(
+        LayerGradNorm(net->LayerAt(first_block + static_cast<std::size_t>(b))));
+  }
+  return norms;
+}
+
+}  // namespace
+
+int main() {
+  const Settings s = LoadSettings();
+  const auto dataset = MakeDataset(Dataset::kUnswNb15, s);
+  const data::OneHotEncoder encoder(dataset.schema());
+  Tensor x_all = encoder.Transform(dataset);
+  data::StandardScaler scaler;
+  scaler.Fit(x_all);
+  scaler.Transform(x_all);
+
+  // One representative batch.
+  const std::int64_t batch = 64;
+  Tensor x({batch, x_all.dim(1)});
+  std::copy(x_all.data().begin(), x_all.data().begin() + batch * x_all.dim(1),
+            x.data().begin());
+  std::vector<int> labels(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    labels[static_cast<std::size_t>(i)] =
+        dataset.Label(static_cast<std::size_t>(i));
+  }
+
+  constexpr int kBlocks = 10;  // the "-41" configuration
+  const auto plain = BlockGradNorms(false, s, x, labels, kBlocks);
+  const auto residual = BlockGradNorms(true, s, x, labels, kBlocks);
+
+  std::printf(
+      "EXT: per-block gradient flow at initialization (Section III)\n");
+  std::printf("one batch of %lld, 10 blocks (41 layers), UNSW-NB15\n\n",
+              static_cast<long long>(batch));
+  PrintRow({"block", "plain ||g||", "residual ||g||"}, {8, 16, 16});
+  for (int b = 0; b < kBlocks; ++b) {
+    char plain_s[32], residual_s[32];
+    std::snprintf(plain_s, sizeof(plain_s), "%.3e",
+                  plain[static_cast<std::size_t>(b)]);
+    std::snprintf(residual_s, sizeof(residual_s), "%.3e",
+                  residual[static_cast<std::size_t>(b)]);
+    PrintRow({std::to_string(b + 1) + (b == 0 ? " (input)" : ""), plain_s,
+              residual_s},
+             {8, 16, 16});
+  }
+
+  // Section III predicts the chain product of eq. 2 drives per-layer
+  // gradients exponentially apart — vanishing when the factors are < 1,
+  // exploding when > 1 (here the plain network *explodes* toward the
+  // input at init: tens of times larger than at the output). The
+  // shortcut keeps the profile flat. Measure the across-block dynamic
+  // range max||g|| / min||g||.
+  auto range_of = [](const std::vector<double>& norms) {
+    double lo = norms.front(), hi = norms.front();
+    for (double n : norms) {
+      lo = std::min(lo, n);
+      hi = std::max(hi, n);
+    }
+    return hi / std::max(lo, 1e-30);
+  };
+  const double plain_range = range_of(plain);
+  const double residual_range = range_of(residual);
+  std::printf(
+      "\nacross-block gradient dynamic range: plain %.1fx, residual %.1fx\n"
+      "Shape: the plain network's per-block gradients span a far wider\n"
+      "range (exponential growth toward the input — eq. 2's exploding\n"
+      "case) while the shortcut keeps them flat: %s\n",
+      plain_range, residual_range,
+      plain_range > residual_range * 3.0 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Extension — making the GRU's temporal pathway earn its keep. The
+// paper's input shape (1, F) gives the recurrent layer one time step,
+// so "temporal features" are degenerate. Here traffic arrives as a
+// stream whose classes persist in bursts (Markov label chain, like real
+// floods and scans), individual flows are made ambiguous (reduced class
+// separation), and Pelican classifies the newest flow either alone
+// (L = 1, the paper's setup) or with L−1 flows of context via the
+// sequence_length extension. Context should recover most of the
+// accuracy that per-flow classification loses to the ambiguity.
+#include "harness.h"
+
+namespace {
+
+using namespace pelican;
+using namespace pelican::bench;
+
+struct Result {
+  double acc = 0.0, dr = 0.0, far = 0.0;
+  double seconds = 0.0;
+};
+
+Result RunWindow(const Tensor& x_train_flat, std::span<const int> y_train,
+                 const Tensor& x_test_flat, std::span<const int> y_test,
+                 std::int64_t window, std::int64_t features,
+                 const Settings& s,
+                 models::PoolKind pool = models::PoolKind::kMax) {
+  models::NetworkConfig nc;
+  nc.features = features;
+  nc.n_classes = 10;
+  nc.n_blocks = 5;
+  nc.residual = true;
+  nc.channels = s.channels;
+  nc.dropout = s.dropout;
+  nc.sequence_length = window;
+  nc.pool = pool;
+  Rng net_rng(s.seed ^ 0x7e39ULL);
+  auto net = models::BuildNetwork(nc, net_rng);
+
+  auto tc = MakeTrainConfig(s);
+  core::Trainer trainer(*net, tc);
+  Stopwatch timer;
+  trainer.Fit(x_train_flat, y_train);
+
+  Result result;
+  result.seconds = timer.Seconds();
+  const auto predictions = trainer.Predict(x_test_flat);
+  metrics::ConfusionMatrix cm(10);
+  cm.RecordAll(y_test, predictions);
+  const auto binary = metrics::CollapseToBinary(cm, 0);
+  result.acc = cm.Accuracy();
+  result.dr = binary.DetectionRate();
+  result.far = binary.FalseAlarmRate();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Settings s = LoadSettings();
+
+  // Ambiguous flows (40% of normal separation), bursty labels.
+  const auto spec = data::UnswNb15Spec(0.4);
+  Rng rng(s.seed ^ 0x3777ULL);
+  const auto train_stream =
+      data::GenerateMarkovStream(spec, s.records, 0.9, rng);
+  const auto test_stream =
+      data::GenerateMarkovStream(spec, s.records / 3, 0.9, rng);
+
+  const data::OneHotEncoder encoder(train_stream.schema());
+  Tensor x_train = encoder.Transform(train_stream);
+  Tensor x_test = encoder.Transform(test_stream);
+  data::StandardScaler scaler;
+  scaler.Fit(x_train);
+  scaler.Transform(x_train);
+  scaler.Transform(x_test);
+  const std::int64_t d = encoder.EncodedWidth();
+
+  std::printf(
+      "EXT: temporal context on a bursty stream (UNSW-NB15, sep=0.4,\n"
+      "Markov persistence 0.9) — Residual-21, window = flows per sample\n");
+  std::printf("train stream=%zu test stream=%zu\n\n", train_stream.Size(),
+              test_stream.Size());
+  PrintRow({"window", "ACC%", "DR%", "FAR%", "sec"}, {8, 9, 9, 9, 9});
+
+  double acc_l1 = 0.0, acc_best = 0.0;
+  for (std::int64_t window : {1, 4, 8}) {
+    Tensor xw_train = data::SlidingWindows(x_train, window);
+    auto yw_train = data::WindowLabels(train_stream.Labels(), window);
+    Tensor xw_test = data::SlidingWindows(x_test, window);
+    auto yw_test = data::WindowLabels(test_stream.Labels(), window);
+    const auto r =
+        RunWindow(xw_train, yw_train, xw_test, yw_test, window, d, s);
+    PrintRow({std::to_string(window), Pct(r.acc), Pct(r.dr), Pct(r.far),
+              FormatFixed(r.seconds, 1)},
+             {8, 9, 9, 9, 9});
+    std::fflush(stdout);
+    if (window == 1) acc_l1 = r.acc;
+    acc_best = std::max(acc_best, r.acc);
+  }
+
+  // Pooling ablation (only meaningful at L > 1, where the pool actually
+  // shortens the window; the paper's L = 1 makes it a no-op).
+  {
+    const std::int64_t window = 4;
+    Tensor xw_train = data::SlidingWindows(x_train, window);
+    auto yw_train = data::WindowLabels(train_stream.Labels(), window);
+    Tensor xw_test = data::SlidingWindows(x_test, window);
+    auto yw_test = data::WindowLabels(test_stream.Labels(), window);
+    const auto r = RunWindow(xw_train, yw_train, xw_test, yw_test, window, d,
+                             s, models::PoolKind::kAvg);
+    PrintRow({"4 (avg)", Pct(r.acc), Pct(r.dr), Pct(r.far),
+              FormatFixed(r.seconds, 1)},
+             {8, 9, 9, 9, 9});
+  }
+
+  std::printf(
+      "\nShape: windowed context beats the paper's per-flow input on this\n"
+      "ambiguous stream: %s (L=1 %.2f%% vs best %.2f%%) — the CNN+RNN\n"
+      "block's temporal pathway carries real signal once L > 1.\n",
+      acc_best > acc_l1 + 0.02 ? "yes" : "NO", acc_l1 * 100.0,
+      acc_best * 100.0);
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Microbenchmarks (google-benchmark): forward/backward throughput of
+// the layers that dominate Pelican's training cost, optimizer step cost,
+// preprocessing, and the end-to-end per-batch training step.
+#include <benchmark/benchmark.h>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "models/pelican.h"
+#include "nn/nn.h"
+
+namespace {
+
+using namespace pelican;
+
+void BM_Conv1DForward(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(1);
+  nn::Conv1D conv(channels, channels, 10, rng);
+  auto x = Tensor::RandomNormal({32, 1, channels}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1DForward)->Arg(24)->Arg(121)->Arg(196);
+
+void BM_Conv1DBackward(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(1);
+  nn::Conv1D conv(channels, channels, 10, rng);
+  auto x = Tensor::RandomNormal({32, 1, channels}, rng, 0, 1);
+  auto dy = Tensor::RandomNormal({32, 1, channels}, rng, 0, 1);
+  conv.Forward(x, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(dy));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1DBackward)->Arg(24)->Arg(121);
+
+void BM_GruForward(benchmark::State& state) {
+  const std::int64_t units = state.range(0);
+  Rng rng(2);
+  nn::Gru gru(units, units, rng);
+  auto x = Tensor::RandomNormal({32, 1, units}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.Forward(x, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_GruForward)->Arg(24)->Arg(121)->Arg(196);
+
+void BM_GruVsLstmForward(benchmark::State& state) {
+  // The paper picks GRU over LSTM for compute cost ([25]); this measures
+  // the actual gap at the paper's width.
+  const bool use_lstm = state.range(0) == 1;
+  Rng rng(3);
+  auto x = Tensor::RandomNormal({32, 4, 64}, rng, 0, 1);
+  nn::Gru gru(64, 64, rng);
+  nn::Lstm lstm(64, 64, rng);
+  for (auto _ : state) {
+    if (use_lstm) {
+      benchmark::DoNotOptimize(lstm.Forward(x, true));
+    } else {
+      benchmark::DoNotOptimize(gru.Forward(x, true));
+    }
+  }
+}
+BENCHMARK(BM_GruVsLstmForward)->Arg(0)->Arg(1);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::BatchNorm bn(121);
+  auto x = Tensor::RandomNormal({64, 121}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.Forward(x, true));
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_RmsPropStep(benchmark::State& state) {
+  Rng rng(5);
+  auto net = models::BuildPelican(24, 5, rng, 24);
+  optim::RmsProp opt(0.01F);
+  opt.Attach(net->Params());
+  auto x = Tensor::RandomNormal({16, 24}, rng, 0, 1);
+  std::vector<int> labels(16, 1);
+  auto logits = net->Forward(x, true);
+  auto loss = nn::SoftmaxCrossEntropy(logits, labels);
+  net->Backward(loss.dlogits);
+  for (auto _ : state) {
+    opt.Step();
+  }
+}
+BENCHMARK(BM_RmsPropStep);
+
+void BM_PelicanTrainingStep(benchmark::State& state) {
+  // One full mini-batch step of the scaled Residual-41.
+  Rng rng(6);
+  auto net = models::BuildPelican(121, 5, rng, 24);
+  optim::RmsProp opt(0.01F);
+  opt.Attach(net->Params());
+  auto x = Tensor::RandomNormal({64, 121}, rng, 0, 1);
+  std::vector<int> labels(64);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 5);
+  }
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    auto logits = net->Forward(x, true);
+    auto loss = nn::SoftmaxCrossEntropy(logits, labels);
+    net->Backward(loss.dlogits);
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PelicanTrainingStep);
+
+void BM_OneHotEncode(benchmark::State& state) {
+  Rng rng(7);
+  auto ds = data::GenerateNslKdd(1000, rng);
+  data::OneHotEncoder encoder(ds.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Transform(ds));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_OneHotEncode);
+
+void BM_GenerateRecords(benchmark::State& state) {
+  const auto spec = data::UnswNb15Spec();
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::Generate(spec, 100, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_GenerateRecords);
+
+void BM_InferenceLatency(benchmark::State& state) {
+  // Single-record classification latency through the high-level API
+  // (what a deployed NIDS pays per flow).
+  Rng rng(9);
+  auto ds = data::GenerateNslKdd(400, rng);
+  core::IdsConfig config;
+  config.n_blocks = 10;
+  config.channels = 24;
+  config.train.epochs = 1;
+  config.train.batch_size = 64;
+  core::PelicanIds ids(ds.schema(), config);
+  ids.Train(ds);
+  auto row = ds.Row(0);
+  std::vector<double> record(row.begin(), row.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ids.Inspect(record));
+  }
+}
+BENCHMARK(BM_InferenceLatency);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table III — DR / ACC / FAR of the four networks on NSL-KDD, evaluated
+// with the paper's 10-fold cross-validation (fold count capped by
+// PELICAN_BENCH_FOLDS for the CPU budget; set 10 for the full protocol).
+#include "harness.h"
+
+int main() {
+  using namespace pelican;
+  using namespace pelican::bench;
+  const Settings s = LoadSettings();
+  const auto dataset = MakeDataset(Dataset::kNslKdd, s);
+
+  std::printf("TABLE III: TESTING PERFORMANCE ON NSL-KDD (synthetic)\n");
+  std::printf("records=%zu epochs=%d folds=%zu/10\n\n", s.records, s.epochs,
+              s.folds);
+  PrintRow({"Structure", "DR%", "ACC%", "FAR%", "sec"}, {24, 9, 9, 9, 9});
+
+  core::CrossValidationConfig cv;
+  cv.k = 10;  // the paper's Step 3
+  cv.max_folds = s.folds;
+  cv.seed = s.seed;
+
+  std::vector<core::CrossValidationResult> results;
+  for (const auto& spec : FourNetworks()) {
+    Stopwatch timer;
+    results.push_back(
+        core::CrossValidate(dataset, MakeNeuralFactory(spec, s), cv));
+    const auto& r = results.back();
+    PrintRow({spec.name, Pct(r.detection_rate), Pct(r.accuracy),
+              Pct(r.false_alarm_rate), FormatFixed(timer.Seconds(), 1)},
+             {24, 9, 9, 9, 9});
+  }
+
+  std::printf("\nPaper's Table III:   DR%%    ACC%%   FAR%%\n");
+  std::printf("  Plain-21           98.70  98.92  0.80\n");
+  std::printf("  Plain-41           97.56  98.37  0.67\n");
+  std::printf("  Residual-21        98.81  99.01  0.73\n");
+  std::printf("  Residual-41        99.13  99.21  0.65\n");
+  // At this scale one fold is ~300 test records, so a single record is
+  // 0.33 ACC points; the Residual-41 vs Residual-21 ordering (0.2 paper
+  // points apart) is checked with that tolerance.
+  const double tol = 1.0 / 300.0 * 2.0;
+  const bool res41_best_acc =
+      results[3].accuracy >= results[0].accuracy &&
+      results[3].accuracy >= results[2].accuracy &&
+      results[3].accuracy >= results[1].accuracy - tol;
+  const bool plain41_worst = results[2].accuracy <= results[0].accuracy;
+  std::printf(
+      "\nShape: Residual-41 at/above every other net (±1 test record): %s; "
+      "Plain-41 below Plain-21: %s\n",
+      res41_best_acc ? "yes" : "NO", plain41_worst ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Table V — the comparative study: Pelican vs eight classical /
+// deep-learning designs on UNSW-NB15, single stratified 80/20 holdout.
+// Expected shape (paper): AdaBoost worst and highest FAR; Pelican best
+// ACC and lowest-tier FAR; deep CNN+RNN hybrids (LuNet, Pelican) at the
+// top of the deep pack.
+#include "harness.h"
+
+int main() {
+  using namespace pelican;
+  using namespace pelican::bench;
+  const Settings s = LoadSettings();
+  const auto dataset = MakeDataset(Dataset::kUnswNb15, s);
+  const auto tc = MakeTrainConfig(s);
+  const std::int64_t channels = s.channels;
+  const float dropout = s.dropout;
+
+  struct Entry {
+    std::string name;
+    core::ClassifierFactory factory;
+    double paper_acc;  // the paper's Table V ACC% for reference
+  };
+
+  auto neural = [&tc](std::string name, core::NetworkFactory nf) {
+    return [name, nf, tc]() -> ml::ClassifierPtr {
+      return std::make_unique<core::NeuralClassifier>(name, nf, tc);
+    };
+  };
+
+  std::vector<Entry> entries;
+  entries.push_back(
+      {"AdaBoost",
+       [] {
+         ml::AdaBoostConfig c;
+         c.n_estimators = 40;
+         c.weak_depth = 1;  // stumps — weak on imbalanced multiclass
+         return std::make_unique<ml::AdaBoost>(c);
+       },
+       73.19});
+  entries.push_back(
+      {"SVM (RBF)",
+       [] {
+         ml::SvmConfig c;
+         c.max_train_samples = 500;  // kernel machines don't scale ([19])
+         return std::make_unique<ml::SvmRbf>(c);
+       },
+       74.80});
+  entries.push_back(
+      {"HAST-IDS",
+       neural("HAST-IDS",
+              [](std::int64_t f, std::int64_t k, Rng& r) {
+                return models::BuildHastIds(f, k, r);
+              }),
+       80.03});
+  entries.push_back(
+      {"CNN",
+       neural("CNN",
+              [](std::int64_t f, std::int64_t k, Rng& r) {
+                return models::BuildCnn(f, k, r);
+              }),
+       82.13});
+  entries.push_back(
+      {"LSTM",
+       neural("LSTM",
+              [](std::int64_t f, std::int64_t k, Rng& r) {
+                // 32 units — scaled with the rest of the study (the
+                // residual nets run at width 24, not the paper's 196).
+                return models::BuildLstmNet(f, k, r, 32);
+              }),
+       82.40});
+  entries.push_back(
+      {"MLP",
+       neural("MLP",
+              [](std::int64_t f, std::int64_t k, Rng& r) {
+                return models::BuildMlp(f, k, r);
+              }),
+       84.00});
+  entries.push_back(
+      {"RF",
+       [] {
+         ml::ForestConfig c;
+         c.n_trees = 50;
+         c.max_depth = 12;
+         return std::make_unique<ml::RandomForest>(c);
+       },
+       84.59});
+  entries.push_back(
+      {"LuNet",
+       neural("LuNet",
+              [channels, dropout](std::int64_t f, std::int64_t k, Rng& r) {
+                models::NetworkConfig nc;
+                nc.features = f;
+                nc.n_classes = k;
+                nc.n_blocks = 5;
+                nc.residual = false;
+                nc.channels = channels;
+                nc.dropout = dropout;
+                return models::BuildNetwork(nc, r);
+              }),
+       85.35});
+  entries.push_back(
+      {"Pelican",
+       neural("Pelican",
+              [channels, dropout](std::int64_t f, std::int64_t k, Rng& r) {
+                models::NetworkConfig nc;
+                nc.features = f;
+                nc.n_classes = k;
+                nc.n_blocks = 10;
+                nc.residual = true;
+                nc.channels = channels;
+                nc.dropout = dropout;
+                return models::BuildNetwork(nc, r);
+              }),
+       86.64});
+
+  // Three stratified holdout repetitions per design: one 600-record
+  // test fold gives ±2-point ACC noise, which would scramble the 1-2
+  // point orderings the paper reports.
+  const std::vector<std::uint64_t> repeat_seeds = {
+      s.seed ^ 0x5aULL, s.seed ^ 0x5bULL, s.seed ^ 0x5cULL};
+
+  std::printf(
+      "TABLE V: PELICAN vs CLASSICAL TECHNIQUES (UNSW-NB15, synthetic)\n");
+  std::printf("records=%zu epochs=%d channels=%lld holdout-repeats=%zu\n\n",
+              s.records, s.epochs, static_cast<long long>(channels),
+              repeat_seeds.size());
+  PrintRow({"Design", "DR%", "ACC%", "FAR%", "paper-ACC%", "sec"},
+           {12, 9, 9, 9, 12, 9});
+
+  double pelican_acc = 0.0, pelican_far = 1.0;
+  double adaboost_acc = 1.0, adaboost_far = 0.0;
+  double best_other_acc = 0.0;
+  for (const auto& entry : entries) {
+    Stopwatch timer;
+    double acc = 0.0, dr = 0.0, far = 0.0;
+    for (std::uint64_t seed : repeat_seeds) {
+      const auto r = core::EvaluateHoldout(dataset, entry.factory, 0.2, seed);
+      acc += r.accuracy;
+      dr += r.detection_rate;
+      far += r.false_alarm_rate;
+    }
+    const auto n = static_cast<double>(repeat_seeds.size());
+    acc /= n;
+    dr /= n;
+    far /= n;
+    PrintRow({entry.name, Pct(dr), Pct(acc), Pct(far),
+              FormatFixed(entry.paper_acc, 2),
+              FormatFixed(timer.Seconds(), 1)},
+             {12, 9, 9, 9, 12, 9});
+    std::fflush(stdout);
+    if (entry.name == "Pelican") {
+      pelican_acc = acc;
+      pelican_far = far;
+    } else {
+      best_other_acc = std::max(best_other_acc, acc);
+    }
+    if (entry.name == "AdaBoost") {
+      adaboost_acc = acc;
+      adaboost_far = far;
+    }
+  }
+
+  std::printf("\nShape checks:\n");
+  std::printf("  Pelican highest ACC: %s\n",
+              pelican_acc >= best_other_acc ? "yes" : "NO");
+  std::printf("  AdaBoost lowest ACC tier (<= Pelican - 8pts): %s\n",
+              adaboost_acc <= pelican_acc - 0.08 ? "yes" : "NO");
+  std::printf("  Pelican FAR below AdaBoost FAR: %s\n",
+              pelican_far < adaboost_far ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Custom pipeline: bring your own traffic schema and build a bespoke
+// residual network with the layer API directly — for users whose flow
+// exporter does not emit NSL-KDD/UNSW-NB15 columns.
+//
+// Demonstrates: custom Schema + GeneratorSpec, CSV round-trip, manual
+// encode/scale, hand-assembled residual network, Trainer, metrics.
+//
+//   $ ./examples/custom_pipeline
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/data.h"
+#include "data/spec_util.h"
+#include "metrics/metrics.h"
+#include "models/blocks.h"
+#include "nn/nn.h"
+
+namespace {
+
+using namespace pelican;
+
+// A minimal IoT-gateway schema: 6 numeric counters + 2 categoricals.
+data::Schema IotSchema() {
+  std::vector<data::ColumnSpec> cols;
+  cols.push_back({"pkts_per_s", data::ColumnKind::kNumeric, {}});
+  cols.push_back({"bytes_per_pkt", data::ColumnKind::kNumeric, {}});
+  cols.push_back({"conn_fanout", data::ColumnKind::kNumeric, {}});
+  cols.push_back({"retry_rate", data::ColumnKind::kNumeric, {}});
+  cols.push_back({"tls_ratio", data::ColumnKind::kNumeric, {}});
+  cols.push_back({"uptime_h", data::ColumnKind::kNumeric, {}});
+  cols.push_back(
+      {"proto", data::ColumnKind::kCategorical, {"mqtt", "coap", "http"}});
+  cols.push_back(
+      {"direction", data::ColumnKind::kCategorical, {"in", "out", "lan"}});
+  return data::Schema(std::move(cols), {"Normal", "Botnet", "Exfil"});
+}
+
+data::GeneratorSpec IotSpec() {
+  using namespace data::spec;
+  data::GeneratorSpec spec;
+  spec.schema = IotSchema();
+  spec.class_priors = {0.8, 0.12, 0.08};
+  spec.label_noise = 0.01;
+  spec.classes.resize(3);
+
+  auto base = [] {
+    data::Profile p;
+    p.numeric = {Counter(1.0, 0.8, 0.5), Counter(5.0, 0.5),
+                 Counter(0.8, 0.6),      RateF(-2.0, 0.8),
+                 RateF(1.5, 0.8),        Counter(3.0, 1.0)};
+    p.categorical = {Peaked(3, {{0, 5.0}, {2, 2.0}}),
+                     Peaked(3, {{1, 4.0}, {0, 4.0}})};
+    return p;
+  };
+
+  spec.classes[0].profiles.push_back(base());
+
+  data::Profile botnet = base();  // C2 beaconing: fanout + retries spike
+  botnet.numeric[2].mean += 2.5;
+  botnet.numeric[3].mean += 3.0;
+  botnet.numeric[0].mean += 1.5;
+  spec.classes[1].profiles.push_back(botnet);
+
+  data::Profile exfil = base();   // exfiltration: big outbound payloads
+  exfil.numeric[1].mean += 2.0;
+  exfil.numeric[4].mean -= 2.5;   // drops out of TLS
+  exfil.categorical[1] = Peaked(3, {{1, 9.0}});
+  spec.classes[2].profiles.push_back(exfil);
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pelican;
+
+  // 1. Generate traffic and round-trip it through CSV, exactly what a
+  //    user exporting from their own collector would do.
+  const auto spec = IotSpec();
+  Rng rng(5);
+  auto dataset = data::Generate(spec, 1200, rng);
+  data::WriteCsvFile(dataset, "/tmp/iot_flows.csv");
+  dataset = data::ReadCsvFile(spec.schema, "/tmp/iot_flows.csv");
+  std::printf("round-tripped %zu flows through /tmp/iot_flows.csv\n",
+              dataset.Size());
+
+  // 2. Manual preprocessing (the paper's three steps).
+  Rng split_rng(17);
+  const auto split =
+      data::StratifiedHoldout(dataset.Labels(), 0.25, split_rng);
+  const auto train_set = dataset.Subset(split.train_indices);
+  const auto test_set = dataset.Subset(split.test_indices);
+  const data::OneHotEncoder encoder(dataset.schema());
+  Tensor x_train = encoder.Transform(train_set);
+  Tensor x_test = encoder.Transform(test_set);
+  data::StandardScaler scaler;
+  scaler.Fit(x_train);
+  scaler.Transform(x_train);
+  scaler.Transform(x_test);
+
+  // 3. Hand-assemble a three-block residual network at the encoded
+  //    width (12 features → no projection stem needed).
+  const std::int64_t width = encoder.EncodedWidth();
+  Rng net_rng(23);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Reshape>(Tensor::Shape{1, width}));
+  for (int b = 0; b < 3; ++b) {
+    models::BlockConfig block;
+    block.channels = width;
+    block.dropout = 0.2F;
+    net.Add(models::MakeResidualBlock(block, net_rng));
+  }
+  net.Add(std::make_unique<nn::GlobalAvgPool1D>());
+  net.Add(std::make_unique<nn::Dense>(width, 3, net_rng));
+  std::printf("network: %d parameter layers, %lld trainable scalars\n",
+              net.ParameterLayerCount(),
+              static_cast<long long>(net.ParameterCount()));
+
+  // 4. Train with the paper's optimizer.
+  core::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 32;
+  tc.learning_rate = 0.01F;
+  tc.optimizer = "rmsprop";
+  core::Trainer trainer(net, tc);
+  trainer.Fit(x_train, train_set.Labels(), &x_test, test_set.Labels());
+
+  // 5. Evaluate with the paper's metrics.
+  const auto predictions = trainer.Predict(x_test);
+  metrics::ConfusionMatrix cm(3);
+  cm.RecordAll(test_set.Labels(), predictions);
+  const auto binary = metrics::CollapseToBinary(cm, /*normal_label=*/0);
+  std::printf("\n%s", metrics::ClassificationReport(
+                          cm, dataset.schema().Labels())
+                          .c_str());
+  std::printf("\nbinary: DR %.2f%%  FAR %.2f%%\n",
+              binary.DetectionRate() * 100.0,
+              binary.FalseAlarmRate() * 100.0);
+  return 0;
+}

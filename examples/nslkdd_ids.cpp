@@ -1,0 +1,66 @@
+// NSL-KDD scenario: the paper's Section V protocol end to end —
+// k-fold cross-validation of Pelican on NSL-KDD-shaped traffic, with a
+// per-class breakdown (DoS floods vs stealthy U2R privilege escalation
+// stress very different parts of the model).
+//
+//   $ ./examples/nslkdd_ids [records] [folds]
+//
+// Pass a CSV path as third argument to run on real NSL-KDD data
+// exported with the library's column layout (see data/csv.h).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "models/pelican.h"
+
+int main(int argc, char** argv) {
+  using namespace pelican;
+  const std::size_t records =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 2500;
+  const std::size_t folds =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 2;
+
+  data::RawDataset dataset = [&] {
+    if (argc > 3) {
+      std::printf("loading %s ...\n", argv[3]);
+      return data::ReadCsvFile(data::NslKddSchema(), argv[3]);
+    }
+    Rng rng(2020);
+    return data::GenerateNslKdd(records, rng);
+  }();
+
+  const auto hist = dataset.LabelHistogram();
+  std::printf("dataset: %zu records —", dataset.Size());
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    std::printf(" %s=%zu", dataset.schema().LabelName(c).c_str(), hist[c]);
+  }
+  std::printf("\n\n");
+
+  // Pelican (Residual-41), scaled width.
+  core::TrainConfig tc;
+  tc.epochs = 16;
+  tc.batch_size = 64;
+  tc.learning_rate = 0.01F;
+  tc.seed = 99;
+  core::ClassifierFactory factory = [tc] {
+    return std::make_unique<core::NeuralClassifier>(
+        "Pelican",
+        [](std::int64_t f, std::int64_t k, Rng& r) {
+          return models::BuildPelican(f, k, r, /*channels=*/24);
+        },
+        tc);
+  };
+
+  core::CrossValidationConfig cv;
+  cv.k = 10;  // the paper's Step 3
+  cv.max_folds = folds;
+  cv.seed = 31;
+  const auto result = core::CrossValidate(dataset, factory, cv);
+
+  std::printf("%s\n",
+              result.Summary(dataset.schema().Labels()).c_str());
+  std::printf("paper (Table III, Residual-41): DR 99.13%%  ACC 99.21%%  "
+              "FAR 0.65%%\n");
+  return 0;
+}

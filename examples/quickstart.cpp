@@ -1,0 +1,62 @@
+// Quickstart: train Pelican on synthetic NSL-KDD traffic, inspect a few
+// records, persist the model, and reload it.
+//
+//   $ ./examples/quickstart
+//
+// This is the 60-second tour of the public API (core::PelicanIds).
+#include <cstdio>
+
+#include "core/pelican_ids.h"
+
+int main() {
+  using namespace pelican;
+
+  // 1. Data. The library ships a generative stand-in for NSL-KDD with
+  //    the real schema (41 columns → 121 one-hot features, 5 classes).
+  Rng rng(7);
+  data::RawDataset train_set = data::GenerateNslKdd(2000, rng);
+  data::RawDataset test_set = data::GenerateNslKdd(400, rng);
+  std::printf("train=%zu records, test=%zu records, %lld encoded features\n",
+              train_set.Size(), test_set.Size(),
+              static_cast<long long>(train_set.schema().EncodedWidth()));
+
+  // 2. Model. Residual-41 (= Pelican) scaled to width 24 so this demo
+  //    trains in seconds on one core; drop `channels` for the paper's
+  //    full-width configuration.
+  core::IdsConfig config;
+  config.n_blocks = 10;     // 10 residual blocks → 41 parameter layers
+  config.residual = true;
+  config.channels = 24;
+  config.train.epochs = 10;
+  config.train.batch_size = 64;
+  config.train.learning_rate = 0.01F;  // Table I
+  core::PelicanIds ids(train_set.schema(), config);
+
+  // 3. Train (one-hot encoding + standardization happen inside).
+  auto history = ids.Train(train_set, &test_set);
+  std::printf("final epoch: train_loss=%.4f test_acc=%.2f%%\n",
+              history.back().train_loss,
+              history.back().test_accuracy.value_or(0.0F) * 100.0F);
+
+  // 4. Classify individual flow records.
+  int alerts = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto row = test_set.Row(i);
+    const auto verdict =
+        ids.Inspect(std::vector<double>(row.begin(), row.end()));
+    const auto& truth =
+        test_set.schema().LabelName(static_cast<std::size_t>(test_set.Label(i)));
+    std::printf("record %zu: predicted=%-7s truth=%-7s %s\n", i,
+                verdict.class_name.c_str(), truth.c_str(),
+                verdict.is_attack ? "<< ALERT" : "");
+    alerts += verdict.is_attack ? 1 : 0;
+  }
+
+  // 5. Persist and restore.
+  ids.Save("/tmp/pelican_quickstart.bin");
+  core::PelicanIds restored(train_set.schema(), config);
+  restored.Load("/tmp/pelican_quickstart.bin");
+  const auto eval = restored.Evaluate(test_set);
+  std::printf("reloaded model accuracy: %.2f%%\n", eval.accuracy * 100.0F);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// UNSW-NB15 scenario: the harder 10-class problem. Trains Pelican and a
+// random-forest baseline on the same split and contrasts them the way a
+// security team would read it — attacks caught, attacks missed, false
+// alarms raised per shift, and which attack families each model confuses.
+//
+//   $ ./examples/unsw_ids [records]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "ml/ml.h"
+#include "models/pelican.h"
+
+namespace {
+
+using namespace pelican;
+
+void Report(const char* name, const core::HoldoutResult& r,
+            std::size_t test_records) {
+  std::printf("%s\n", name);
+  std::printf("  multiclass accuracy: %.2f%%\n", r.accuracy * 100.0);
+  std::printf("  attacks detected:    %lld / %lld (DR %.2f%%)\n",
+              static_cast<long long>(r.binary.tp),
+              static_cast<long long>(r.binary.tp + r.binary.fn),
+              r.detection_rate * 100.0);
+  std::printf("  false alarms:        %lld of %lld benign flows "
+              "(FAR %.2f%%)\n",
+              static_cast<long long>(r.binary.fp),
+              static_cast<long long>(r.binary.fp + r.binary.tn),
+              r.false_alarm_rate * 100.0);
+  std::printf("  training time:       %.1fs (%zu test records)\n\n",
+              r.train_seconds, test_records);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pelican;
+  const std::size_t records =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 3000;
+
+  Rng rng(2020);
+  const auto dataset = data::GenerateUnswNb15(records, rng);
+  std::printf("UNSW-NB15 (synthetic): %zu records, 10 classes, %lld encoded "
+              "features\n\n",
+              dataset.Size(),
+              static_cast<long long>(dataset.schema().EncodedWidth()));
+
+  core::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 64;
+  tc.learning_rate = 0.01F;
+  tc.seed = 11;
+
+  const auto pelican = core::EvaluateHoldout(
+      dataset,
+      [tc] {
+        return std::make_unique<core::NeuralClassifier>(
+            "Pelican",
+            [](std::int64_t f, std::int64_t k, Rng& r) {
+              return models::BuildPelican(f, k, r, /*channels=*/24);
+            },
+            tc);
+      },
+      0.2, 77);
+  const std::size_t test_records = static_cast<std::size_t>(
+      pelican.binary.tp + pelican.binary.tn + pelican.binary.fp +
+      pelican.binary.fn);
+  Report("Pelican (Residual-41)", pelican, test_records);
+
+  const auto forest = core::EvaluateHoldout(
+      dataset, [] { return std::make_unique<ml::RandomForest>(); }, 0.2, 77);
+  Report("Random forest baseline", forest, test_records);
+
+  // Where do the two models disagree per attack family?
+  std::printf("per-class recall (Pelican vs RF):\n");
+  for (std::size_t c = 0; c < dataset.schema().LabelCount(); ++c) {
+    std::printf("  %-16s %6.2f%%  vs %6.2f%%\n",
+                dataset.schema().LabelName(c).c_str(),
+                pelican.confusion.Recall(static_cast<int>(c)) * 100.0,
+                forest.confusion.Recall(static_cast<int>(c)) * 100.0);
+  }
+  return 0;
+}

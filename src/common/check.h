@@ -1,0 +1,51 @@
+// Lightweight precondition / invariant checking.
+//
+// PELICAN_CHECK is always on (setup-time validation, cheap relative to
+// training work). PELICAN_DCHECK compiles out in NDEBUG builds and guards
+// hot-path invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pelican {
+
+// Thrown on any failed runtime check; carries file:line context.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+inline std::string CheckMessage() { return {}; }
+inline std::string CheckMessage(const std::string& msg) { return msg; }
+inline std::string CheckMessage(const char* msg) { return msg; }
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pelican
+
+#define PELICAN_CHECK(cond, ...)                                 \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::pelican::detail::CheckFailed(                            \
+          #cond, __FILE__, __LINE__,                             \
+          ::pelican::detail::CheckMessage(__VA_ARGS__));         \
+    }                                                            \
+  } while (false)
+
+#ifdef NDEBUG
+#define PELICAN_DCHECK(cond, ...) \
+  do {                            \
+  } while (false)
+#else
+#define PELICAN_DCHECK(cond, ...) PELICAN_CHECK(cond, ##__VA_ARGS__)
+#endif

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace pelican {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mu;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load()), level_(level) {
+  if (enabled_) {
+    std::string_view path{file};
+    const auto slash = path.rfind('/');
+    if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+    stream_ << "[" << LogLevelName(level_) << " " << path << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::lock_guard lock(g_sink_mu);
+  auto& out = (level_ >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << stream_.str() << '\n';
+}
+
+}  // namespace detail
+}  // namespace pelican

@@ -1,0 +1,48 @@
+// Leveled logging with a process-wide threshold.
+//
+//   PELICAN_LOG(Info) << "epoch " << e << " loss " << loss;
+//
+// The stream is flushed (with newline) when the temporary dies.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace pelican {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+std::string_view LogLevelName(LogLevel level);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pelican
+
+#define PELICAN_LOG(severity)                                      \
+  ::pelican::detail::LogMessage(::pelican::LogLevel::k##severity,  \
+                                __FILE__, __LINE__)

@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in the library (weight init, dropout masks,
+// shuffles, synthetic data) draws from an explicitly threaded Rng so runs
+// are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pelican {
+
+// splitmix64: used to expand a single user seed into engine state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** — fast, high-quality 64-bit generator.
+// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()();
+
+  // Derive an independent child stream (for per-worker or per-layer RNG).
+  [[nodiscard]] Rng Fork();
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+  float UniformF(float lo = 0.0F, float hi = 1.0F);
+
+  // Standard normal via Box–Muller (cached second draw).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t Below(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli draw.
+  bool Chance(double p);
+
+  // In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = Below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    Shuffle(std::span<T>{items});
+  }
+
+  // Sample an index from unnormalized non-negative weights.
+  std::size_t Categorical(std::span<const double> weights);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pelican

@@ -1,0 +1,73 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace pelican {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  double parsed = 0.0;
+  auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc{} || ptr != last || !std::isfinite(parsed)) return false;
+  *value = parsed;
+  return true;
+}
+
+std::string PadLeft(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string PadRight(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace pelican

@@ -1,0 +1,32 @@
+// Small string helpers shared by the CSV codec and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pelican {
+
+// Split on a single delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Strip ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+// Join with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+std::string ToLower(std::string_view text);
+
+// True if `text` parses fully as a finite double; writes it to *value.
+bool ParseDouble(std::string_view text, double* value);
+
+// Fixed-width cell for ASCII tables (left-padded).
+std::string PadLeft(std::string_view text, std::size_t width);
+std::string PadRight(std::string_view text, std::size_t width);
+
+// printf-style %.*f formatting without streams.
+std::string FormatFixed(double value, int digits);
+
+}  // namespace pelican

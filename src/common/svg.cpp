@@ -1,0 +1,177 @@
+#include "common/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pelican {
+
+namespace {
+
+// Colorblind-safe categorical palette (Okabe–Ito).
+const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+                          "#E69F00", "#56B4E9", "#F0E442", "#000000"};
+constexpr int kPaletteSize = 8;
+
+// "Nice" tick step covering `span` with ~`target` intervals.
+double NiceStep(double span, int target) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / target;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= m * mag) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LineChart::LineChart(std::string title, std::string x_label,
+                     std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void LineChart::AddSeries(std::string name,
+                          std::vector<std::pair<double, double>> points) {
+  PELICAN_CHECK(!points.empty(), "series needs at least one point");
+  series_.push_back({std::move(name), std::move(points)});
+}
+
+std::string LineChart::Render(int width, int height) const {
+  PELICAN_CHECK(!series_.empty(), "chart has no series");
+  PELICAN_CHECK(width >= 200 && height >= 150, "chart too small");
+
+  // Data bounds.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min, y_min = x_min, y_max = -x_min;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // Pad the y range 5% each side.
+  const double y_pad = 0.05 * (y_max - y_min);
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  const double left = 64, right = 16, top = 36, bottom = 48;
+  const double plot_w = width - left - right;
+  const double plot_h = height - top - bottom;
+  auto sx = [&](double x) {
+    return left + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  auto sy = [&](double y) {
+    return top + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+     << height << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+     << "<text x=\"" << width / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+        "font-family=\"sans-serif\" font-size=\"14\">"
+     << EscapeXml(title_) << "</text>\n";
+
+  // Axes box.
+  os << "<rect x=\"" << left << "\" y=\"" << top << "\" width=\"" << plot_w
+     << "\" height=\"" << plot_h
+     << "\" fill=\"none\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+
+  // Ticks + grid.
+  const double x_step = NiceStep(x_max - x_min, 6);
+  for (double t = std::ceil(x_min / x_step) * x_step; t <= x_max + 1e-9;
+       t += x_step) {
+    os << "<line x1=\"" << sx(t) << "\" y1=\"" << top << "\" x2=\"" << sx(t)
+       << "\" y2=\"" << top + plot_h
+       << "\" stroke=\"#ddd\" stroke-width=\"1\"/>\n"
+       << "<text x=\"" << sx(t) << "\" y=\"" << top + plot_h + 16
+       << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+          "font-size=\"10\">"
+       << FormatFixed(t, x_step < 1.0 ? 2 : 0) << "</text>\n";
+  }
+  const double y_step = NiceStep(y_max - y_min, 5);
+  for (double t = std::ceil(y_min / y_step) * y_step; t <= y_max + 1e-9;
+       t += y_step) {
+    os << "<line x1=\"" << left << "\" y1=\"" << sy(t) << "\" x2=\""
+       << left + plot_w << "\" y2=\"" << sy(t)
+       << "\" stroke=\"#ddd\" stroke-width=\"1\"/>\n"
+       << "<text x=\"" << left - 6 << "\" y=\"" << sy(t) + 3
+       << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+          "font-size=\"10\">"
+       << FormatFixed(t, y_step < 1.0 ? (y_step < 0.01 ? 4 : 2) : 0)
+       << "</text>\n";
+  }
+
+  // Axis labels.
+  os << "<text x=\"" << left + plot_w / 2 << "\" y=\"" << height - 10
+     << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        "font-size=\"12\">"
+     << EscapeXml(x_label_) << "</text>\n"
+     << "<text x=\"14\" y=\"" << top + plot_h / 2
+     << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        "font-size=\"12\" transform=\"rotate(-90 14 "
+     << top + plot_h / 2 << ")\">" << EscapeXml(y_label_) << "</text>\n";
+
+  // Series polylines.
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const char* color = kPalette[i % kPaletteSize];
+    os << "<polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.8\" points=\"";
+    for (const auto& [x, y] : series_[i].points) {
+      os << FormatFixed(sx(x), 1) << ',' << FormatFixed(sy(y), 1) << ' ';
+    }
+    os << "\"/>\n";
+  }
+
+  // Legend.
+  double ly = top + 12;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const char* color = kPalette[i % kPaletteSize];
+    const double lx = left + plot_w - 150;
+    os << "<line x1=\"" << lx << "\" y1=\"" << ly << "\" x2=\"" << lx + 18
+       << "\" y2=\"" << ly << "\" stroke=\"" << color
+       << "\" stroke-width=\"2\"/>\n"
+       << "<text x=\"" << lx + 24 << "\" y=\"" << ly + 3
+       << "\" font-family=\"sans-serif\" font-size=\"11\">"
+       << EscapeXml(series_[i].name) << "</text>\n";
+    ly += 15;
+  }
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
+  out << content;
+  PELICAN_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace pelican

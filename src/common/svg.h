@@ -1,0 +1,40 @@
+// Dependency-free SVG line charts, for rendering the Fig. 2 / Fig. 5
+// series the benches record (tools/plot_history turns the CSV files
+// into charts directly comparable with the paper's figures).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pelican {
+
+class LineChart {
+ public:
+  LineChart(std::string title, std::string x_label, std::string y_label);
+
+  // Adds one series; points need not be sorted (they are plotted in
+  // order, which is what a loss-vs-epoch curve wants).
+  void AddSeries(std::string name,
+                 std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] std::size_t SeriesCount() const { return series_.size(); }
+
+  // Renders a complete standalone SVG document.
+  [[nodiscard]] std::string Render(int width = 640, int height = 420) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+// Writes `content` to `path` (throws CheckError on failure).
+void WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace pelican

@@ -1,0 +1,52 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// Training inner loops (conv, GRU) are data-parallel across the batch
+// dimension; ParallelFor shards an index range across the pool. On a
+// single-core host the pool degrades gracefully to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pelican {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 → hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Process-wide pool (lazily constructed, sized to the machine).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Splits [begin, end) into contiguous shards and runs `fn(i)` for every i.
+// Runs serially when the range is small or the pool has a single worker.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 1);
+
+}  // namespace pelican

@@ -1,0 +1,11 @@
+// Umbrella header: the public API of the Pelican library.
+#pragma once
+
+#include "core/cross_validation.h"   // IWYU pragma: export
+#include "core/experiment_config.h"  // IWYU pragma: export
+#include "core/model_io.h"           // IWYU pragma: export
+#include "core/neural_classifier.h"  // IWYU pragma: export
+#include "core/pelican_ids.h"        // IWYU pragma: export
+#include "core/stream.h"             // IWYU pragma: export
+#include "core/trainer.h"            // IWYU pragma: export
+#include "core/transfer.h"           // IWYU pragma: export

@@ -1,0 +1,119 @@
+#include "core/cross_validation.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace pelican::core {
+
+namespace {
+
+// Encode + scale one split, train, evaluate. Shared by both harnesses.
+FoldResult RunSplit(const data::RawDataset& dataset,
+                    const data::FoldSplit& split,
+                    const ClassifierFactory& factory, int normal_label) {
+  const data::OneHotEncoder encoder(dataset.schema());
+  const auto train_set = dataset.Subset(split.train_indices);
+  const auto test_set = dataset.Subset(split.test_indices);
+
+  Tensor x_train = encoder.Transform(train_set);
+  Tensor x_test = encoder.Transform(test_set);
+  data::StandardScaler scaler;
+  scaler.Fit(x_train);
+  scaler.Transform(x_train);
+  scaler.Transform(x_test);
+
+  auto classifier = factory();
+  PELICAN_CHECK(classifier != nullptr, "factory returned null classifier");
+
+  Stopwatch timer;
+  classifier->Fit(x_train, train_set.Labels());
+  FoldResult result;
+  result.train_seconds = timer.Seconds();
+
+  const auto predictions = classifier->PredictAll(x_test);
+  result.confusion =
+      metrics::ConfusionMatrix(dataset.schema().LabelCount());
+  result.confusion.RecordAll(test_set.Labels(), predictions);
+  result.accuracy = result.confusion.Accuracy();
+  const auto binary = metrics::CollapseToBinary(result.confusion,
+                                                normal_label);
+  result.detection_rate = binary.DetectionRate();
+  result.false_alarm_rate = binary.FalseAlarmRate();
+  return result;
+}
+
+}  // namespace
+
+CrossValidationResult CrossValidate(const data::RawDataset& dataset,
+                                    const ClassifierFactory& factory,
+                                    const CrossValidationConfig& config) {
+  PELICAN_CHECK(!dataset.Empty(), "empty dataset");
+  Rng rng(config.seed);
+  std::vector<data::FoldSplit> splits;
+  if (config.stratified) {
+    data::StratifiedKFold kfold(config.k, rng);
+    splits = kfold.Split(dataset.Labels());
+  } else {
+    data::KFold kfold(config.k, rng);
+    splits = kfold.Split(dataset.Size());
+  }
+  if (config.max_folds > 0 && splits.size() > config.max_folds) {
+    splits.resize(config.max_folds);
+    PELICAN_LOG(Info) << "cross-validation capped at " << config.max_folds
+                      << " of " << config.k << " folds (CPU budget)";
+  }
+
+  CrossValidationResult result;
+  result.total_confusion =
+      metrics::ConfusionMatrix(dataset.schema().LabelCount());
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    FoldResult fold =
+        RunSplit(dataset, splits[f], factory, config.normal_label);
+    result.total_confusion.Merge(fold.confusion);
+    result.folds.push_back(std::move(fold));
+  }
+  result.binary =
+      metrics::CollapseToBinary(result.total_confusion, config.normal_label);
+  result.accuracy = result.total_confusion.Accuracy();
+  result.detection_rate = result.binary.DetectionRate();
+  result.false_alarm_rate = result.binary.FalseAlarmRate();
+  return result;
+}
+
+std::string CrossValidationResult::Summary(
+    std::span<const std::string> class_names) const {
+  std::ostringstream os;
+  os << "folds: " << folds.size() << '\n'
+     << "ACC: " << FormatFixed(accuracy * 100.0, 2) << "%  DR: "
+     << FormatFixed(detection_rate * 100.0, 2) << "%  FAR: "
+     << FormatFixed(false_alarm_rate * 100.0, 2) << "%\n"
+     << "TP: " << binary.tp << "  FP: " << binary.fp << "  TN: " << binary.tn
+     << "  FN: " << binary.fn << '\n'
+     << metrics::ClassificationReport(total_confusion, class_names);
+  return os.str();
+}
+
+HoldoutResult EvaluateHoldout(const data::RawDataset& dataset,
+                              const ClassifierFactory& factory,
+                              double test_fraction, std::uint64_t seed,
+                              int normal_label) {
+  PELICAN_CHECK(!dataset.Empty(), "empty dataset");
+  Rng rng(seed);
+  const auto split =
+      data::StratifiedHoldout(dataset.Labels(), test_fraction, rng);
+  FoldResult fold = RunSplit(dataset, split, factory, normal_label);
+
+  HoldoutResult result;
+  result.confusion = fold.confusion;
+  result.binary = metrics::CollapseToBinary(result.confusion, normal_label);
+  result.accuracy = fold.accuracy;
+  result.detection_rate = fold.detection_rate;
+  result.false_alarm_rate = fold.false_alarm_rate;
+  result.train_seconds = fold.train_seconds;
+  return result;
+}
+
+}  // namespace pelican::core

@@ -1,0 +1,69 @@
+// The evaluation harness of Section V: k-fold cross-validation over a
+// RawDataset with the paper's preprocessing applied per fold — one-hot
+// encode, fit the scaler on the *training* fold only, train a fresh
+// classifier, evaluate on the held-out fold, and aggregate confusion
+// matrices and DR/ACC/FAR.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/data.h"
+#include "metrics/metrics.h"
+#include "ml/classifier.h"
+
+namespace pelican::core {
+
+// Produces a fresh, untrained classifier for each fold.
+using ClassifierFactory = std::function<ml::ClassifierPtr()>;
+
+struct FoldResult {
+  metrics::ConfusionMatrix confusion{2};
+  double accuracy = 0.0;
+  double detection_rate = 0.0;
+  double false_alarm_rate = 0.0;
+  double train_seconds = 0.0;
+};
+
+struct CrossValidationResult {
+  std::vector<FoldResult> folds;
+  metrics::ConfusionMatrix total_confusion{2};
+  metrics::BinaryOutcome binary;  // aggregated over all folds
+  double accuracy = 0.0;          // multiclass, aggregated
+  double detection_rate = 0.0;
+  double false_alarm_rate = 0.0;
+
+  [[nodiscard]] std::string Summary(
+      std::span<const std::string> class_names) const;
+};
+
+struct CrossValidationConfig {
+  std::size_t k = 10;           // paper's Step 3
+  bool stratified = true;
+  std::uint64_t seed = 1234;
+  int normal_label = 0;         // class treated as benign for DR/FAR
+  std::size_t max_folds = 0;    // 0 = run all k; >0 = cap (CPU budget)
+};
+
+CrossValidationResult CrossValidate(const data::RawDataset& dataset,
+                                    const ClassifierFactory& factory,
+                                    const CrossValidationConfig& config);
+
+// Single stratified holdout (the Table V comparative-study path): train
+// on (1 - test_fraction), evaluate once.
+struct HoldoutResult {
+  metrics::ConfusionMatrix confusion{2};
+  metrics::BinaryOutcome binary;
+  double accuracy = 0.0;
+  double detection_rate = 0.0;
+  double false_alarm_rate = 0.0;
+  double train_seconds = 0.0;
+};
+
+HoldoutResult EvaluateHoldout(const data::RawDataset& dataset,
+                              const ClassifierFactory& factory,
+                              double test_fraction, std::uint64_t seed,
+                              int normal_label = 0);
+
+}  // namespace pelican::core

@@ -1,0 +1,109 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace pelican::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'L', 'C', 'N'};
+// v2 appends non-trainable buffers (batch-norm running statistics)
+// after the trainable parameters.
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  PELICAN_CHECK(in.good(), "truncated weight file");
+  return value;
+}
+
+}  // namespace
+
+namespace {
+
+void WriteTensorEntry(std::ostream& out, const std::string& name,
+                      const Tensor& value) {
+  WritePod(out, static_cast<std::uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  WritePod(out, static_cast<std::uint32_t>(value.rank()));
+  for (std::int64_t d : value.shape()) WritePod(out, d);
+  out.write(reinterpret_cast<const char*>(value.data().data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+}
+
+void ReadTensorEntry(std::istream& in, const std::string& expected_name,
+                     Tensor& value) {
+  const auto name_len = ReadPod<std::uint32_t>(in);
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  PELICAN_CHECK(in.good() && name == expected_name,
+                "tensor name mismatch: expected " + expected_name +
+                    ", got " + name);
+  const auto rank = ReadPod<std::uint32_t>(in);
+  PELICAN_CHECK(rank == static_cast<std::uint32_t>(value.rank()),
+                "rank mismatch for " + expected_name);
+  Tensor::Shape shape(rank);
+  for (auto& d : shape) d = ReadPod<std::int64_t>(in);
+  PELICAN_CHECK(shape == value.shape(),
+                "shape mismatch for " + expected_name);
+  in.read(reinterpret_cast<char*>(value.data().data()),
+          static_cast<std::streamsize>(value.size() * sizeof(float)));
+  PELICAN_CHECK(in.good(), "truncated data for " + expected_name);
+}
+
+}  // namespace
+
+void SaveWeights(nn::Sequential& network, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
+  const auto params = network.Params();
+  const auto buffers = network.Buffers();
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<std::uint64_t>(params.size()));
+  WritePod(out, static_cast<std::uint64_t>(buffers.size()));
+  for (const auto& p : params) WriteTensorEntry(out, p.name, *p.value);
+  for (const auto& b : buffers) WriteTensorEntry(out, b.name, *b.value);
+  PELICAN_CHECK(out.good(), "weight write failed: " + path);
+}
+
+void LoadWeights(nn::Sequential& network, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PELICAN_CHECK(in.is_open(), "cannot open for reading: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  PELICAN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+                "not a Pelican weight file: " + path);
+  const auto version = ReadPod<std::uint32_t>(in);
+  PELICAN_CHECK(version == kVersion, "unsupported weight file version");
+
+  auto params = network.Params();
+  auto buffers = network.Buffers();
+  const auto param_count = ReadPod<std::uint64_t>(in);
+  const auto buffer_count = ReadPod<std::uint64_t>(in);
+  PELICAN_CHECK(param_count == params.size(),
+                "parameter count mismatch: file has " +
+                    std::to_string(param_count) + ", network has " +
+                    std::to_string(params.size()));
+  PELICAN_CHECK(buffer_count == buffers.size(),
+                "buffer count mismatch: file has " +
+                    std::to_string(buffer_count) + ", network has " +
+                    std::to_string(buffers.size()));
+
+  for (auto& p : params) ReadTensorEntry(in, p.name, *p.value);
+  for (auto& b : buffers) ReadTensorEntry(in, b.name, *b.value);
+}
+
+}  // namespace pelican::core

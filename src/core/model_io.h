@@ -1,0 +1,22 @@
+// Save/load trained network weights.
+//
+// Format (versioned, little-endian binary):
+//   magic "PLCN" | u32 version | u64 param_count |
+//   per param: u32 name_len | name bytes | u32 rank | i64 dims… | f32 data…
+//
+// Loading restores into an *already constructed* network with the same
+// architecture; names and shapes are verified parameter-by-parameter.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace pelican::core {
+
+void SaveWeights(nn::Sequential& network, const std::string& path);
+
+// Throws CheckError on any mismatch (missing file, wrong architecture).
+void LoadWeights(nn::Sequential& network, const std::string& path);
+
+}  // namespace pelican::core

@@ -1,0 +1,36 @@
+#include "core/neural_classifier.h"
+
+#include <algorithm>
+
+namespace pelican::core {
+
+NeuralClassifier::NeuralClassifier(std::string name, NetworkFactory factory,
+                                   TrainConfig train_config)
+    : name_(std::move(name)),
+      factory_(std::move(factory)),
+      train_config_(std::move(train_config)) {
+  PELICAN_CHECK(factory_ != nullptr, "network factory required");
+}
+
+void NeuralClassifier::Fit(const Tensor& x, std::span<const int> y) {
+  PELICAN_CHECK(x.rank() == 2 && !y.empty(), "Fit expects (N, D) + labels");
+  const std::int64_t n_classes = *std::max_element(y.begin(), y.end()) + 1;
+  Rng rng(train_config_.seed ^ 0x5eedF00dULL);
+  network_ = factory_(x.dim(1), n_classes, rng);
+  trainer_ = std::make_unique<Trainer>(*network_, train_config_);
+  history_ = trainer_->Fit(x, y);
+}
+
+int NeuralClassifier::Predict(std::span<const float> row) const {
+  PELICAN_CHECK(trainer_ != nullptr, "Predict before Fit");
+  Tensor x({1, static_cast<std::int64_t>(row.size())});
+  std::copy(row.begin(), row.end(), x.data().begin());
+  return trainer_->Predict(x).front();
+}
+
+std::vector<int> NeuralClassifier::PredictAll(const Tensor& x) const {
+  PELICAN_CHECK(trainer_ != nullptr, "PredictAll before Fit");
+  return trainer_->Predict(x);
+}
+
+}  // namespace pelican::core

@@ -1,0 +1,40 @@
+// Adapter exposing a trained nn::Sequential through the ml::Classifier
+// interface, so deep models and classical baselines run through the same
+// cross-validation / Table V harness.
+#pragma once
+
+#include <functional>
+
+#include "core/trainer.h"
+#include "ml/classifier.h"
+
+namespace pelican::core {
+
+// Builds a fresh network for a given (features, classes) problem.
+using NetworkFactory = std::function<std::unique_ptr<nn::Sequential>(
+    std::int64_t features, std::int64_t n_classes, Rng& rng)>;
+
+class NeuralClassifier final : public ml::Classifier {
+ public:
+  NeuralClassifier(std::string name, NetworkFactory factory,
+                   TrainConfig train_config);
+
+  void Fit(const Tensor& x, std::span<const int> y) override;
+  [[nodiscard]] int Predict(std::span<const float> row) const override;
+  [[nodiscard]] std::vector<int> PredictAll(const Tensor& x) const override;
+  [[nodiscard]] std::string Name() const override { return name_; }
+
+  // Training history of the last Fit (for loss-curve benches).
+  [[nodiscard]] const TrainHistory& History() const { return history_; }
+  [[nodiscard]] nn::Sequential* Network() { return network_.get(); }
+
+ private:
+  std::string name_;
+  NetworkFactory factory_;
+  TrainConfig train_config_;
+  std::unique_ptr<nn::Sequential> network_;
+  std::unique_ptr<Trainer> trainer_;
+  TrainHistory history_;
+};
+
+}  // namespace pelican::core

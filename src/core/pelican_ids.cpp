@@ -1,0 +1,116 @@
+#include "core/pelican_ids.h"
+
+#include <fstream>
+
+namespace pelican::core {
+
+PelicanIds::PelicanIds(data::Schema schema, IdsConfig config)
+    : schema_(std::move(schema)),
+      config_(std::move(config)),
+      encoder_(schema_) {
+  PELICAN_CHECK(config_.normal_label >= 0 &&
+                    static_cast<std::size_t>(config_.normal_label) <
+                        schema_.LabelCount(),
+                "normal_label out of range");
+}
+
+void PelicanIds::BuildNetwork() {
+  models::NetworkConfig net;
+  net.features = encoder_.EncodedWidth();
+  net.n_classes = static_cast<std::int64_t>(schema_.LabelCount());
+  net.n_blocks = config_.n_blocks;
+  net.residual = config_.residual;
+  net.channels = config_.channels;
+  Rng rng(config_.train.seed ^ 0x1d5c0ffeeULL);
+  network_ = models::BuildNetwork(net, rng);
+}
+
+TrainHistory PelicanIds::Train(const data::RawDataset& train_set,
+                               const data::RawDataset* test_set) {
+  PELICAN_CHECK(!train_set.Empty(), "empty training set");
+  Tensor x = encoder_.Transform(train_set);
+  scaler_.Fit(x);
+  scaler_.Transform(x);
+
+  BuildNetwork();
+  trainer_ = std::make_unique<Trainer>(*network_, config_.train);
+
+  if (test_set != nullptr) {
+    Tensor x_test = encoder_.Transform(*test_set);
+    scaler_.Transform(x_test);
+    return trainer_->Fit(x, train_set.Labels(), &x_test, test_set->Labels());
+  }
+  return trainer_->Fit(x, train_set.Labels());
+}
+
+Tensor PelicanIds::EncodeAndScale(const data::RawDataset& records) const {
+  Tensor x = encoder_.Transform(records);
+  scaler_.Transform(x);
+  return x;
+}
+
+PelicanIds::Verdict PelicanIds::Inspect(std::span<const double> raw_row) const {
+  PELICAN_CHECK(Trained(), "Inspect before Train/Load");
+  Tensor x({1, encoder_.EncodedWidth()});
+  encoder_.EncodeRow(raw_row, x.Row(0));
+  scaler_.Transform(x);
+  const Tensor probs = trainer_->PredictProbabilities(x);
+  const auto label = static_cast<int>(probs.ArgMaxRow(0));
+  Verdict verdict;
+  verdict.label = label;
+  verdict.class_name = schema_.LabelName(static_cast<std::size_t>(label));
+  verdict.is_attack = label != config_.normal_label;
+  verdict.confidence = probs.At(0, label);
+  return verdict;
+}
+
+std::vector<int> PelicanIds::Classify(const data::RawDataset& records) const {
+  PELICAN_CHECK(Trained(), "Classify before Train/Load");
+  return trainer_->Predict(EncodeAndScale(records));
+}
+
+Trainer::Evaluation PelicanIds::Evaluate(
+    const data::RawDataset& records) const {
+  PELICAN_CHECK(Trained(), "Evaluate before Train/Load");
+  return trainer_->Evaluate(EncodeAndScale(records), records.Labels());
+}
+
+void PelicanIds::Save(const std::string& path) const {
+  PELICAN_CHECK(Trained(), "Save before Train");
+  SaveWeights(*network_, path);
+  // Preprocessing statistics ride in a sidecar file.
+  std::ofstream out(path + ".pre", std::ios::binary);
+  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path + ".pre");
+  const auto d = static_cast<std::uint64_t>(scaler_.mean().size());
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(scaler_.mean().data().data()),
+            static_cast<std::streamsize>(d * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(scaler_.stddev().data().data()),
+            static_cast<std::streamsize>(d * sizeof(float)));
+  PELICAN_CHECK(out.good(), "scaler write failed");
+}
+
+void PelicanIds::Load(const std::string& path) {
+  BuildNetwork();
+  LoadWeights(*network_, path);
+
+  std::ifstream in(path + ".pre", std::ios::binary);
+  PELICAN_CHECK(in.is_open(), "cannot open for reading: " + path + ".pre");
+  std::uint64_t d = 0;
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  PELICAN_CHECK(in.good() &&
+                    d == static_cast<std::uint64_t>(encoder_.EncodedWidth()),
+                "scaler width mismatch");
+  Tensor mean({static_cast<std::int64_t>(d)});
+  Tensor stddev({static_cast<std::int64_t>(d)});
+  in.read(reinterpret_cast<char*>(mean.data().data()),
+          static_cast<std::streamsize>(d * sizeof(float)));
+  in.read(reinterpret_cast<char*>(stddev.data().data()),
+          static_cast<std::streamsize>(d * sizeof(float)));
+  PELICAN_CHECK(in.good(), "truncated scaler file");
+  scaler_.SetStatistics(std::move(mean), std::move(stddev));
+
+  trainer_ = std::make_unique<Trainer>(*network_, config_.train);
+}
+
+}  // namespace pelican::core

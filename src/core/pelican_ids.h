@@ -1,0 +1,77 @@
+// High-level intrusion-detection API — the library façade a downstream
+// user consumes (Fig. 1's NIDS box):
+//
+//   auto ids = PelicanIds(data::NslKddSchema(), {});
+//   ids.Train(train_records);
+//   auto verdict = ids.Inspect(record);
+//   if (verdict.is_attack) alert(verdict.class_name);
+//
+// Owns the whole pipeline: one-hot encoder, standard scaler (fitted on
+// the training data), the residual network, and the trainer.
+#pragma once
+
+#include <optional>
+
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "data/data.h"
+#include "models/pelican.h"
+
+namespace pelican::core {
+
+struct IdsConfig {
+  int n_blocks = 10;            // Residual-41 (= Pelican) by default
+  bool residual = true;
+  std::int64_t channels = 0;    // 0 = encoded width (paper-faithful)
+  int normal_label = 0;         // class considered benign
+  TrainConfig train;
+};
+
+class PelicanIds {
+ public:
+  PelicanIds(data::Schema schema, IdsConfig config);
+
+  // Trains end-to-end on raw records (encodes + fits the scaler
+  // internally). Optional held-out set yields per-epoch test stats.
+  TrainHistory Train(const data::RawDataset& train_set,
+                     const data::RawDataset* test_set = nullptr);
+
+  [[nodiscard]] bool Trained() const { return trainer_ != nullptr; }
+
+  struct Verdict {
+    int label = 0;
+    std::string class_name;
+    bool is_attack = false;
+    float confidence = 0.0F;  // softmax probability of the chosen class
+  };
+
+  // Classifies one raw record (same column layout as the schema).
+  [[nodiscard]] Verdict Inspect(std::span<const double> raw_row) const;
+
+  // Batch classification of a whole dataset.
+  [[nodiscard]] std::vector<int> Classify(const data::RawDataset& records) const;
+
+  // Accuracy/loss on a labelled raw dataset.
+  [[nodiscard]] Trainer::Evaluation Evaluate(
+      const data::RawDataset& records) const;
+
+  // Persists / restores network weights + scaler statistics.
+  void Save(const std::string& path) const;
+  void Load(const std::string& path);
+
+  [[nodiscard]] const data::Schema& schema() const { return schema_; }
+  [[nodiscard]] nn::Sequential& network() { return *network_; }
+
+ private:
+  [[nodiscard]] Tensor EncodeAndScale(const data::RawDataset& records) const;
+  void BuildNetwork();
+
+  data::Schema schema_;
+  IdsConfig config_;
+  data::OneHotEncoder encoder_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<nn::Sequential> network_;
+  std::unique_ptr<Trainer> trainer_;
+};
+
+}  // namespace pelican::core

@@ -1,0 +1,82 @@
+#include "core/stream.h"
+
+namespace pelican::core {
+
+StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
+    : ids_(&ids),
+      config_(config),
+      per_class_(ids.schema().LabelCount(), 0) {
+  PELICAN_CHECK(ids.Trained(), "StreamDetector needs a trained model");
+  PELICAN_CHECK(config_.window >= 1);
+  PELICAN_CHECK(config_.low_confidence >= 0.0F &&
+                config_.low_confidence <= 1.0F);
+  PELICAN_CHECK(config_.max_window_alert_rate > 0.0 &&
+                config_.max_window_alert_rate <= 1.0);
+}
+
+std::optional<Alert> StreamDetector::Ingest(
+    std::span<const double> raw_record) {
+  const auto verdict = ids_->Inspect(raw_record);
+  const std::uint64_t sequence = processed_++;
+  per_class_[static_cast<std::size_t>(verdict.label)]++;
+
+  // Window rate *before* this record decides suppression, so the first
+  // alert of a flood always gets through unflagged.
+  double rate_before = 0.0;
+  if (!window_.empty()) {
+    std::size_t attacks = 0;
+    for (const auto& e : window_) attacks += e.attack ? 1 : 0;
+    rate_before = static_cast<double>(attacks) /
+                  static_cast<double>(window_.size());
+  }
+
+  window_.push_back({verdict.is_attack,
+                     verdict.confidence < config_.low_confidence});
+  if (window_.size() > config_.window) window_.pop_front();
+
+  if (!verdict.is_attack) return std::nullopt;
+
+  ++alerts_;
+  Alert alert;
+  alert.sequence = sequence;
+  alert.label = verdict.label;
+  alert.class_name = verdict.class_name;
+  alert.confidence = verdict.confidence;
+  alert.suppressed = rate_before > config_.max_window_alert_rate;
+  if (alert.suppressed) ++suppressed_;
+  return alert;
+}
+
+void StreamDetector::IngestAll(
+    const data::RawDataset& records,
+    const std::function<void(const Alert&)>& on_alert) {
+  for (std::size_t i = 0; i < records.Size(); ++i) {
+    if (auto alert = Ingest(records.Row(i))) {
+      if (on_alert) on_alert(*alert);
+    }
+  }
+}
+
+StreamStats StreamDetector::Stats() const {
+  StreamStats stats;
+  stats.processed = processed_;
+  stats.alerts = alerts_;
+  stats.suppressed = suppressed_;
+  stats.per_class = per_class_;
+  if (!window_.empty()) {
+    std::size_t attacks = 0, low = 0;
+    for (const auto& e : window_) {
+      attacks += e.attack ? 1 : 0;
+      low += e.low_confidence ? 1 : 0;
+    }
+    stats.window_alert_rate =
+        static_cast<double>(attacks) / static_cast<double>(window_.size());
+    stats.window_low_confidence =
+        static_cast<double>(low) / static_cast<double>(window_.size());
+  }
+  return stats;
+}
+
+void StreamDetector::ResetWindow() { window_.clear(); }
+
+}  // namespace pelican::core

@@ -1,0 +1,73 @@
+// Streaming detector — the operational deployment of Fig. 1: the NIDS
+// sits on the wire, classifies flow records as they arrive, raises
+// alerts for the security team, and tracks rolling health statistics
+// (alert rate, per-class counts, low-confidence fraction) over a
+// sliding window so operators can spot drift or alert floods.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/pelican_ids.h"
+
+namespace pelican::core {
+
+struct Alert {
+  std::uint64_t sequence = 0;       // 0-based ingest index
+  int label = 0;
+  std::string class_name;
+  float confidence = 0.0F;
+  bool suppressed = false;          // true when the flood limiter held it
+};
+
+struct StreamStats {
+  std::uint64_t processed = 0;
+  std::uint64_t alerts = 0;           // attack verdicts (incl. suppressed)
+  std::uint64_t suppressed = 0;       // held back by the flood limiter
+  double window_alert_rate = 0.0;     // attack fraction of current window
+  double window_low_confidence = 0.0; // verdicts under the threshold
+  std::vector<std::uint64_t> per_class;  // verdict counts by class
+};
+
+struct StreamConfig {
+  std::size_t window = 256;          // sliding-window length
+  float low_confidence = 0.5F;       // verdicts below this are flagged
+  // Flood limiter: once the window alert rate exceeds this, further
+  // alerts are marked suppressed (delivered but flagged, so a DoS can't
+  // bury the console). 1.0 disables.
+  double max_window_alert_rate = 1.0;
+};
+
+class StreamDetector {
+ public:
+  // `ids` must be trained and must outlive the detector.
+  StreamDetector(const PelicanIds& ids, StreamConfig config = {});
+
+  // Classifies one record; returns an Alert for attack verdicts.
+  std::optional<Alert> Ingest(std::span<const double> raw_record);
+
+  // Convenience: ingest a whole dataset, invoking `on_alert` per alert.
+  void IngestAll(const data::RawDataset& records,
+                 const std::function<void(const Alert&)>& on_alert);
+
+  [[nodiscard]] StreamStats Stats() const;
+
+  // Drops window history (e.g. after an operator acknowledges a flood).
+  void ResetWindow();
+
+ private:
+  const PelicanIds* ids_;
+  StreamConfig config_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t alerts_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::vector<std::uint64_t> per_class_;
+  struct WindowEntry {
+    bool attack;
+    bool low_confidence;
+  };
+  std::deque<WindowEntry> window_;
+};
+
+}  // namespace pelican::core

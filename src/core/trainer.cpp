@@ -1,0 +1,244 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "common/logging.h"
+#include "data/batcher.h"
+#include "tensor/ops.h"
+
+namespace pelican::core {
+
+void WriteHistoryCsv(const TrainHistory& history, const std::string& path) {
+  std::ofstream out(path);
+  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
+  out << "epoch,train_loss,train_accuracy,test_loss,test_accuracy\n";
+  for (const auto& e : history) {
+    out << e.epoch << ',' << e.train_loss << ',' << e.train_accuracy << ',';
+    if (e.test_loss) out << *e.test_loss;
+    out << ',';
+    if (e.test_accuracy) out << *e.test_accuracy;
+    out << '\n';
+  }
+  PELICAN_CHECK(out.good(), "history write failed: " + path);
+}
+
+Trainer::Trainer(nn::Sequential& network, TrainConfig config)
+    : Trainer(network, std::move(config), network.Params()) {}
+
+Trainer::Trainer(nn::Sequential& network, TrainConfig config,
+                 std::vector<nn::ParamRef> trainable)
+    : network_(&network),
+      config_(std::move(config)),
+      optimizer_(optim::MakeOptimizer(config_.optimizer,
+                                      config_.learning_rate)),
+      rng_(config_.seed) {
+  PELICAN_CHECK(config_.epochs >= 1);
+  PELICAN_CHECK(config_.batch_size >= 1);
+  PELICAN_CHECK(!trainable.empty(), "no trainable parameters");
+  if (config_.clip_norm > 0.0F) optimizer_->SetClipNorm(config_.clip_norm);
+  optimizer_->Attach(std::move(trainable));
+  network_->SetRng(&rng_);
+}
+
+TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
+                          const Tensor* x_test,
+                          std::span<const int> y_test) {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Fit expects (N, D) features + N labels");
+  if (x_test != nullptr) {
+    PELICAN_CHECK(static_cast<std::int64_t>(y_test.size()) == x_test->dim(0),
+                  "test labels length mismatch");
+  }
+
+  data::Batcher batcher(x, y, config_.batch_size, rng_);
+  TrainHistory history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+
+  std::vector<float> class_weights;
+  if (config_.balanced_class_weights) {
+    std::int64_t n_classes = 0;
+    for (int label : y) {
+      n_classes = std::max<std::int64_t>(n_classes, label + 1);
+    }
+    class_weights = nn::BalancedClassWeights(y, n_classes);
+  }
+
+  float best_test_loss = std::numeric_limits<float>::infinity();
+  int epochs_without_improvement = 0;
+  std::vector<Tensor> best_weights;  // snapshot for restore_best_weights
+
+  data::Batch batch;
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    if (config_.lr_schedule != nullptr) {
+      optimizer_->SetLearningRate(
+          config_.lr_schedule->LearningRate(epoch, config_.learning_rate));
+    }
+    batcher.StartEpoch();
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    while (batcher.Next(batch)) {
+      // Zero every gradient in the network (not just the trainable
+      // subset) so frozen parameters' grads don't accumulate across
+      // steps during fine-tunes.
+      network_->ZeroGrad();
+      Tensor logits = network_->Forward(batch.x, /*training=*/true);
+      auto result =
+          class_weights.empty()
+              ? nn::SoftmaxCrossEntropy(logits, batch.labels)
+              : nn::SoftmaxCrossEntropyWeighted(logits, batch.labels,
+                                                class_weights);
+      network_->Backward(result.dlogits);
+      optimizer_->Step();
+
+      const auto b = static_cast<std::int64_t>(batch.labels.size());
+      loss_sum += static_cast<double>(result.loss) * static_cast<double>(b);
+      for (std::int64_t i = 0; i < b; ++i) {
+        if (result.probs.ArgMaxRow(i) ==
+            batch.labels[static_cast<std::size_t>(i)]) {
+          ++correct;
+        }
+      }
+      seen += b;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = static_cast<float>(loss_sum / static_cast<double>(seen));
+    stats.train_accuracy =
+        static_cast<float>(correct) / static_cast<float>(seen);
+    if (x_test != nullptr) {
+      const Evaluation eval = Evaluate(*x_test, y_test);
+      stats.test_loss = eval.loss;
+      stats.test_accuracy = eval.accuracy;
+    }
+    history.push_back(stats);
+
+    if (config_.verbose &&
+        (epoch % std::max(1, config_.log_every) == 0 ||
+         epoch == config_.epochs)) {
+      PELICAN_LOG(Info) << "epoch " << epoch << "/" << config_.epochs
+                        << " train_loss=" << stats.train_loss
+                        << " train_acc=" << stats.train_accuracy
+                        << (stats.test_loss
+                                ? " test_loss=" + std::to_string(*stats.test_loss)
+                                : "");
+    }
+
+    if (stats.test_loss &&
+        (config_.early_stopping_patience > 0 ||
+         config_.restore_best_weights)) {
+      if (*stats.test_loss <
+          best_test_loss - config_.early_stopping_min_delta) {
+        best_test_loss = *stats.test_loss;
+        epochs_without_improvement = 0;
+        if (config_.restore_best_weights) {
+          best_weights.clear();
+          for (const auto& p : network_->Params()) {
+            best_weights.push_back(*p.value);
+          }
+        }
+      } else if (config_.early_stopping_patience > 0 &&
+                 ++epochs_without_improvement >=
+                     config_.early_stopping_patience) {
+        if (config_.verbose) {
+          PELICAN_LOG(Info) << "early stop at epoch " << epoch
+                            << " (no test-loss improvement for "
+                            << config_.early_stopping_patience
+                            << " epochs)";
+        }
+        break;
+      }
+    }
+  }
+
+  if (config_.restore_best_weights && !best_weights.empty()) {
+    auto params = network_->Params();
+    PELICAN_CHECK(params.size() == best_weights.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      *params[i].value = best_weights[i];
+    }
+  }
+  return history;
+}
+
+std::vector<int> Trainer::Predict(const Tensor& x) const {
+  PELICAN_CHECK(x.rank() == 2, "Predict expects (N, D)");
+  std::vector<int> predictions;
+  const std::int64_t n = x.dim(0);
+  predictions.reserve(static_cast<std::size_t>(n));
+  const auto bs = static_cast<std::int64_t>(config_.batch_size);
+  for (std::int64_t start = 0; start < n; start += bs) {
+    const std::int64_t len = std::min(bs, n - start);
+    Tensor slice({len, x.dim(1)});
+    std::copy(x.data().begin() + start * x.dim(1),
+              x.data().begin() + (start + len) * x.dim(1),
+              slice.data().begin());
+    Tensor logits = network_->Forward(slice, /*training=*/false);
+    for (std::int64_t i = 0; i < len; ++i) {
+      predictions.push_back(static_cast<int>(logits.ArgMaxRow(i)));
+    }
+  }
+  return predictions;
+}
+
+Tensor Trainer::PredictProbabilities(const Tensor& x) const {
+  PELICAN_CHECK(x.rank() == 2, "PredictProbabilities expects (N, D)");
+  const std::int64_t n = x.dim(0);
+  Tensor probs;
+  const auto bs = static_cast<std::int64_t>(config_.batch_size);
+  for (std::int64_t start = 0; start < n; start += bs) {
+    const std::int64_t len = std::min(bs, n - start);
+    Tensor slice({len, x.dim(1)});
+    std::copy(x.data().begin() + start * x.dim(1),
+              x.data().begin() + (start + len) * x.dim(1),
+              slice.data().begin());
+    Tensor logits = network_->Forward(slice, /*training=*/false);
+    Tensor batch_probs = SoftmaxRows(logits);
+    if (probs.empty()) {
+      probs = Tensor({n, batch_probs.dim(1)});
+    }
+    std::copy(batch_probs.data().begin(), batch_probs.data().end(),
+              probs.data().begin() + start * batch_probs.dim(1));
+  }
+  return probs;
+}
+
+Trainer::Evaluation Trainer::Evaluate(const Tensor& x,
+                                      std::span<const int> y) const {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Evaluate expects (N, D) + N labels");
+  const std::int64_t n = x.dim(0);
+  PELICAN_CHECK(n > 0, "empty evaluation set");
+  const auto bs = static_cast<std::int64_t>(config_.batch_size);
+  double loss_sum = 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += bs) {
+    const std::int64_t len = std::min(bs, n - start);
+    Tensor slice({len, x.dim(1)});
+    std::copy(x.data().begin() + start * x.dim(1),
+              x.data().begin() + (start + len) * x.dim(1),
+              slice.data().begin());
+    std::span<const int> labels{y.data() + start,
+                                static_cast<std::size_t>(len)};
+    Tensor logits = network_->Forward(slice, /*training=*/false);
+    loss_sum += static_cast<double>(nn::SoftmaxCrossEntropyLoss(logits,
+                                                                labels)) *
+                static_cast<double>(len);
+    for (std::int64_t i = 0; i < len; ++i) {
+      if (logits.ArgMaxRow(i) == labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+  }
+  Evaluation eval;
+  eval.loss = static_cast<float>(loss_sum / static_cast<double>(n));
+  eval.accuracy = static_cast<float>(correct) / static_cast<float>(n);
+  return eval;
+}
+
+}  // namespace pelican::core

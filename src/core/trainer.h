@@ -1,0 +1,106 @@
+// Mini-batch trainer for nn::Sequential networks.
+//
+// Reproduces the paper's training loop: shuffled mini-batches, softmax
+// cross-entropy, a pluggable gradient-descent optimizer (RMSprop by
+// default, as in Section V-C), per-epoch train/test loss + accuracy
+// history (the series plotted in Fig. 5).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/nn.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+
+namespace pelican::core {
+
+struct TrainConfig {
+  int epochs = 50;
+  std::size_t batch_size = 64;
+  float learning_rate = 0.01F;      // Table I
+  std::string optimizer = "rmsprop";
+  float clip_norm = 0.0F;           // 0 = off
+  std::uint64_t seed = 42;
+  bool verbose = false;
+  int log_every = 10;               // epochs between progress logs
+
+  // Optional learning-rate schedule (null = the paper's constant rate).
+  optim::LrSchedulePtr lr_schedule;
+
+  // Early stopping on test loss: stop after `patience` epochs without
+  // an improvement of at least `min_delta`. 0 disables. Requires a test
+  // set to be passed to Fit; ignored otherwise.
+  int early_stopping_patience = 0;
+  float early_stopping_min_delta = 1e-4F;
+
+  // Weight the loss by inverse class frequency ("balanced") so rare
+  // attack classes (U2R, Worms) contribute proportionally. Off by
+  // default — the paper trains unweighted.
+  bool balanced_class_weights = false;
+
+  // Snapshot the weights at the best test loss and restore them when
+  // Fit returns (requires a test set; pairs naturally with early
+  // stopping). Off by default — the paper reports last-epoch models.
+  bool restore_best_weights = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float train_loss = 0.0F;
+  float train_accuracy = 0.0F;
+  // Present when a test set was supplied to Fit.
+  std::optional<float> test_loss;
+  std::optional<float> test_accuracy;
+};
+
+using TrainHistory = std::vector<EpochStats>;
+
+// Writes a history as CSV (epoch,train_loss,train_accuracy,test_loss,
+// test_accuracy; empty cells where no test set was supplied) — the raw
+// series behind the Fig. 5 plots, for external plotting tools.
+void WriteHistoryCsv(const TrainHistory& history, const std::string& path);
+
+class Trainer {
+ public:
+  // The network is borrowed and must outlive the trainer.
+  Trainer(nn::Sequential& network, TrainConfig config);
+
+  // Trains only `trainable` (a subset of the network's Params()) —
+  // gradients still flow through every layer, but frozen parameters are
+  // never updated. Used by transfer-learning fine-tunes.
+  Trainer(nn::Sequential& network, TrainConfig config,
+          std::vector<nn::ParamRef> trainable);
+
+  // Trains on (x, y); when (x_test, y_test) are non-null, evaluates on
+  // them after every epoch so loss curves can be plotted.
+  TrainHistory Fit(const Tensor& x, std::span<const int> y,
+                   const Tensor* x_test = nullptr,
+                   std::span<const int> y_test = {});
+
+  // Argmax predictions, evaluated in inference mode, in batches.
+  [[nodiscard]] std::vector<int> Predict(const Tensor& x) const;
+
+  // Row-wise softmax class probabilities (N, K), inference mode.
+  [[nodiscard]] Tensor PredictProbabilities(const Tensor& x) const;
+
+  // Mean loss + accuracy on a labelled set (inference mode).
+  struct Evaluation {
+    float loss = 0.0F;
+    float accuracy = 0.0F;
+  };
+  [[nodiscard]] Evaluation Evaluate(const Tensor& x,
+                                    std::span<const int> y) const;
+
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+
+ private:
+  nn::Sequential* network_;
+  TrainConfig config_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  Rng rng_;
+};
+
+}  // namespace pelican::core

@@ -1,0 +1,36 @@
+#include "core/transfer.h"
+
+namespace pelican::core {
+
+std::vector<nn::ParamRef> TrainableSuffix(nn::Sequential& network,
+                                          std::size_t frozen_prefix_layers) {
+  PELICAN_CHECK(frozen_prefix_layers < network.LayerCount(),
+                "cannot freeze the whole network");
+  std::vector<nn::ParamRef> params;
+  for (std::size_t i = frozen_prefix_layers; i < network.LayerCount(); ++i) {
+    auto layer_params = network.LayerAt(i).Params();
+    params.insert(params.end(), layer_params.begin(), layer_params.end());
+  }
+  return params;
+}
+
+TrainHistory FineTune(nn::Sequential& network, const TransferConfig& config,
+                      const Tensor& x, std::span<const int> y,
+                      const Tensor* x_test, std::span<const int> y_test) {
+  auto trainable = TrainableSuffix(network, config.frozen_prefix_layers);
+  PELICAN_CHECK(!trainable.empty(),
+                "frozen prefix leaves no trainable parameters");
+  Trainer trainer(network, config.train, std::move(trainable));
+  return trainer.Fit(x, y, x_test, y_test);
+}
+
+std::int64_t TrainableParameterCount(nn::Sequential& network,
+                                     std::size_t frozen_prefix_layers) {
+  std::int64_t count = 0;
+  for (const auto& p : TrainableSuffix(network, frozen_prefix_layers)) {
+    count += p.value->size();
+  }
+  return count;
+}
+
+}  // namespace pelican::core

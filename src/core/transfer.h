@@ -1,0 +1,43 @@
+// Transfer learning for intrusion detection — the approach of the
+// authors' companion paper (Wu, Guo & Buckland, ICBDA'19, cited as [16]
+// and offered as the answer to "Challenge one": attack data are
+// expensive, so reuse a model trained on one traffic distribution and
+// fine-tune it on scarce data from another).
+//
+// Mechanics: freeze the first `frozen_blocks` feature-extraction blocks
+// of a trained Pelican-style network (plus the input stem) and retrain
+// only the remaining blocks and the classifier head on the new data.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace pelican::core {
+
+struct TransferConfig {
+  // Leading top-level layers of the Sequential to freeze. For networks
+  // built by models::BuildNetwork, layer 0 is the input Reshape
+  // (stateless) and each subsequent layer is one block, so freezing
+  // "the first f blocks" means frozen_prefix_layers = f + 1 (+1 more if
+  // a projection stem is present).
+  std::size_t frozen_prefix_layers = 0;
+  TrainConfig train;
+};
+
+// Parameters owned by layers at index >= frozen_prefix within the
+// top-level Sequential — the trainable set of a fine-tune.
+std::vector<nn::ParamRef> TrainableSuffix(nn::Sequential& network,
+                                          std::size_t frozen_prefix_layers);
+
+// Fine-tunes `network` in place on the new data. Returns the history.
+// Gradients flow through frozen layers (their inputs matter) but only
+// the suffix parameters are updated.
+TrainHistory FineTune(nn::Sequential& network, const TransferConfig& config,
+                      const Tensor& x, std::span<const int> y,
+                      const Tensor* x_test = nullptr,
+                      std::span<const int> y_test = {});
+
+// Counts parameters that a fine-tune with this prefix would update.
+std::int64_t TrainableParameterCount(nn::Sequential& network,
+                                     std::size_t frozen_prefix_layers);
+
+}  // namespace pelican::core

@@ -1,0 +1,67 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pelican::data {
+
+Batcher::Batcher(const Tensor& x, std::span<const int> labels,
+                 std::size_t batch_size, Rng& rng)
+    : x_(&x), labels_(labels), batch_size_(batch_size), rng_(&rng) {
+  PELICAN_CHECK(x.rank() == 2, "Batcher expects (N, D) features");
+  PELICAN_CHECK(static_cast<std::int64_t>(labels.size()) == x.dim(0),
+                "labels length must match feature rows");
+  PELICAN_CHECK(batch_size_ > 0, "batch size must be positive");
+  order_.resize(labels.size());
+  std::iota(order_.begin(), order_.end(), 0U);
+  batch_size_ = std::min(batch_size_, order_.size());
+  StartEpoch();
+}
+
+void Batcher::StartEpoch() {
+  rng_->Shuffle(order_);
+  cursor_ = 0;
+}
+
+bool Batcher::Next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  std::span<const std::size_t> idx{order_.data() + cursor_, end - cursor_};
+  out.x = GatherRows(*x_, idx);
+  out.labels = GatherLabels(labels_, idx);
+  cursor_ = end;
+  return true;
+}
+
+std::size_t Batcher::BatchesPerEpoch() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Tensor GatherRows(const Tensor& x, std::span<const std::size_t> indices) {
+  PELICAN_CHECK(x.rank() == 2, "GatherRows expects (N, D)");
+  const std::int64_t d = x.dim(1);
+  Tensor out({static_cast<std::int64_t>(indices.size()), d});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    PELICAN_CHECK(static_cast<std::int64_t>(indices[i]) < x.dim(0),
+                  "row index out of range");
+    auto src = x.Row(static_cast<std::int64_t>(indices[i]));
+    auto dst = out.Row(static_cast<std::int64_t>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+std::vector<int> GatherLabels(std::span<const int> labels,
+                              std::span<const std::size_t> indices) {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    PELICAN_CHECK(idx < labels.size(), "label index out of range");
+    out.push_back(labels[idx]);
+  }
+  return out;
+}
+
+}  // namespace pelican::data

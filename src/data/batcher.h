@@ -1,0 +1,50 @@
+// Mini-batch iteration over an encoded feature matrix + labels.
+// Shuffles sample order each epoch (seeded), yields (X_batch, y_batch).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace pelican::data {
+
+struct Batch {
+  Tensor x;                 // (B, D)
+  std::vector<int> labels;  // length B
+};
+
+class Batcher {
+ public:
+  // `x` (N, D) and `labels` (N) are borrowed; they must outlive the
+  // batcher. batch_size is clamped to N.
+  Batcher(const Tensor& x, std::span<const int> labels,
+          std::size_t batch_size, Rng& rng);
+
+  // Re-shuffles and rewinds. Call at the start of each epoch.
+  void StartEpoch();
+
+  // Fills `out` with the next batch; returns false when the epoch ends.
+  bool Next(Batch& out);
+
+  [[nodiscard]] std::size_t BatchesPerEpoch() const;
+  [[nodiscard]] std::size_t SampleCount() const { return order_.size(); }
+
+ private:
+  const Tensor* x_;
+  std::span<const int> labels_;
+  std::size_t batch_size_;
+  Rng* rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+// Gathers rows `indices` of x into a new (|indices|, D) tensor.
+Tensor GatherRows(const Tensor& x, std::span<const std::size_t> indices);
+
+// Gathers labels at `indices`.
+std::vector<int> GatherLabels(std::span<const int> labels,
+                              std::span<const std::size_t> indices);
+
+}  // namespace pelican::data

@@ -1,0 +1,96 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pelican::data {
+
+void WriteCsv(const RawDataset& dataset, std::ostream& out) {
+  const Schema& schema = dataset.schema();
+  for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+    out << schema.Column(c).name << ',';
+  }
+  out << "label\n";
+  for (std::size_t i = 0; i < dataset.Size(); ++i) {
+    auto row = dataset.Row(i);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto& col = schema.Column(c);
+      if (col.kind == ColumnKind::kCategorical) {
+        out << col.categories[static_cast<std::size_t>(row[c])];
+      } else {
+        out << FormatFixed(row[c], 6);
+      }
+      out << ',';
+    }
+    out << schema.LabelName(static_cast<std::size_t>(dataset.Label(i)))
+        << '\n';
+  }
+  PELICAN_CHECK(out.good(), "CSV write failed");
+}
+
+void WriteCsvFile(const RawDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
+  WriteCsv(dataset, out);
+}
+
+RawDataset ReadCsv(const Schema& schema, std::istream& in) {
+  RawDataset dataset(schema);
+  std::string line;
+  PELICAN_CHECK(static_cast<bool>(std::getline(in, line)), "empty CSV");
+  const auto header = Split(Trim(line), ',');
+  PELICAN_CHECK(header.size() == schema.ColumnCount() + 1,
+                "CSV header width mismatch");
+  for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+    PELICAN_CHECK(std::string(Trim(header[c])) == schema.Column(c).name,
+                  "CSV header column mismatch: " + header[c]);
+  }
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(Trim(line), ',');
+    PELICAN_CHECK(fields.size() == schema.ColumnCount() + 1,
+                  "CSV row width mismatch at line " + std::to_string(line_no));
+    std::vector<double> cells(schema.ColumnCount());
+    for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+      const auto& col = schema.Column(c);
+      const std::string field{Trim(fields[c])};
+      if (col.kind == ColumnKind::kCategorical) {
+        int idx = -1;
+        for (std::size_t v = 0; v < col.categories.size(); ++v) {
+          if (col.categories[v] == field) {
+            idx = static_cast<int>(v);
+            break;
+          }
+        }
+        PELICAN_CHECK(idx >= 0, "unknown category '" + field + "' in " +
+                                    col.name + " at line " +
+                                    std::to_string(line_no));
+        cells[c] = idx;
+      } else {
+        double value = 0.0;
+        PELICAN_CHECK(ParseDouble(field, &value),
+                      "bad numeric cell at line " + std::to_string(line_no));
+        cells[c] = value;
+      }
+    }
+    const int label = schema.LabelIndex(std::string(Trim(fields.back())));
+    PELICAN_CHECK(label >= 0,
+                  "unknown label at line " + std::to_string(line_no));
+    dataset.Add(std::move(cells), label);
+  }
+  return dataset;
+}
+
+RawDataset ReadCsvFile(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  PELICAN_CHECK(in.is_open(), "cannot open for reading: " + path);
+  return ReadCsv(schema, in);
+}
+
+}  // namespace pelican::data

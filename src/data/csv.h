@@ -1,0 +1,23 @@
+// CSV import/export for RawDataset, so users can run the pipeline on
+// the real NSL-KDD / UNSW-NB15 CSVs when they have them. Layout:
+// header row of column names + final "label" column; categorical cells
+// hold the category string, the label cell holds the class name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace pelican::data {
+
+// Writes `dataset` as CSV. Throws CheckError on I/O failure.
+void WriteCsv(const RawDataset& dataset, std::ostream& out);
+void WriteCsvFile(const RawDataset& dataset, const std::string& path);
+
+// Reads a CSV that matches `schema` (column order and names must agree;
+// unknown category strings or labels are an error).
+RawDataset ReadCsv(const Schema& schema, std::istream& in);
+RawDataset ReadCsvFile(const Schema& schema, const std::string& path);
+
+}  // namespace pelican::data

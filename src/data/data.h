@@ -1,0 +1,16 @@
+// Umbrella header for the data pipeline.
+#pragma once
+
+#include "data/batcher.h"    // IWYU pragma: export
+#include "data/csv.h"        // IWYU pragma: export
+#include "data/dataset.h"    // IWYU pragma: export
+#include "data/encoder.h"    // IWYU pragma: export
+#include "data/generator.h"  // IWYU pragma: export
+#include "data/kfold.h"      // IWYU pragma: export
+#include "data/nslkdd.h"     // IWYU pragma: export
+#include "data/official.h"   // IWYU pragma: export
+#include "data/resample.h"   // IWYU pragma: export
+#include "data/scaler.h"     // IWYU pragma: export
+#include "data/schema.h"     // IWYU pragma: export
+#include "data/stream_window.h"  // IWYU pragma: export
+#include "data/unsw_nb15.h"  // IWYU pragma: export

@@ -1,0 +1,42 @@
+// One-hot feature encoding — the C++ equivalent of the paper's
+// preprocessing Step 1 (`pandas.get_dummies`): numeric columns pass
+// through, each categorical column expands to |vocab| indicator
+// columns. The result is the dense (N, D) float matrix with
+// D = schema.EncodedWidth() (121 for NSL-KDD, 196 for UNSW-NB15).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace pelican::data {
+
+class OneHotEncoder {
+ public:
+  // The vocabulary comes from the schema (fixed at generation/load
+  // time), so unlike pandas the encoded width is stable across folds.
+  explicit OneHotEncoder(const Schema& schema);
+
+  [[nodiscard]] std::int64_t EncodedWidth() const { return width_; }
+
+  // Names of the encoded columns ("src_bytes", "protocol_type=tcp", ...).
+  [[nodiscard]] const std::vector<std::string>& FeatureNames() const {
+    return names_;
+  }
+
+  // Encodes the whole dataset into an (N, D) tensor.
+  [[nodiscard]] Tensor Transform(const RawDataset& dataset) const;
+
+  // Encodes a single raw row into a length-D vector.
+  void EncodeRow(std::span<const double> row, std::span<float> out) const;
+
+ private:
+  const Schema* schema_;
+  std::int64_t width_;
+  std::vector<std::int64_t> offsets_;  // encoded start offset per column
+  std::vector<std::string> names_;
+};
+
+}  // namespace pelican::data

@@ -1,0 +1,77 @@
+// Synthetic network-traffic generator.
+//
+// Stands in for the real NSL-KDD / UNSW-NB15 corpora (not shippable
+// offline; see DESIGN.md substitution table). Each class is a mixture
+// of "behaviour profiles"; a profile draws a few latent factors
+// (intensity, burstiness, failure ratio, ...) and maps them through
+// per-feature loadings and transforms, producing correlated numeric
+// features with heavy tails, rate-like [0,1] features, binary flags and
+// class-conditioned categorical columns — the same statistical shapes a
+// flow exporter produces. Class overlap, imbalance and label noise are
+// the difficulty knobs used to calibrate NSL-KDD-like (easy) vs
+// UNSW-NB15-like (hard) behaviour.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace pelican::data {
+
+// Number of shared latent factors behind each record.
+inline constexpr int kLatentFactors = 4;
+
+// How a numeric feature's latent-space value becomes a cell value.
+enum class Transform {
+  kIdentity,   // value as-is
+  kPositive,   // max(0, value)
+  kExp,        // exp(value) — heavy-tailed counters (bytes, counts)
+  kRate,       // sigmoid(value) — rates in [0, 1]
+  kBinary,     // 1 if value > 0 else 0 — boolean flags
+};
+
+// Generative rule for one numeric feature inside one profile.
+struct NumericRule {
+  double mean = 0.0;
+  double noise = 1.0;                       // i.i.d. gaussian noise stddev
+  double loadings[kLatentFactors] = {0, 0, 0, 0};  // latent factor weights
+  Transform transform = Transform::kIdentity;
+};
+
+// Generative rule for one categorical feature inside one profile:
+// unnormalized weights over the column's vocabulary.
+struct CategoricalRule {
+  std::vector<double> weights;
+};
+
+// One behaviour profile (mixture component) of a traffic class.
+struct Profile {
+  double weight = 1.0;
+  std::vector<NumericRule> numeric;          // one per numeric column
+  std::vector<CategoricalRule> categorical;  // one per categorical column
+};
+
+struct ClassModel {
+  std::vector<Profile> profiles;
+};
+
+// Full generative description of a dataset.
+struct GeneratorSpec {
+  Schema schema;
+  std::vector<double> class_priors;  // one per label, unnormalized
+  std::vector<ClassModel> classes;   // one per label
+  double label_noise = 0.0;          // P(record keeps features, flips label)
+
+  // Validates internal consistency (sizes match the schema).
+  void Validate() const;
+};
+
+// Draws `n` records from the spec. Deterministic given `rng`'s state.
+RawDataset Generate(const GeneratorSpec& spec, std::size_t n, Rng& rng);
+
+// Draws a single record of class `label`.
+std::vector<double> GenerateRecord(const GeneratorSpec& spec, int label,
+                                   Rng& rng);
+
+}  // namespace pelican::data

@@ -1,0 +1,117 @@
+#include "data/kfold.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pelican::data {
+
+KFold::KFold(std::size_t k, Rng& rng) : k_(k), rng_(&rng) {
+  PELICAN_CHECK(k >= 2, "k-fold needs k >= 2");
+}
+
+std::vector<FoldSplit> KFold::Split(std::size_t n) const {
+  PELICAN_CHECK(n >= k_, "fewer samples than folds");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  rng_->Shuffle(order);
+
+  // Fold f takes a contiguous chunk of the shuffled order; the first
+  // n % k folds get one extra element.
+  std::vector<FoldSplit> splits(k_);
+  const std::size_t base = n / k_;
+  const std::size_t extra = n % k_;
+  std::size_t cursor = 0;
+  for (std::size_t f = 0; f < k_; ++f) {
+    const std::size_t len = base + (f < extra ? 1 : 0);
+    splits[f].test_indices.assign(order.begin() + static_cast<long>(cursor),
+                                  order.begin() +
+                                      static_cast<long>(cursor + len));
+    cursor += len;
+  }
+  for (std::size_t f = 0; f < k_; ++f) {
+    auto& train = splits[f].train_indices;
+    train.reserve(n - splits[f].test_indices.size());
+    for (std::size_t g = 0; g < k_; ++g) {
+      if (g == f) continue;
+      train.insert(train.end(), splits[g].test_indices.begin(),
+                   splits[g].test_indices.end());
+    }
+  }
+  return splits;
+}
+
+StratifiedKFold::StratifiedKFold(std::size_t k, Rng& rng) : k_(k), rng_(&rng) {
+  PELICAN_CHECK(k >= 2, "k-fold needs k >= 2");
+}
+
+std::vector<FoldSplit> StratifiedKFold::Split(
+    std::span<const int> labels) const {
+  PELICAN_CHECK(labels.size() >= k_, "fewer samples than folds");
+  // Bucket indices per class, shuffle each bucket, then deal them
+  // round-robin into folds so every fold gets ~1/k of every class.
+  int max_label = 0;
+  for (int label : labels) {
+    PELICAN_CHECK(label >= 0, "negative label");
+    max_label = std::max(max_label, label);
+  }
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    buckets[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  std::vector<FoldSplit> splits(k_);
+  std::size_t deal = 0;
+  for (auto& bucket : buckets) {
+    rng_->Shuffle(bucket);
+    for (std::size_t idx : bucket) {
+      splits[deal % k_].test_indices.push_back(idx);
+      ++deal;
+    }
+  }
+  for (std::size_t f = 0; f < k_; ++f) {
+    auto& train = splits[f].train_indices;
+    for (std::size_t g = 0; g < k_; ++g) {
+      if (g == f) continue;
+      train.insert(train.end(), splits[g].test_indices.begin(),
+                   splits[g].test_indices.end());
+    }
+    // Deterministic order within a fold is fine; shuffle train so
+    // mini-batches mix classes.
+    rng_->Shuffle(train);
+  }
+  return splits;
+}
+
+FoldSplit StratifiedHoldout(std::span<const int> labels, double test_fraction,
+                            Rng& rng) {
+  PELICAN_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+                "test fraction must be in (0,1)");
+  int max_label = 0;
+  for (int label : labels) max_label = std::max(max_label, label);
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    buckets[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  FoldSplit split;
+  for (auto& bucket : buckets) {
+    rng.Shuffle(bucket);
+    // At least one test sample for any non-empty class with >= 2 rows.
+    std::size_t n_test =
+        static_cast<std::size_t>(test_fraction * static_cast<double>(bucket.size()) + 0.5);
+    if (bucket.size() >= 2 && n_test == 0) n_test = 1;
+    if (n_test >= bucket.size() && !bucket.empty()) n_test = bucket.size() - 1;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      (i < n_test ? split.test_indices : split.train_indices)
+          .push_back(bucket[i]);
+    }
+  }
+  rng.Shuffle(split.train_indices);
+  rng.Shuffle(split.test_indices);
+  return split;
+}
+
+}  // namespace pelican::data

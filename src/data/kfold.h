@@ -1,0 +1,55 @@
+// k-fold cross-validation splitters — the paper's preprocessing Step 3
+// (k = 10): each fold holds one subset out for testing and trains on
+// the remaining k-1. StratifiedKFold preserves per-class proportions,
+// which matters for the tiny U2R / Worms classes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pelican::data {
+
+struct FoldSplit {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+class KFold {
+ public:
+  // Shuffles indices with `rng` before splitting.
+  KFold(std::size_t k, Rng& rng);
+
+  // Splits n samples into k folds.
+  [[nodiscard]] std::vector<FoldSplit> Split(std::size_t n) const;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  Rng* rng_;
+};
+
+class StratifiedKFold {
+ public:
+  StratifiedKFold(std::size_t k, Rng& rng);
+
+  // Splits samples so each fold mirrors the overall label distribution.
+  // `labels.size()` defines n.
+  [[nodiscard]] std::vector<FoldSplit> Split(
+      std::span<const int> labels) const;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  Rng* rng_;
+};
+
+// Single stratified train/test split with the given test fraction.
+FoldSplit StratifiedHoldout(std::span<const int> labels, double test_fraction,
+                            Rng& rng);
+
+}  // namespace pelican::data

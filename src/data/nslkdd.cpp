@@ -1,0 +1,368 @@
+#include "data/nslkdd.h"
+
+#include "data/spec_util.h"
+
+namespace pelican::data {
+
+using spec::Counter;
+using spec::Flag;
+using spec::Gauss;
+using spec::NumericIndex;
+using spec::Peaked;
+using spec::RateF;
+using spec::Sparse;
+using spec::UniformCat;
+
+namespace {
+
+// Categorical vocabularies. Sizes are calibrated so the encoded width is
+// the paper's 121: 38 numeric + 3 + 69 + 11 = 121.
+const std::vector<std::string>& ProtocolVocab() {
+  static const std::vector<std::string> v = {"tcp", "udp", "icmp"};
+  return v;
+}
+
+const std::vector<std::string>& ServiceVocab() {
+  static const std::vector<std::string> v = {
+      "http",     "smtp",    "ftp",      "ftp_data", "telnet",  "ssh",
+      "domain",   "domain_u", "pop_3",   "imap4",    "finger",  "auth",
+      "private",  "ecr_i",   "eco_i",    "other",    "whois",   "mtp",
+      "link",     "remote_job", "name",  "netbios_ns", "netbios_dgm",
+      "netbios_ssn", "sunrpc", "uucp",   "uucp_path", "vmnet",  "supdup",
+      "csnet_ns", "ctf",     "daytime",  "discard",  "echo",    "efs",
+      "exec",     "gopher",  "hostnames", "http_443", "iso_tsap", "klogin",
+      "kshell",   "ldap",    "login",    "netstat",  "nnsp",    "nntp",
+      "ntp_u",    "pm_dump", "pop_2",    "printer",  "rje",     "shell",
+      "sql_net",  "ssl",     "systat",   "time",     "tim_i",   "urh_i",
+      "urp_i",    "X11",     "Z39_50",   "red_i",    "bgp",     "courier",
+      "IRC",      "dhcp",    "mgmt",     "snmp"};
+  return v;
+}
+
+const std::vector<std::string>& FlagVocab() {
+  static const std::vector<std::string> v = {"SF",  "S0",  "REJ", "RSTR",
+                                             "RSTO", "SH", "S1",  "S2",
+                                             "S3",  "OTH", "RSTOS0"};
+  return v;
+}
+
+// Service indices used by class profiles.
+constexpr std::size_t kHttp = 0, kSmtp = 1, kFtp = 2, kFtpData = 3,
+                      kTelnet = 4, kSsh = 5, kDomainU = 7, kPop3 = 8,
+                      kImap4 = 9, kPrivate = 12, kEcrI = 13, kEcoI = 14,
+                      kOther = 15;
+// Flag indices.
+constexpr std::size_t kSF = 0, kS0 = 1, kREJ = 2, kRSTR = 3, kSH = 5;
+// Protocol indices.
+constexpr std::size_t kTcp = 0, kUdp = 1, kIcmp = 2;
+
+std::vector<ColumnSpec> BuildColumns() {
+  std::vector<ColumnSpec> cols;
+  auto num = [&](const char* name) {
+    cols.push_back({name, ColumnKind::kNumeric, {}});
+  };
+  num("duration");
+  cols.push_back({"protocol_type", ColumnKind::kCategorical, ProtocolVocab()});
+  cols.push_back({"service", ColumnKind::kCategorical, ServiceVocab()});
+  cols.push_back({"flag", ColumnKind::kCategorical, FlagVocab()});
+  num("src_bytes");
+  num("dst_bytes");
+  num("land");
+  num("wrong_fragment");
+  num("urgent");
+  num("hot");
+  num("num_failed_logins");
+  num("logged_in");
+  num("num_compromised");
+  num("root_shell");
+  num("su_attempted");
+  num("num_root");
+  num("num_file_creations");
+  num("num_shells");
+  num("num_access_files");
+  num("num_outbound_cmds");
+  num("is_host_login");
+  num("is_guest_login");
+  num("count");
+  num("srv_count");
+  num("serror_rate");
+  num("srv_serror_rate");
+  num("rerror_rate");
+  num("srv_rerror_rate");
+  num("same_srv_rate");
+  num("diff_srv_rate");
+  num("srv_diff_host_rate");
+  num("dst_host_count");
+  num("dst_host_srv_count");
+  num("dst_host_same_srv_rate");
+  num("dst_host_diff_srv_rate");
+  num("dst_host_same_src_port_rate");
+  num("dst_host_srv_diff_host_rate");
+  num("dst_host_serror_rate");
+  num("dst_host_srv_serror_rate");
+  num("dst_host_rerror_rate");
+  num("dst_host_srv_rerror_rate");
+  return cols;
+}
+
+// Baseline numeric rules describing benign traffic; class profiles copy
+// and perturb this. Order must match the numeric columns in schema order.
+std::vector<NumericRule> BaseNumeric() {
+  std::vector<NumericRule> r;
+  r.push_back(Counter(0.5, 1.2, 0.6));        // duration
+  r.push_back(Counter(5.5, 1.0, 1.0));        // src_bytes
+  r.push_back(Counter(6.5, 1.3, 0.9));        // dst_bytes
+  r.push_back(Flag(-4.0));                    // land
+  r.push_back(Sparse(-2.5, 0.6));             // wrong_fragment
+  r.push_back(Sparse(-3.0, 0.5));             // urgent
+  r.push_back(Sparse(-1.8, 1.0));             // hot
+  r.push_back(Sparse(-2.2, 0.8));             // num_failed_logins
+  r.push_back(Flag(0.8, 1.0));                // logged_in
+  r.push_back(Sparse(-2.5, 0.8));             // num_compromised
+  r.push_back(Flag(-3.5));                    // root_shell
+  r.push_back(Flag(-4.0));                    // su_attempted
+  r.push_back(Sparse(-2.8, 0.7));             // num_root
+  r.push_back(Sparse(-2.5, 0.7));             // num_file_creations
+  r.push_back(Sparse(-3.0, 0.5));             // num_shells
+  r.push_back(Sparse(-2.5, 0.6));             // num_access_files
+  r.push_back(Sparse(-4.0, 0.3));             // num_outbound_cmds
+  r.push_back(Flag(-4.5));                    // is_host_login
+  r.push_back(Flag(-3.0));                    // is_guest_login
+  r.push_back(Counter(1.8, 0.8, 0.0, 0.7));   // count
+  r.push_back(Counter(1.6, 0.8, 0.0, 0.7));   // srv_count
+  r.push_back(RateF(-3.0, 0.8, 0.5));         // serror_rate
+  r.push_back(RateF(-3.0, 0.8, 0.5));         // srv_serror_rate
+  r.push_back(RateF(-3.0, 0.8, 0.0, 0.5));    // rerror_rate
+  r.push_back(RateF(-3.0, 0.8, 0.0, 0.5));    // srv_rerror_rate
+  r.push_back(RateF(2.2, 0.8));               // same_srv_rate
+  r.push_back(RateF(-2.5, 0.8));              // diff_srv_rate
+  r.push_back(RateF(-1.5, 0.9));              // srv_diff_host_rate
+  r.push_back(Counter(3.2, 0.9, 0.0, 0.6));   // dst_host_count
+  r.push_back(Counter(3.0, 0.9, 0.0, 0.6));   // dst_host_srv_count
+  r.push_back(RateF(2.0, 0.8));               // dst_host_same_srv_rate
+  r.push_back(RateF(-2.3, 0.8));              // dst_host_diff_srv_rate
+  r.push_back(RateF(-0.5, 1.0));              // dst_host_same_src_port_rate
+  r.push_back(RateF(-1.8, 0.9));              // dst_host_srv_diff_host_rate
+  r.push_back(RateF(-3.0, 0.8, 0.5));         // dst_host_serror_rate
+  r.push_back(RateF(-3.0, 0.8, 0.5));         // dst_host_srv_serror_rate
+  r.push_back(RateF(-3.0, 0.8, 0.0, 0.5));    // dst_host_rerror_rate
+  r.push_back(RateF(-3.0, 0.8, 0.0, 0.5));    // dst_host_srv_rerror_rate
+  return r;
+}
+
+// Categorical rules for benign traffic: mostly tcp, common services, SF.
+std::vector<CategoricalRule> BaseCategorical(double service_tilt = 1.0) {
+  const auto n_service = ServiceVocab().size();
+  return {
+      Peaked(3, {{kTcp, 8.0}, {kUdp, 2.0}, {kIcmp, 0.3}}),
+      Peaked(n_service,
+             {{kHttp, 10.0 * service_tilt},
+              {kSmtp, 3.0},
+              {kFtpData, 1.5},
+              {kDomainU, 2.0},
+              {kOther, 1.0}},
+             0.02),
+      Peaked(FlagVocab().size(), {{kSF, 12.0}, {kREJ, 0.4}, {kS0, 0.2}}),
+  };
+}
+
+}  // namespace
+
+Schema NslKddSchema() {
+  return Schema(BuildColumns(),
+                {"Normal", "DoS", "Probe", "R2L", "U2R"});
+}
+
+GeneratorSpec NslKddSpec(double separation) {
+  GeneratorSpec spec;
+  spec.schema = NslKddSchema();
+  const NumericIndex F(spec.schema);
+  const double s = separation;
+  const auto n_service = ServiceVocab().size();
+  const auto n_flag = FlagVocab().size();
+
+  // Class priors roughly mirror NSL-KDD's KDDTrain+ proportions.
+  spec.class_priors = {0.52, 0.36, 0.09, 0.025, 0.005};
+  spec.label_noise = 0.003;
+  spec.classes.resize(5);
+
+  // ---- Normal: three benign behaviour profiles --------------------------
+  {
+    auto& cls = spec.classes[static_cast<int>(NslKddClass::kNormal)];
+    Profile web;  // interactive web/mail sessions
+    web.weight = 0.6;
+    web.numeric = BaseNumeric();
+    web.categorical = BaseCategorical();
+    cls.profiles.push_back(web);
+
+    Profile bulk;  // long bulk transfers (ftp) — high bytes, long duration
+    bulk.weight = 0.25;
+    bulk.numeric = BaseNumeric();
+    F.Shift(bulk, "duration", 2.0, s);
+    F.Shift(bulk, "src_bytes", 2.5, s);
+    F.Shift(bulk, "dst_bytes", 3.0, s);
+    bulk.categorical = BaseCategorical();
+    bulk.categorical[1] =
+        Peaked(n_service, {{kFtp, 5.0}, {kFtpData, 8.0}, {kHttp, 1.0}}, 0.02);
+    cls.profiles.push_back(bulk);
+
+    Profile dns;  // short udp lookups — tiny flows, many per host
+    dns.weight = 0.15;
+    dns.numeric = BaseNumeric();
+    F.Shift(dns, "duration", -2.0, s);
+    F.Shift(dns, "src_bytes", -2.0, s);
+    F.Shift(dns, "dst_bytes", -2.5, s);
+    F.Shift(dns, "count", 1.0, s);
+    dns.numeric[F.at("logged_in")].mean = -2.0;
+    dns.categorical = BaseCategorical();
+    dns.categorical[0] = Peaked(3, {{kUdp, 10.0}, {kTcp, 1.0}});
+    dns.categorical[1] = Peaked(n_service, {{kDomainU, 12.0}, {kOther, 1.0}},
+                                0.01);
+    cls.profiles.push_back(dns);
+  }
+
+  // ---- DoS: SYN-flood-like and smurf-like profiles ----------------------
+  {
+    auto& cls = spec.classes[static_cast<int>(NslKddClass::kDos)];
+    Profile syn;  // neptune-like: huge half-open connection counts
+    syn.weight = 0.65;
+    syn.numeric = BaseNumeric();
+    F.Shift(syn, "count", 3.5, s);
+    F.Shift(syn, "srv_count", 3.2, s);
+    F.Shift(syn, "serror_rate", 6.0, s);
+    F.Shift(syn, "srv_serror_rate", 6.0, s);
+    F.Shift(syn, "dst_host_serror_rate", 6.0, s);
+    F.Shift(syn, "dst_host_srv_serror_rate", 6.0, s);
+    F.Shift(syn, "duration", -2.5, s);
+    F.Shift(syn, "src_bytes", -4.0, s);
+    F.Shift(syn, "dst_bytes", -5.5, s);
+    F.Shift(syn, "same_srv_rate", -3.0, s);
+    syn.numeric[F.at("logged_in")].mean = -3.0;
+    syn.categorical = BaseCategorical();
+    syn.categorical[1] = Peaked(n_service, {{kPrivate, 10.0}, {kHttp, 2.0}},
+                                0.01);
+    syn.categorical[2] = Peaked(n_flag, {{kS0, 12.0}, {kREJ, 2.0}, {kSF, 0.3}});
+    cls.profiles.push_back(syn);
+
+    Profile smurf;  // icmp reflection: big echo-reply storms
+    smurf.weight = 0.35;
+    smurf.numeric = BaseNumeric();
+    F.Shift(smurf, "count", 3.8, s);
+    F.Shift(smurf, "srv_count", 3.8, s);
+    F.Shift(smurf, "src_bytes", 1.5, s);
+    F.Shift(smurf, "dst_bytes", -5.5, s);
+    F.Shift(smurf, "duration", -2.5, s);
+    F.Shift(smurf, "same_srv_rate", 2.0, s);
+    F.Shift(smurf, "dst_host_same_src_port_rate", 3.0, s);
+    smurf.numeric[F.at("logged_in")].mean = -3.0;
+    smurf.categorical = BaseCategorical();
+    smurf.categorical[0] = Peaked(3, {{kIcmp, 12.0}});
+    smurf.categorical[1] = Peaked(n_service, {{kEcrI, 12.0}, {kEcoI, 2.0}},
+                                  0.005);
+    smurf.categorical[2] = Peaked(n_flag, {{kSF, 10.0}});
+    cls.profiles.push_back(smurf);
+  }
+
+  // ---- Probe: fast port sweep and slow stealth scan ----------------------
+  {
+    auto& cls = spec.classes[static_cast<int>(NslKddClass::kProbe)];
+    Profile sweep;  // portsweep/ipsweep: touch many services quickly
+    sweep.weight = 0.7;
+    sweep.numeric = BaseNumeric();
+    F.Shift(sweep, "diff_srv_rate", 5.0, s);
+    F.Shift(sweep, "dst_host_diff_srv_rate", 5.0, s);
+    F.Shift(sweep, "same_srv_rate", -4.0, s);
+    F.Shift(sweep, "dst_host_same_srv_rate", -3.5, s);
+    F.Shift(sweep, "rerror_rate", 3.5, s);
+    F.Shift(sweep, "srv_rerror_rate", 3.0, s);
+    F.Shift(sweep, "count", 2.0, s);
+    F.Shift(sweep, "duration", -2.0, s);
+    F.Shift(sweep, "src_bytes", -3.0, s);
+    F.Shift(sweep, "dst_bytes", -4.0, s);
+    sweep.numeric[F.at("logged_in")].mean = -3.0;
+    sweep.categorical = BaseCategorical();
+    sweep.categorical[1] = UniformCat(n_service);  // scans hit everything
+    sweep.categorical[2] =
+        Peaked(n_flag, {{kREJ, 6.0}, {kRSTR, 4.0}, {kSH, 3.0}, {kSF, 1.0}});
+    cls.profiles.push_back(sweep);
+
+    Profile stealth;  // slow scan: low counts, long gaps
+    stealth.weight = 0.3;
+    stealth.numeric = BaseNumeric();
+    F.Shift(stealth, "duration", 2.5, s);
+    F.Shift(stealth, "diff_srv_rate", 3.0, s);
+    F.Shift(stealth, "dst_host_diff_srv_rate", 3.5, s);
+    F.Shift(stealth, "dst_host_srv_diff_host_rate", 2.5, s);
+    F.Shift(stealth, "count", -1.5, s);
+    F.Shift(stealth, "src_bytes", -2.5, s);
+    stealth.numeric[F.at("logged_in")].mean = -3.0;
+    stealth.categorical = BaseCategorical();
+    stealth.categorical[1] = UniformCat(n_service);
+    stealth.categorical[2] = Peaked(n_flag, {{kSF, 4.0}, {kRSTR, 3.0}});
+    cls.profiles.push_back(stealth);
+  }
+
+  // ---- R2L: password guessing and mail/ftp exploitation ------------------
+  {
+    auto& cls = spec.classes[static_cast<int>(NslKddClass::kR2l)];
+    Profile guess;  // guess_passwd: failed logins pile up
+    guess.weight = 0.6;
+    guess.numeric = BaseNumeric();
+    F.Shift(guess, "num_failed_logins", 4.0, s);
+    F.Shift(guess, "hot", 2.0, s);
+    F.Shift(guess, "duration", 1.0, s);
+    F.Shift(guess, "dst_bytes", -1.5, s);
+    guess.numeric[F.at("logged_in")].mean = -1.5;
+    guess.numeric[F.at("is_guest_login")].mean = 0.5;
+    guess.categorical = BaseCategorical();
+    guess.categorical[1] = Peaked(
+        n_service, {{kTelnet, 6.0}, {kFtp, 4.0}, {kPop3, 2.0}, {kImap4, 2.0}},
+        0.01);
+    cls.profiles.push_back(guess);
+
+    Profile exfil;  // warezclient-like: guest ftp sessions moving data
+    exfil.weight = 0.4;
+    exfil.numeric = BaseNumeric();
+    F.Shift(exfil, "hot", 3.0, s);
+    F.Shift(exfil, "src_bytes", 2.0, s);
+    F.Shift(exfil, "duration", 1.5, s);
+    F.Shift(exfil, "num_access_files", 2.0, s);
+    exfil.numeric[F.at("is_guest_login")].mean = 1.5;
+    exfil.numeric[F.at("logged_in")].mean = 1.5;
+    exfil.categorical = BaseCategorical();
+    exfil.categorical[1] =
+        Peaked(n_service, {{kFtp, 8.0}, {kFtpData, 6.0}}, 0.01);
+    cls.profiles.push_back(exfil);
+  }
+
+  // ---- U2R: privilege escalation inside a legitimate session -------------
+  {
+    auto& cls = spec.classes[static_cast<int>(NslKddClass::kU2r)];
+    Profile rootkit;
+    rootkit.weight = 1.0;
+    rootkit.numeric = BaseNumeric();
+    F.Shift(rootkit, "hot", 3.0, s);
+    F.Shift(rootkit, "num_root", 3.5, s);
+    F.Shift(rootkit, "num_file_creations", 3.0, s);
+    F.Shift(rootkit, "num_shells", 3.0, s);
+    F.Shift(rootkit, "num_compromised", 2.5, s);
+    F.Shift(rootkit, "duration", 1.5, s);
+    rootkit.numeric[F.at("root_shell")].mean = 1.5;
+    rootkit.numeric[F.at("su_attempted")].mean = 0.0;
+    rootkit.numeric[F.at("logged_in")].mean = 2.0;
+    rootkit.categorical = BaseCategorical();
+    rootkit.categorical[1] =
+        Peaked(n_service, {{kTelnet, 8.0}, {kSsh, 4.0}, {kFtpData, 2.0}},
+               0.01);
+    cls.profiles.push_back(rootkit);
+  }
+
+  spec.Validate();
+  return spec;
+}
+
+RawDataset GenerateNslKdd(std::size_t n, Rng& rng, double separation) {
+  return Generate(NslKddSpec(separation), n, rng);
+}
+
+}  // namespace pelican::data

@@ -1,0 +1,37 @@
+// Synthetic NSL-KDD-shaped dataset.
+//
+// Real NSL-KDD (Tavallaee et al. 2009) is the redundancy-free revision
+// of KDD'99: 41 features (38 numeric + protocol_type / service / flag)
+// and 5 classes (Normal, DoS, Probe, R2L, U2R). This builder reproduces
+// the schema — the vocabulary sizes are calibrated so the one-hot
+// encoded width is exactly the paper's 121 — and a generative model of
+// the five classes (per-class behaviour profiles: SYN floods, port
+// scans, password guessing, rootkit sessions, ...). The "easy" end of
+// the paper's two datasets: class clusters are well separated, so
+// ~99% accuracy is reachable, as in Table III.
+#pragma once
+
+#include "data/generator.h"
+
+namespace pelican::data {
+
+// Class label order used throughout (matches the paper's listing).
+enum class NslKddClass : int {
+  kNormal = 0,
+  kDos = 1,
+  kProbe = 2,
+  kR2l = 3,
+  kU2r = 4,
+};
+
+// 41-column schema; EncodedWidth() == 121.
+Schema NslKddSchema();
+
+// Full generative spec; `separation` scales every class-discriminating
+// shift (1.0 = default calibration; smaller = harder problem).
+GeneratorSpec NslKddSpec(double separation = 1.0);
+
+// Convenience: generate n records with a fresh spec.
+RawDataset GenerateNslKdd(std::size_t n, Rng& rng, double separation = 1.0);
+
+}  // namespace pelican::data

@@ -1,0 +1,47 @@
+// Loaders for the *official* distribution formats of the two corpora,
+// so users who obtain the real data can run every experiment on it
+// unchanged:
+//
+//  - NSL-KDD `KDDTrain+.txt` / `KDDTest+.txt`: headerless CSV with 43
+//    fields — 41 features, the attack name (e.g. "neptune"), and a
+//    difficulty score. Attack names map onto the paper's 5 categories
+//    via the standard taxonomy (DoS / Probe / R2L / U2R).
+//  - UNSW-NB15 `UNSW_NB15_training-set.csv`: headered CSV with 45
+//    columns — id, 42 features, attack_cat, label.
+//
+// Unknown category strings (services or protocols outside the generated
+// schema vocabulary) are mapped to a fallback bucket and counted; the
+// returned report lets callers decide whether the mapping is acceptable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace pelican::data {
+
+struct OfficialLoadReport {
+  std::size_t rows = 0;
+  std::size_t skipped = 0;           // malformed rows
+  std::size_t unknown_categories = 0;  // cells mapped to a fallback value
+};
+
+// Parses the headerless NSL-KDD format against NslKddSchema(). Attack
+// names are folded into {Normal, DoS, Probe, R2L, U2R}; unknown attack
+// names are skipped (counted in `skipped`).
+RawDataset ReadNslKddOfficial(std::istream& in, OfficialLoadReport* report);
+RawDataset ReadNslKddOfficialFile(const std::string& path,
+                                  OfficialLoadReport* report = nullptr);
+
+// Maps an NSL-KDD attack name ("neptune", "satan", ...) to the 5-class
+// label index; -1 if unknown.
+int NslKddAttackCategory(const std::string& attack_name);
+
+// Parses the headered UNSW-NB15 training/testing-set format against
+// UnswNb15Schema().
+RawDataset ReadUnswNb15Official(std::istream& in, OfficialLoadReport* report);
+RawDataset ReadUnswNb15OfficialFile(const std::string& path,
+                                    OfficialLoadReport* report = nullptr);
+
+}  // namespace pelican::data

@@ -1,0 +1,132 @@
+#include "data/resample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pelican::data {
+
+namespace {
+
+struct ColumnStats {
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+std::vector<ColumnStats> NumericStats(const RawDataset& dataset) {
+  const auto& schema = dataset.schema();
+  const std::size_t width = schema.ColumnCount();
+  std::vector<double> sum(width, 0.0), sq(width, 0.0);
+  std::vector<ColumnStats> stats(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    stats[c].min = std::numeric_limits<double>::infinity();
+    stats[c].max = -std::numeric_limits<double>::infinity();
+  }
+  for (std::size_t i = 0; i < dataset.Size(); ++i) {
+    const auto row = dataset.Row(i);
+    for (std::size_t c = 0; c < width; ++c) {
+      sum[c] += row[c];
+      sq[c] += row[c] * row[c];
+      stats[c].min = std::min(stats[c].min, row[c]);
+      stats[c].max = std::max(stats[c].max, row[c]);
+    }
+  }
+  const auto n = static_cast<double>(dataset.Size());
+  for (std::size_t c = 0; c < width; ++c) {
+    const double mean = sum[c] / n;
+    stats[c].stddev = std::sqrt(std::max(0.0, sq[c] / n - mean * mean));
+  }
+  return stats;
+}
+
+}  // namespace
+
+RawDataset RandomOversample(const RawDataset& dataset,
+                            const OversampleConfig& config, Rng& rng) {
+  PELICAN_CHECK(!dataset.Empty(), "empty dataset");
+  PELICAN_CHECK(config.target_ratio > 0.0 && config.target_ratio <= 1.0,
+                "target_ratio must be in (0, 1]");
+  PELICAN_CHECK(config.numeric_jitter >= 0.0);
+
+  const auto& schema = dataset.schema();
+  const auto hist = dataset.LabelHistogram();
+  const std::size_t majority = *std::max_element(hist.begin(), hist.end());
+  const auto target = static_cast<std::size_t>(
+      std::ceil(config.target_ratio * static_cast<double>(majority)));
+  const auto stats = NumericStats(dataset);
+
+  // Bucket row indices by class.
+  std::vector<std::vector<std::size_t>> buckets(schema.LabelCount());
+  for (std::size_t i = 0; i < dataset.Size(); ++i) {
+    buckets[static_cast<std::size_t>(dataset.Label(i))].push_back(i);
+  }
+
+  RawDataset out = dataset.Subset([&] {
+    std::vector<std::size_t> all(dataset.Size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }());
+
+  for (std::size_t cls = 0; cls < buckets.size(); ++cls) {
+    const auto& bucket = buckets[cls];
+    if (bucket.empty() || bucket.size() >= target) continue;
+    for (std::size_t need = target - bucket.size(); need > 0; --need) {
+      const std::size_t src = bucket[rng.Below(bucket.size())];
+      const auto row = dataset.Row(src);
+      std::vector<double> cells(row.begin(), row.end());
+      if (config.numeric_jitter > 0.0) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+          if (schema.Column(c).kind != ColumnKind::kNumeric) continue;
+          const double sigma = stats[c].stddev * config.numeric_jitter;
+          if (sigma <= 0.0) continue;
+          cells[c] = std::clamp(cells[c] + rng.Normal(0.0, sigma),
+                                stats[c].min, stats[c].max);
+        }
+      }
+      out.Add(std::move(cells), static_cast<int>(cls));
+    }
+  }
+  return out;
+}
+
+RawDataset RandomUndersample(const RawDataset& dataset,
+                             std::size_t max_per_class, Rng& rng) {
+  PELICAN_CHECK(max_per_class >= 1);
+  std::vector<std::vector<std::size_t>> buckets(
+      dataset.schema().LabelCount());
+  for (std::size_t i = 0; i < dataset.Size(); ++i) {
+    buckets[static_cast<std::size_t>(dataset.Label(i))].push_back(i);
+  }
+  std::vector<std::size_t> keep;
+  for (auto& bucket : buckets) {
+    rng.Shuffle(bucket);
+    const std::size_t take = std::min(bucket.size(), max_per_class);
+    keep.insert(keep.end(), bucket.begin(),
+                bucket.begin() + static_cast<long>(take));
+  }
+  rng.Shuffle(keep);
+  return dataset.Subset(keep);
+}
+
+RawDataset CollapseLabelsToBinary(const RawDataset& dataset,
+                                  int normal_label) {
+  const auto& schema = dataset.schema();
+  PELICAN_CHECK(normal_label >= 0 &&
+                    static_cast<std::size_t>(normal_label) <
+                        schema.LabelCount(),
+                "normal_label out of range");
+  Schema binary_schema(
+      std::vector<ColumnSpec>(schema.Columns().begin(),
+                              schema.Columns().end()),
+      {"Normal", "Attack"});
+  RawDataset out(std::move(binary_schema));
+  for (std::size_t i = 0; i < dataset.Size(); ++i) {
+    const auto row = dataset.Row(i);
+    out.Add(std::vector<double>(row.begin(), row.end()),
+            dataset.Label(i) == normal_label ? 0 : 1);
+  }
+  return out;
+}
+
+}  // namespace pelican::data

@@ -1,0 +1,37 @@
+// Resampling for class imbalance — the paper's Section V-G names
+// "training data insufficiency" as its first limitation: the tiny
+// classes (U2R ≈ 0.5% of NSL-KDD, Worms ≈ 0.07% of UNSW-NB15) give the
+// network almost nothing to learn from. Random jitter-oversampling
+// raises minority support at train time (never applied to test folds).
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace pelican::data {
+
+struct OversampleConfig {
+  // Each class is raised to at least `target_ratio` × (majority count).
+  double target_ratio = 0.25;
+  // Synthesized copies jitter numeric cells by N(0, (jitter·σ_col)²),
+  // clamped to the column's observed [min, max]; categorical cells are
+  // copied verbatim. jitter = 0 duplicates exactly.
+  double numeric_jitter = 0.05;
+};
+
+// Returns a new dataset = original + synthesized minority records.
+RawDataset RandomOversample(const RawDataset& dataset,
+                            const OversampleConfig& config, Rng& rng);
+
+// Caps every class at `max_per_class` records (random selection).
+RawDataset RandomUndersample(const RawDataset& dataset,
+                             std::size_t max_per_class, Rng& rng);
+
+// Collapses a multiclass dataset to binary {Normal, Attack}: every
+// label other than `normal_label` becomes 1. The returned schema keeps
+// the feature columns and has labels {"Normal", "Attack"} — the
+// two-class detection mode many operational NIDS run in.
+RawDataset CollapseLabelsToBinary(const RawDataset& dataset,
+                                  int normal_label = 0);
+
+}  // namespace pelican::data

@@ -1,0 +1,56 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pelican::data {
+
+void StandardScaler::Fit(const Tensor& x) {
+  PELICAN_CHECK(x.rank() == 2 && x.dim(0) > 0, "Fit expects (N, D), N > 0");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  mean_ = Tensor({d});
+  std_ = Tensor({d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto row = x.Row(i);
+    for (std::int64_t j = 0; j < d; ++j) {
+      mean_[j] += row[static_cast<std::size_t>(j)];
+    }
+  }
+  mean_.Scale(1.0F / static_cast<float>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto row = x.Row(i);
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float dv = row[static_cast<std::size_t>(j)] - mean_[j];
+      std_[j] += dv * dv;
+    }
+  }
+  for (std::int64_t j = 0; j < d; ++j) {
+    std_[j] = std::sqrt(std_[j] / static_cast<float>(n));
+  }
+}
+
+void StandardScaler::SetStatistics(Tensor mean, Tensor stddev) {
+  PELICAN_CHECK(mean.rank() == 1 && stddev.rank() == 1 &&
+                    mean.SameShape(stddev),
+                "scaler statistics must be matching rank-1 tensors");
+  mean_ = std::move(mean);
+  std_ = std::move(stddev);
+}
+
+void StandardScaler::Transform(Tensor& x) const {
+  PELICAN_CHECK(Fitted(), "Transform before Fit");
+  PELICAN_CHECK(x.rank() == 2 && x.dim(1) == mean_.dim(0),
+                "Transform width mismatch");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto row = x.Row(i);
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float s = std_[j];
+      auto& v = row[static_cast<std::size_t>(j)];
+      v = s > 1e-12F ? (v - mean_[j]) / s : 0.0F;
+    }
+  }
+}
+
+}  // namespace pelican::data

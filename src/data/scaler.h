@@ -1,0 +1,30 @@
+// Standardization — the paper's preprocessing Step 2: scale every
+// encoded feature to mean 0 / stddev 1 using statistics fitted on the
+// training fold only (no test leakage).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace pelican::data {
+
+class StandardScaler {
+ public:
+  // Fits per-column mean and stddev on x (N, D).
+  void Fit(const Tensor& x);
+
+  // In-place standardization; constant columns become zeros.
+  void Transform(Tensor& x) const;
+
+  // Restores statistics directly (model loading).
+  void SetStatistics(Tensor mean, Tensor stddev);
+
+  [[nodiscard]] bool Fitted() const { return !mean_.empty(); }
+  [[nodiscard]] const Tensor& mean() const { return mean_; }
+  [[nodiscard]] const Tensor& stddev() const { return std_; }
+
+ private:
+  Tensor mean_;  // (D)
+  Tensor std_;   // (D)
+};
+
+}  // namespace pelican::data

@@ -1,0 +1,40 @@
+#include "data/schema.h"
+
+namespace pelican::data {
+
+Schema::Schema(std::vector<ColumnSpec> columns,
+               std::vector<std::string> labels)
+    : columns_(std::move(columns)), labels_(std::move(labels)) {
+  for (const auto& col : columns_) {
+    PELICAN_CHECK(!col.name.empty(), "column must be named");
+    if (col.kind == ColumnKind::kCategorical) {
+      PELICAN_CHECK(!col.categories.empty(),
+                    "categorical column needs a vocabulary: " + col.name);
+    }
+  }
+  PELICAN_CHECK(!labels_.empty(), "schema needs at least one label");
+}
+
+int Schema::LabelIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::int64_t Schema::EncodedWidth() const {
+  std::int64_t width = 0;
+  for (const auto& col : columns_) {
+    width += col.kind == ColumnKind::kNumeric ? 1 : col.CategoryCount();
+  }
+  return width;
+}
+
+}  // namespace pelican::data

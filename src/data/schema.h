@@ -1,0 +1,62 @@
+// Dataset schema: typed columns (numeric or categorical) plus label
+// vocabulary. Mirrors how NSL-KDD / UNSW-NB15 CSVs are structured —
+// mostly numeric traffic counters with a handful of high-cardinality
+// categorical columns (protocol, service, flag/state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pelican::data {
+
+enum class ColumnKind { kNumeric, kCategorical };
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kNumeric;
+  // Category vocabulary, only for kCategorical. Cell values index into it.
+  std::vector<std::string> categories;
+
+  [[nodiscard]] std::int64_t CategoryCount() const {
+    return static_cast<std::int64_t>(categories.size());
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<ColumnSpec> columns, std::vector<std::string> labels);
+
+  [[nodiscard]] std::size_t ColumnCount() const { return columns_.size(); }
+  [[nodiscard]] const ColumnSpec& Column(std::size_t i) const {
+    return columns_.at(i);
+  }
+  [[nodiscard]] const std::vector<ColumnSpec>& Columns() const {
+    return columns_;
+  }
+
+  [[nodiscard]] std::size_t LabelCount() const { return labels_.size(); }
+  [[nodiscard]] const std::string& LabelName(std::size_t i) const {
+    return labels_.at(i);
+  }
+  [[nodiscard]] const std::vector<std::string>& Labels() const {
+    return labels_;
+  }
+  // Index of a label name; -1 if unknown.
+  [[nodiscard]] int LabelIndex(const std::string& name) const;
+  // Index of a column name; -1 if unknown.
+  [[nodiscard]] int ColumnIndex(const std::string& name) const;
+
+  // Width of the dense feature vector after one-hot expansion
+  // (numeric columns contribute 1, categorical contribute |vocab|).
+  [[nodiscard]] std::int64_t EncodedWidth() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace pelican::data

@@ -1,0 +1,121 @@
+// Helpers for building GeneratorSpec profiles compactly.
+// Internal to the dataset spec builders (nslkdd.cpp / unsw_nb15.cpp).
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/generator.h"
+
+namespace pelican::data::spec {
+
+// ---- numeric rule shorthands -----------------------------------------
+
+// Heavy-tailed counter (bytes, packet counts): exp of a gaussian.
+inline NumericRule Counter(double log_mean, double noise, double load0 = 0.0,
+                           double load1 = 0.0) {
+  NumericRule r;
+  r.mean = log_mean;
+  r.noise = noise;
+  r.loadings[0] = load0;
+  r.loadings[1] = load1;
+  r.transform = Transform::kExp;
+  return r;
+}
+
+// Rate in [0, 1]: sigmoid of a gaussian. mean > 0 pushes toward 1.
+inline NumericRule RateF(double logit_mean, double noise, double load2 = 0.0,
+                         double load3 = 0.0) {
+  NumericRule r;
+  r.mean = logit_mean;
+  r.noise = noise;
+  r.loadings[2] = load2;
+  r.loadings[3] = load3;
+  r.transform = Transform::kRate;
+  return r;
+}
+
+// Boolean flag: P(1) = P(mean + noise·ε > 0).
+inline NumericRule Flag(double bias, double noise = 1.0) {
+  NumericRule r;
+  r.mean = bias;
+  r.noise = noise;
+  r.transform = Transform::kBinary;
+  return r;
+}
+
+// Non-negative count-ish value, mostly zero when mean << 0.
+inline NumericRule Sparse(double mean, double noise) {
+  NumericRule r;
+  r.mean = mean;
+  r.noise = noise;
+  r.transform = Transform::kPositive;
+  return r;
+}
+
+// Plain gaussian.
+inline NumericRule Gauss(double mean, double noise, double load0 = 0.0) {
+  NumericRule r;
+  r.mean = mean;
+  r.noise = noise;
+  r.loadings[0] = load0;
+  return r;
+}
+
+// ---- categorical rule shorthands --------------------------------------
+
+// Weights peaked on the given (index, weight) pairs over a floor mass.
+inline CategoricalRule Peaked(
+    std::size_t vocab_size,
+    std::initializer_list<std::pair<std::size_t, double>> peaks,
+    double floor_weight = 0.01) {
+  CategoricalRule rule;
+  rule.weights.assign(vocab_size, floor_weight);
+  for (const auto& [idx, w] : peaks) rule.weights.at(idx) = w;
+  return rule;
+}
+
+// Uniform over the whole vocabulary (scanners touch everything).
+inline CategoricalRule UniformCat(std::size_t vocab_size) {
+  CategoricalRule rule;
+  rule.weights.assign(vocab_size, 1.0);
+  return rule;
+}
+
+// ---- named access into a profile's numeric rules ----------------------
+
+// Maps numeric feature name → position in Profile::numeric, so class
+// builders can perturb features by name.
+class NumericIndex {
+ public:
+  explicit NumericIndex(const Schema& schema) {
+    std::size_t j = 0;
+    for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+      if (schema.Column(c).kind == ColumnKind::kNumeric) {
+        index_[schema.Column(c).name] = j++;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t at(const std::string& name) const {
+    auto it = index_.find(name);
+    PELICAN_CHECK(it != index_.end(), "unknown numeric feature: " + name);
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+  // Shifts a feature's mean by `delta` · `separation` inside a profile.
+  void Shift(Profile& profile, const std::string& name, double delta,
+             double separation) const {
+    profile.numeric.at(at(name)).mean += delta * separation;
+  }
+
+ private:
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace pelican::data::spec

@@ -1,0 +1,50 @@
+#include "data/stream_window.h"
+
+namespace pelican::data {
+
+RawDataset GenerateMarkovStream(const GeneratorSpec& spec, std::size_t n,
+                                double persistence, Rng& rng) {
+  spec.Validate();
+  PELICAN_CHECK(persistence >= 0.0 && persistence < 1.0,
+                "persistence must be in [0, 1)");
+  RawDataset dataset(spec.schema);
+  int label = static_cast<int>(rng.Categorical(spec.class_priors));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && !rng.Chance(persistence)) {
+      label = static_cast<int>(rng.Categorical(spec.class_priors));
+    }
+    dataset.Add(GenerateRecord(spec, label, rng), label);
+  }
+  return dataset;
+}
+
+Tensor SlidingWindows(const Tensor& x, std::int64_t window) {
+  PELICAN_CHECK(x.rank() == 2, "SlidingWindows expects (N, D)");
+  PELICAN_CHECK(window >= 1 && window <= x.dim(0),
+                "window must fit in the stream");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  const std::int64_t windows = n - window + 1;
+  Tensor out({windows, window * d});
+  const float* xp = x.data().data();
+  float* op = out.data().data();
+  for (std::int64_t w = 0; w < windows; ++w) {
+    std::copy(xp + w * d, xp + (w + window) * d, op + w * window * d);
+  }
+  return out;
+}
+
+std::vector<int> WindowLabels(std::span<const int> labels,
+                              std::int64_t window) {
+  PELICAN_CHECK(window >= 1 &&
+                    window <= static_cast<std::int64_t>(labels.size()),
+                "window must fit in the stream");
+  std::vector<int> out;
+  out.reserve(labels.size() - static_cast<std::size_t>(window) + 1);
+  for (std::size_t i = static_cast<std::size_t>(window) - 1;
+       i < labels.size(); ++i) {
+    out.push_back(labels[i]);
+  }
+  return out;
+}
+
+}  // namespace pelican::data

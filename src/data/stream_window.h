@@ -1,0 +1,39 @@
+// Temporal traffic streams and sliding windows.
+//
+// The paper motivates the CNN+GRU block with "both spatial and temporal
+// features", but its input shape (1, F) gives the GRU a single time
+// step — the temporal pathway is degenerate. This module supplies the
+// missing ingredient: a *stream* generator whose class labels evolve
+// under a Markov chain (attack flows arrive in bursts, as real floods
+// and scans do), plus sliding-window assembly so a network can classify
+// the newest flow with L−1 flows of context. The ext_temporal bench
+// shows the window model beating the paper's per-flow configuration
+// when individual flows are ambiguous but bursts are not.
+#pragma once
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "tensor/tensor.h"
+
+namespace pelican::data {
+
+// Draws a stream of `n` records whose labels follow a Markov chain:
+// with probability `persistence` the next record keeps the current
+// class; otherwise a fresh class is drawn from the priors. Features are
+// drawn per-record from the class profile, independent given the label.
+RawDataset GenerateMarkovStream(const GeneratorSpec& spec, std::size_t n,
+                                double persistence, Rng& rng);
+
+// Slides a length-L window over encoded rows x (N, D), producing
+// (N−L+1, L·D) flattened window samples — the first network layer
+// un-flattens with Reshape({L, D}). Row i of the result covers input
+// rows [i, i+L).
+Tensor SlidingWindows(const Tensor& x, std::int64_t window);
+
+// Labels aligned with SlidingWindows: the label of each window is the
+// label of its *last* (newest) record — "classify the current flow
+// given context".
+std::vector<int> WindowLabels(std::span<const int> labels,
+                              std::int64_t window);
+
+}  // namespace pelican::data

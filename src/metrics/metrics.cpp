@@ -1,0 +1,214 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pelican::metrics {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : n_(n_classes), counts_(n_classes * n_classes, 0) {
+  PELICAN_CHECK(n_classes >= 2, "need at least two classes");
+}
+
+void ConfusionMatrix::Record(int truth, int predicted) {
+  PELICAN_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < n_ &&
+                    predicted >= 0 &&
+                    static_cast<std::size_t>(predicted) < n_,
+                "class index out of range");
+  counts_[static_cast<std::size_t>(truth) * n_ +
+          static_cast<std::size_t>(predicted)]++;
+  total_++;
+}
+
+void ConfusionMatrix::RecordAll(std::span<const int> truth,
+                                std::span<const int> predicted) {
+  PELICAN_CHECK(truth.size() == predicted.size(), "length mismatch");
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    Record(truth[i], predicted[i]);
+  }
+}
+
+std::int64_t ConfusionMatrix::Count(int truth, int predicted) const {
+  PELICAN_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < n_ &&
+                predicted >= 0 && static_cast<std::size_t>(predicted) < n_);
+  return counts_[static_cast<std::size_t>(truth) * n_ +
+                 static_cast<std::size_t>(predicted)];
+}
+
+std::int64_t ConfusionMatrix::RowTotal(int truth) const {
+  std::int64_t sum = 0;
+  for (std::size_t p = 0; p < n_; ++p) {
+    sum += Count(truth, static_cast<int>(p));
+  }
+  return sum;
+}
+
+std::int64_t ConfusionMatrix::ColTotal(int predicted) const {
+  std::int64_t sum = 0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    sum += Count(static_cast<int>(t), predicted);
+  }
+  return sum;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    correct += Count(static_cast<int>(c), static_cast<int>(c));
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  const std::int64_t col = ColTotal(cls);
+  if (col == 0) return 0.0;
+  return static_cast<double>(Count(cls, cls)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  const std::int64_t row = RowTotal(cls);
+  if (row == 0) return 0.0;
+  return static_cast<double>(Count(cls, cls)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) sum += F1(static_cast<int>(c));
+  return sum / static_cast<double>(n_);
+}
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  PELICAN_CHECK(n_ == other.n_, "class count mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double BinaryOutcome::DetectionRate() const {
+  const std::int64_t denom = tp + fn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double BinaryOutcome::FalseAlarmRate() const {
+  const std::int64_t denom = fp + tn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+double BinaryOutcome::Accuracy() const {
+  const std::int64_t denom = tp + tn + fp + fn;
+  return denom == 0
+             ? 0.0
+             : static_cast<double>(tp + tn) / static_cast<double>(denom);
+}
+
+BinaryOutcome CollapseToBinary(const ConfusionMatrix& cm, int normal_label) {
+  PELICAN_CHECK(normal_label >= 0 &&
+                static_cast<std::size_t>(normal_label) < cm.Classes());
+  BinaryOutcome out;
+  const auto n = static_cast<int>(cm.Classes());
+  for (int truth = 0; truth < n; ++truth) {
+    for (int pred = 0; pred < n; ++pred) {
+      const std::int64_t count = cm.Count(truth, pred);
+      const bool truth_attack = truth != normal_label;
+      const bool pred_attack = pred != normal_label;
+      if (truth_attack && pred_attack) {
+        out.tp += count;
+      } else if (!truth_attack && !pred_attack) {
+        out.tn += count;
+      } else if (!truth_attack && pred_attack) {
+        out.fp += count;
+      } else {
+        out.fn += count;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               std::span<const int> is_attack) {
+  PELICAN_CHECK(scores.size() == is_attack.size(), "length mismatch");
+  PELICAN_CHECK(!scores.empty(), "empty score set");
+  std::int64_t positives = 0, negatives = 0;
+  for (int label : is_attack) {
+    PELICAN_CHECK(label == 0 || label == 1, "is_attack must be 0/1");
+    (label == 1 ? positives : negatives)++;
+  }
+  PELICAN_CHECK(positives > 0 && negatives > 0,
+                "ROC needs both classes present");
+
+  // Sort by descending score; sweep thresholds between distinct scores.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({scores[order.front()] + 1.0, 0.0, 0.0});
+  std::int64_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (is_attack[order[i]] == 1 ? tp : fp)++;
+    // Emit a point only where the score changes (threshold boundary).
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    curve.push_back({scores[order[i]],
+                     static_cast<double>(tp) / static_cast<double>(positives),
+                     static_cast<double>(fp) /
+                         static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double RocAuc(std::span<const double> scores, std::span<const int> is_attack) {
+  const auto curve = RocCurve(scores, is_attack);
+  // Trapezoidal integration over the (FPR, TPR) polyline.
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double avg_y =
+        0.5 * (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+    auc += dx * avg_y;
+  }
+  return auc;
+}
+
+std::string ClassificationReport(const ConfusionMatrix& cm,
+                                 std::span<const std::string> class_names) {
+  PELICAN_CHECK(class_names.size() == cm.Classes(),
+                "class name count mismatch");
+  std::ostringstream os;
+  os << PadRight("class", 16) << PadLeft("precision", 10)
+     << PadLeft("recall", 10) << PadLeft("f1", 10) << PadLeft("support", 10)
+     << '\n';
+  for (std::size_t c = 0; c < cm.Classes(); ++c) {
+    const int cls = static_cast<int>(c);
+    os << PadRight(class_names[c], 16)
+       << PadLeft(FormatFixed(cm.Precision(cls), 4), 10)
+       << PadLeft(FormatFixed(cm.Recall(cls), 4), 10)
+       << PadLeft(FormatFixed(cm.F1(cls), 4), 10)
+       << PadLeft(std::to_string(cm.RowTotal(cls)), 10) << '\n';
+  }
+  os << PadRight("accuracy", 16)
+     << PadLeft(FormatFixed(cm.Accuracy(), 4), 10) << '\n';
+  return os.str();
+}
+
+}  // namespace pelican::metrics

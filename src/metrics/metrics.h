@@ -1,0 +1,82 @@
+// Evaluation metrics — the paper's Section V-B.
+//
+// ACC is multiclass validation accuracy (eq. 3 over all classes); DR
+// (eq. 4) and FAR (eq. 5) are computed on the binary attack-vs-normal
+// collapse of the confusion matrix: every non-Normal class is "attack".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pelican::metrics {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  void Record(int truth, int predicted);
+  void RecordAll(std::span<const int> truth, std::span<const int> predicted);
+
+  [[nodiscard]] std::size_t Classes() const { return n_; }
+  [[nodiscard]] std::int64_t Count(int truth, int predicted) const;
+  [[nodiscard]] std::int64_t Total() const { return total_; }
+  [[nodiscard]] std::int64_t RowTotal(int truth) const;
+  [[nodiscard]] std::int64_t ColTotal(int predicted) const;
+
+  // Multiclass accuracy: trace / total.
+  [[nodiscard]] double Accuracy() const;
+  // Per-class precision / recall / F1 (0 when undefined).
+  [[nodiscard]] double Precision(int cls) const;
+  [[nodiscard]] double Recall(int cls) const;
+  [[nodiscard]] double F1(int cls) const;
+  [[nodiscard]] double MacroF1() const;
+
+  void Merge(const ConfusionMatrix& other);
+
+ private:
+  std::size_t n_;
+  std::vector<std::int64_t> counts_;  // n × n row-major, [truth][pred]
+  std::int64_t total_ = 0;
+};
+
+// Binary attack-vs-normal summary of a multiclass confusion matrix.
+struct BinaryOutcome {
+  std::int64_t tp = 0;  // attacks predicted as (any) attack
+  std::int64_t tn = 0;  // normal predicted normal
+  std::int64_t fp = 0;  // normal predicted as attack — false alarms
+  std::int64_t fn = 0;  // attacks predicted normal
+
+  [[nodiscard]] double DetectionRate() const;   // eq. 4: TP/(TP+FN)
+  [[nodiscard]] double FalseAlarmRate() const;  // eq. 5: FP/(FP+TN)
+  [[nodiscard]] double Accuracy() const;        // eq. 3 on the collapse
+};
+
+// Collapses `cm` treating `normal_label` as the benign class.
+BinaryOutcome CollapseToBinary(const ConfusionMatrix& cm, int normal_label);
+
+// Formatted per-class report (precision/recall/F1 + support).
+std::string ClassificationReport(const ConfusionMatrix& cm,
+                                 std::span<const std::string> class_names);
+
+// ROC analysis for score-based binary detectors (anomaly scores,
+// attack-class probabilities): sweep every threshold, report the curve
+// and the area under it.
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   // = DR at this threshold
+  double false_positive_rate = 0.0;  // = FAR at this threshold
+};
+
+// `scores`: higher = more attack-like; `is_attack`: ground truth.
+// The returned curve is ordered by increasing FPR and includes the
+// (0,0) and (1,1) endpoints.
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               std::span<const int> is_attack);
+
+// Area under the ROC curve via the Mann–Whitney statistic (ties get
+// half credit). 0.5 = chance, 1.0 = perfect ranking.
+double RocAuc(std::span<const double> scores, std::span<const int> is_attack);
+
+}  // namespace pelican::metrics

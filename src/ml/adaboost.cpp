@@ -1,0 +1,80 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pelican::ml {
+
+AdaBoost::AdaBoost(AdaBoostConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  PELICAN_CHECK(config_.n_estimators >= 1);
+  PELICAN_CHECK(config_.learning_rate > 0.0);
+}
+
+void AdaBoost::Fit(const Tensor& x, std::span<const int> y) {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Fit expects (N, D) + labels");
+  PELICAN_CHECK(!y.empty());
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  PELICAN_CHECK(n_classes_ >= 2, "AdaBoost needs >= 2 classes");
+
+  const std::size_t n = y.size();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  trees_.clear();
+  alphas_.clear();
+
+  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
+    TreeConfig tc;
+    tc.max_depth = config_.weak_depth;
+    trees_.emplace_back(tc, rng_());
+    DecisionTree& tree = trees_.back();
+    tree.FitWeighted(x, y, weights);
+
+    // Weighted error of the weak learner.
+    double err = 0.0;
+    std::vector<bool> wrong(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = tree.Predict(x.Row(static_cast<std::int64_t>(i))) != y[i];
+      if (wrong[i]) err += weights[i];
+    }
+
+    const double k = static_cast<double>(n_classes_);
+    if (err <= 1e-12) {
+      // Perfect learner: give it a large vote and stop.
+      alphas_.push_back(10.0);
+      break;
+    }
+    if (err >= 1.0 - 1.0 / k) {
+      // Worse than chance: discard and stop (SAMME requirement).
+      trees_.pop_back();
+      break;
+    }
+
+    const double alpha =
+        config_.learning_rate * (std::log((1.0 - err) / err) + std::log(k - 1.0));
+    alphas_.push_back(alpha);
+
+    // Re-weight: misclassified samples gain mass.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) weights[i] *= std::exp(alpha);
+      total += weights[i];
+    }
+    PELICAN_CHECK(total > 0.0);
+    for (auto& w : weights) w /= total;
+  }
+  PELICAN_CHECK(!trees_.empty(), "no usable weak learners");
+}
+
+int AdaBoost::Predict(std::span<const float> row) const {
+  PELICAN_CHECK(!trees_.empty(), "Predict before Fit");
+  std::vector<double> votes(static_cast<std::size_t>(n_classes_), 0.0);
+  for (std::size_t m = 0; m < trees_.size(); ++m) {
+    votes[static_cast<std::size_t>(trees_[m].Predict(row))] += alphas_[m];
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+}  // namespace pelican::ml

@@ -1,0 +1,37 @@
+// AdaBoost with the multiclass SAMME weighting (Zhu et al. 2009),
+// shallow CART trees as weak learners. Table V's "AdaBoost" baseline —
+// the paper notes it "often does not work well on imbalanced datasets",
+// which is exactly the failure mode the synthetic UNSW workload
+// exercises.
+#pragma once
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+
+namespace pelican::ml {
+
+struct AdaBoostConfig {
+  std::size_t n_estimators = 50;
+  int weak_depth = 1;  // decision stumps by default
+  double learning_rate = 1.0;
+};
+
+class AdaBoost final : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostConfig config = {}, std::uint64_t seed = 13);
+
+  void Fit(const Tensor& x, std::span<const int> y) override;
+  [[nodiscard]] int Predict(std::span<const float> row) const override;
+  [[nodiscard]] std::string Name() const override { return "AdaBoost"; }
+
+  [[nodiscard]] std::size_t EstimatorCount() const { return trees_.size(); }
+
+ private:
+  AdaBoostConfig config_;
+  Rng rng_;
+  int n_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace pelican::ml

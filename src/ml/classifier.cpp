@@ -1,0 +1,15 @@
+#include "ml/classifier.h"
+
+namespace pelican::ml {
+
+std::vector<int> Classifier::PredictAll(const Tensor& x) const {
+  PELICAN_CHECK(x.rank() == 2, "PredictAll expects (N, D)");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(x.dim(0)));
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    out.push_back(Predict(x.Row(i)));
+  }
+  return out;
+}
+
+}  // namespace pelican::ml

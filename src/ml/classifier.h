@@ -1,0 +1,33 @@
+// Common interface for the classical supervised baselines of Table V.
+// All operate on the encoded (N, D) feature matrix and integer labels —
+// exactly what scikit-learn consumed in the paper's comparative study.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pelican::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Trains on x (N, D) with labels y (N), classes 0..K-1.
+  virtual void Fit(const Tensor& x, std::span<const int> y) = 0;
+
+  // Predicts the class of a single encoded row.
+  [[nodiscard]] virtual int Predict(std::span<const float> row) const = 0;
+
+  // Predicts every row of x (N, D).
+  [[nodiscard]] virtual std::vector<int> PredictAll(const Tensor& x) const;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace pelican::ml

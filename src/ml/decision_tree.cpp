@@ -1,0 +1,204 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pelican::ml {
+
+DecisionTree::DecisionTree(TreeConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  PELICAN_CHECK(config_.max_depth >= 1);
+  PELICAN_CHECK(config_.min_samples_leaf >= 1);
+}
+
+void DecisionTree::Fit(const Tensor& x, std::span<const int> y) {
+  const std::vector<double> uniform(y.size(), 1.0);
+  FitWeighted(x, y, uniform);
+}
+
+void DecisionTree::FitWeighted(const Tensor& x, std::span<const int> y,
+                               std::span<const double> weights) {
+  PELICAN_CHECK(x.rank() == 2, "Fit expects (N, D)");
+  PELICAN_CHECK(static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "labels length mismatch");
+  PELICAN_CHECK(weights.size() == y.size(), "weights length mismatch");
+  PELICAN_CHECK(!y.empty(), "empty training set");
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  nodes_.clear();
+  std::vector<std::size_t> indices(y.size());
+  std::iota(indices.begin(), indices.end(), 0U);
+  BuildNode(x, y, weights, indices, 0);
+}
+
+int DecisionTree::MajorityLabel(std::span<const int> y,
+                                std::span<const double> w,
+                                const std::vector<std::size_t>& idx) const {
+  std::vector<double> mass(static_cast<std::size_t>(n_classes_), 0.0);
+  for (std::size_t i : idx) mass[static_cast<std::size_t>(y[i])] += w[i];
+  return static_cast<int>(
+      std::distance(mass.begin(), std::max_element(mass.begin(), mass.end())));
+}
+
+int DecisionTree::BuildNode(const Tensor& x, std::span<const int> y,
+                            std::span<const double> w,
+                            std::vector<std::size_t>& indices, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].label =
+      MajorityLabel(y, w, indices);
+
+  // Stop if pure, too deep, or too small.
+  bool pure = true;
+  for (std::size_t i : indices) {
+    if (y[i] != y[indices[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= config_.max_depth ||
+      indices.size() < config_.min_samples_split) {
+    return node_id;
+  }
+
+  const auto d = static_cast<std::size_t>(x.dim(1));
+  std::size_t n_features = config_.max_features == 0
+                               ? d
+                               : std::min(config_.max_features, d);
+
+  // Candidate features (random subset when n_features < d).
+  std::vector<std::size_t> features(d);
+  std::iota(features.begin(), features.end(), 0U);
+  if (n_features < d) {
+    rng_.Shuffle(features);
+    features.resize(n_features);
+  }
+
+  // Parent impurity terms.
+  std::vector<double> parent_mass(static_cast<std::size_t>(n_classes_), 0.0);
+  double total_w = 0.0;
+  for (std::size_t i : indices) {
+    parent_mass[static_cast<std::size_t>(y[i])] += w[i];
+    total_w += w[i];
+  }
+  if (total_w <= 0.0) return node_id;
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0.0F;
+
+  std::vector<std::pair<float, std::size_t>> sorted;
+  sorted.reserve(indices.size());
+  std::vector<double> left_mass(static_cast<std::size_t>(n_classes_));
+
+  const double parent_gini = [&] {
+    double sq = 0.0;
+    for (double m : parent_mass) sq += (m / total_w) * (m / total_w);
+    return 1.0 - sq;
+  }();
+
+  for (std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t i : indices) {
+      sorted.emplace_back(x.At(static_cast<std::int64_t>(i),
+                               static_cast<std::int64_t>(f)),
+                          i);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::fill(left_mass.begin(), left_mass.end(), 0.0);
+    double left_w = 0.0;
+    double left_sq = 0.0;   // Σ m² over left classes (incremental)
+    double right_sq = 0.0;  // Σ m² over right classes
+    std::vector<double> right_mass = parent_mass;
+    for (double m : right_mass) right_sq += m * m;
+
+    std::size_t left_n = 0;
+    for (std::size_t p = 0; p + 1 < sorted.size(); ++p) {
+      const std::size_t i = sorted[p].second;
+      const auto cls = static_cast<std::size_t>(y[i]);
+      const double wi = w[i];
+      // Move sample i from right to left, updating Σm² incrementally.
+      left_sq += wi * (2.0 * left_mass[cls] + wi);
+      right_sq += wi * (wi - 2.0 * right_mass[cls]);
+      left_mass[cls] += wi;
+      right_mass[cls] -= wi;
+      left_w += wi;
+      ++left_n;
+
+      // Can't split between equal values.
+      if (sorted[p].first == sorted[p + 1].first) continue;
+      const std::size_t right_n = sorted.size() - left_n;
+      if (left_n < config_.min_samples_leaf ||
+          right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_w = total_w - left_w;
+      if (left_w <= 0.0 || right_w <= 0.0) continue;
+      const double gini_left = 1.0 - left_sq / (left_w * left_w);
+      const double gini_right = 1.0 - right_sq / (right_w * right_w);
+      const double gain =
+          parent_gini - (left_w * gini_left + right_w * gini_right) / total_w;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold =
+            0.5F * (sorted[p].first + sorted[p + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    const float v = x.At(static_cast<std::int64_t>(i), best_feature);
+    (v <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  indices.clear();
+  indices.shrink_to_fit();  // free before recursing
+
+  const int left = BuildNode(x, y, w, left_idx, depth + 1);
+  const int right = BuildNode(x, y, w, right_idx, depth + 1);
+  auto& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+int DecisionTree::Predict(std::span<const float> row) const {
+  PELICAN_CHECK(!nodes_.empty(), "Predict before Fit");
+  int cur = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.feature < 0) return node.label;
+    PELICAN_DCHECK(static_cast<std::size_t>(node.feature) < row.size());
+    cur = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+}
+
+int DecisionTree::Depth() const {
+  // Iterative depth computation over the node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (node.feature >= 0) {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace pelican::ml

@@ -1,0 +1,60 @@
+// CART decision tree with gini impurity.
+//
+// Supports per-sample weights (AdaBoost), per-split random feature
+// subsampling (random forest), depth and leaf-size limits. This is the
+// weak/strong learner underneath both ensemble baselines of Table V.
+#pragma once
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace pelican::ml {
+
+struct TreeConfig {
+  int max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  // Features tried per split; 0 = all.
+  std::size_t max_features = 0;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig config = {}, std::uint64_t seed = 7);
+
+  void Fit(const Tensor& x, std::span<const int> y) override;
+  // Weighted fit — weights need not be normalized.
+  void FitWeighted(const Tensor& x, std::span<const int> y,
+                   std::span<const double> weights);
+
+  [[nodiscard]] int Predict(std::span<const float> row) const override;
+  [[nodiscard]] std::string Name() const override { return "DecisionTree"; }
+
+  [[nodiscard]] std::size_t NodeCount() const { return nodes_.size(); }
+  [[nodiscard]] int Depth() const;
+  [[nodiscard]] int ClassCount() const { return n_classes_; }
+
+ private:
+  struct Node {
+    // Internal: feature >= 0, children set. Leaf: feature == -1.
+    int feature = -1;
+    float threshold = 0.0F;   // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;            // leaf prediction
+  };
+
+  int BuildNode(const Tensor& x, std::span<const int> y,
+                std::span<const double> w, std::vector<std::size_t>& indices,
+                int depth);
+  [[nodiscard]] int MajorityLabel(std::span<const int> y,
+                                  std::span<const double> w,
+                                  const std::vector<std::size_t>& idx) const;
+
+  TreeConfig config_;
+  Rng rng_;
+  int n_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pelican::ml

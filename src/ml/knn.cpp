@@ -1,0 +1,67 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/batcher.h"
+#include "data/kfold.h"
+
+namespace pelican::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  PELICAN_CHECK(config_.k >= 1);
+  PELICAN_CHECK(config_.max_train_samples >= config_.k);
+}
+
+void KnnClassifier::Fit(const Tensor& x, std::span<const int> y) {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Fit expects (N, D) + labels");
+  PELICAN_CHECK(!y.empty());
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  if (y.size() > config_.max_train_samples) {
+    const double keep = static_cast<double>(config_.max_train_samples) /
+                        static_cast<double>(y.size());
+    const auto split = data::StratifiedHoldout(y, 1.0 - keep, rng_);
+    train_x_ = data::GatherRows(x, split.train_indices);
+    labels_ = data::GatherLabels(y, split.train_indices);
+  } else {
+    train_x_ = x;
+    labels_.assign(y.begin(), y.end());
+  }
+}
+
+int KnnClassifier::Predict(std::span<const float> row) const {
+  PELICAN_CHECK(!labels_.empty(), "Predict before Fit");
+  PELICAN_CHECK(static_cast<std::int64_t>(row.size()) == train_x_.dim(1),
+                "feature width mismatch");
+  const std::size_t k = std::min(config_.k, labels_.size());
+
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const auto train_row = train_x_.Row(static_cast<std::int64_t>(i));
+    double sq = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = static_cast<double>(row[j]) - train_row[j];
+      sq += d * d;
+    }
+    dist.emplace_back(sq, labels_[i]);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k - 1),
+                   dist.end());
+
+  std::vector<double> votes(static_cast<std::size_t>(n_classes_), 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double weight =
+        config_.distance_weighted ? 1.0 / (std::sqrt(dist[i].first) + 1e-9)
+                                  : 1.0;
+    votes[static_cast<std::size_t>(dist[i].second)] += weight;
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+}  // namespace pelican::ml

@@ -1,0 +1,11 @@
+// Umbrella header for the classical-ML baselines.
+#pragma once
+
+#include "ml/adaboost.h"       // IWYU pragma: export
+#include "ml/anomaly.h"        // IWYU pragma: export
+#include "ml/classifier.h"     // IWYU pragma: export
+#include "ml/decision_tree.h"  // IWYU pragma: export
+#include "ml/knn.h"            // IWYU pragma: export
+#include "ml/naive_bayes.h"    // IWYU pragma: export
+#include "ml/random_forest.h"  // IWYU pragma: export
+#include "ml/svm.h"            // IWYU pragma: export

@@ -1,0 +1,98 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace pelican::ml {
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing)
+    : var_smoothing_(var_smoothing) {
+  PELICAN_CHECK(var_smoothing >= 0.0);
+}
+
+void GaussianNaiveBayes::Fit(const Tensor& x, std::span<const int> y) {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Fit expects (N, D) + labels");
+  PELICAN_CHECK(!y.empty());
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  width_ = x.dim(1);
+  const auto k = static_cast<std::size_t>(n_classes_);
+  const auto d = static_cast<std::size_t>(width_);
+
+  std::vector<std::int64_t> counts(k, 0);
+  mean_.assign(k * d, 0.0);
+  var_.assign(k * d, 0.0);
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    const auto cls = static_cast<std::size_t>(y[static_cast<std::size_t>(i)]);
+    counts[cls]++;
+    const auto row = x.Row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[cls * d + j] += row[j];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      mean_[c * d + j] /= static_cast<double>(counts[c]);
+    }
+  }
+  double max_var = 0.0;
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    const auto cls = static_cast<std::size_t>(y[static_cast<std::size_t>(i)]);
+    const auto row = x.Row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dv = row[j] - mean_[cls * d + j];
+      var_[cls * d + j] += dv * dv;
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      var_[c * d + j] /= static_cast<double>(counts[c]);
+      max_var = std::max(max_var, var_[c * d + j]);
+    }
+  }
+  const double epsilon = var_smoothing_ * std::max(max_var, 1.0);
+  for (auto& v : var_) v += epsilon + 1e-12;
+
+  log_prior_.assign(k, -1e30);  // classes absent from training stay ~never
+  const auto n = static_cast<double>(y.size());
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      log_prior_[c] = std::log(static_cast<double>(counts[c]) / n);
+    }
+  }
+}
+
+double GaussianNaiveBayes::LogPosterior(std::span<const float> row,
+                                        int cls) const {
+  PELICAN_CHECK(n_classes_ > 0, "LogPosterior before Fit");
+  PELICAN_CHECK(cls >= 0 && cls < n_classes_);
+  PELICAN_CHECK(static_cast<std::int64_t>(row.size()) == width_,
+                "feature width mismatch");
+  const auto c = static_cast<std::size_t>(cls);
+  const auto d = static_cast<std::size_t>(width_);
+  double lp = log_prior_[c];
+  for (std::size_t j = 0; j < d; ++j) {
+    const double variance = var_[c * d + j];
+    const double dv = row[j] - mean_[c * d + j];
+    lp -= 0.5 * (std::log(2.0 * std::numbers::pi * variance) +
+                 dv * dv / variance);
+  }
+  return lp;
+}
+
+int GaussianNaiveBayes::Predict(std::span<const float> row) const {
+  int best = 0;
+  double best_lp = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < n_classes_; ++c) {
+    const double lp = LogPosterior(row, c);
+    if (lp > best_lp) {
+      best_lp = lp;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace pelican::ml

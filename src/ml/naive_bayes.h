@@ -1,0 +1,35 @@
+// Gaussian naive Bayes — the simplest member of the "statistical
+// learning" family the paper surveys (Section VI): per-class diagonal
+// Gaussians over the encoded features, argmax posterior prediction.
+// Cheap, calibratable, and a useful floor for Table V-style studies.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace pelican::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  // `var_smoothing` is added to every per-feature variance (sklearn's
+  // ratio-of-max-variance convention).
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9);
+
+  void Fit(const Tensor& x, std::span<const int> y) override;
+  [[nodiscard]] int Predict(std::span<const float> row) const override;
+  [[nodiscard]] std::string Name() const override { return "GaussianNB"; }
+
+  // Unnormalized log posterior of class `cls` for one row.
+  [[nodiscard]] double LogPosterior(std::span<const float> row,
+                                    int cls) const;
+  [[nodiscard]] int ClassCount() const { return n_classes_; }
+
+ private:
+  double var_smoothing_;
+  int n_classes_ = 0;
+  std::int64_t width_ = 0;
+  std::vector<double> log_prior_;  // per class
+  std::vector<double> mean_;       // class-major, n_classes × width
+  std::vector<double> var_;
+};
+
+}  // namespace pelican::ml

@@ -1,0 +1,58 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/batcher.h"
+
+namespace pelican::ml {
+
+RandomForest::RandomForest(ForestConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  PELICAN_CHECK(config_.n_trees >= 1);
+}
+
+void RandomForest::Fit(const Tensor& x, std::span<const int> y) {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Fit expects (N, D) + labels");
+  PELICAN_CHECK(!y.empty());
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+
+  std::size_t max_features = config_.max_features;
+  if (max_features == 0) {
+    max_features = static_cast<std::size_t>(
+        std::floor(std::sqrt(static_cast<double>(x.dim(1)))));
+    max_features = std::max<std::size_t>(1, max_features);
+  }
+
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  const std::size_t n = y.size();
+  std::vector<std::size_t> sample(n);
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    // Bootstrap sample with replacement.
+    for (auto& s : sample) s = rng_.Below(n);
+    Tensor xb = data::GatherRows(x, sample);
+    std::vector<int> yb = data::GatherLabels(y, sample);
+
+    TreeConfig tc;
+    tc.max_depth = config_.max_depth;
+    tc.min_samples_leaf = config_.min_samples_leaf;
+    tc.max_features = max_features;
+    trees_.emplace_back(tc, rng_());
+    trees_.back().Fit(xb, yb);
+  }
+}
+
+int RandomForest::Predict(std::span<const float> row) const {
+  PELICAN_CHECK(!trees_.empty(), "Predict before Fit");
+  std::vector<int> votes(static_cast<std::size_t>(n_classes_), 0);
+  for (const auto& tree : trees_) {
+    votes[static_cast<std::size_t>(tree.Predict(row))]++;
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+}  // namespace pelican::ml

@@ -1,0 +1,35 @@
+// Random forest (Breiman 2001): bagged CART trees with per-split
+// random feature subsets, majority vote. Table V's "RF" baseline.
+#pragma once
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+
+namespace pelican::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 50;
+  int max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  // Features per split; 0 = floor(sqrt(D)).
+  std::size_t max_features = 0;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestConfig config = {}, std::uint64_t seed = 11);
+
+  void Fit(const Tensor& x, std::span<const int> y) override;
+  [[nodiscard]] int Predict(std::span<const float> row) const override;
+  [[nodiscard]] std::string Name() const override { return "RandomForest"; }
+
+  [[nodiscard]] std::size_t TreeCount() const { return trees_.size(); }
+
+ private:
+  ForestConfig config_;
+  Rng rng_;
+  int n_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace pelican::ml

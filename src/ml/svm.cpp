@@ -1,0 +1,206 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/batcher.h"
+#include "data/kfold.h"
+
+namespace pelican::ml {
+
+SvmRbf::SvmRbf(SvmConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  PELICAN_CHECK(config_.c > 0.0);
+  PELICAN_CHECK(config_.max_train_samples >= 2);
+}
+
+double SvmRbf::Kernel(std::span<const float> a, std::span<const float> b) const {
+  PELICAN_DCHECK(a.size() == b.size());
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sq += d * d;
+  }
+  return std::exp(-gamma_ * sq);
+}
+
+void SvmRbf::Fit(const Tensor& x, std::span<const int> y) {
+  PELICAN_CHECK(x.rank() == 2 &&
+                    static_cast<std::int64_t>(y.size()) == x.dim(0),
+                "Fit expects (N, D) + labels");
+  PELICAN_CHECK(!y.empty());
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+
+  // Stratified subsample when the training set exceeds the cap.
+  if (y.size() > config_.max_train_samples) {
+    const double keep = static_cast<double>(config_.max_train_samples) /
+                        static_cast<double>(y.size());
+    auto split = data::StratifiedHoldout(y, 1.0 - keep, rng_);
+    train_x_ = data::GatherRows(x, split.train_indices);
+    std::vector<int> sub_y = data::GatherLabels(y, split.train_indices);
+    train_labels_ = std::move(sub_y);
+  } else {
+    train_x_ = x;
+    train_labels_.assign(y.begin(), y.end());
+  }
+  const auto& labels = train_labels_;
+  const auto n = static_cast<std::size_t>(train_x_.dim(0));
+
+  // gamma = 1 / (D · var(x)) — sklearn's "scale" default.
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    double mean = 0.0, sq = 0.0;
+    for (float v : train_x_.data()) {
+      mean += v;
+      sq += static_cast<double>(v) * v;
+    }
+    const auto count = static_cast<double>(train_x_.size());
+    mean /= count;
+    const double var = std::max(1e-9, sq / count - mean * mean);
+    gamma_ = 1.0 / (static_cast<double>(train_x_.dim(1)) * var);
+  }
+
+  // Precompute the kernel matrix once; shared across the K machines.
+  std::vector<float> kernel(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernel[i * n + i] = 1.0F;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto k = static_cast<float>(
+          Kernel(train_x_.Row(static_cast<std::int64_t>(i)),
+                 train_x_.Row(static_cast<std::int64_t>(j))));
+      kernel[i * n + j] = k;
+      kernel[j * n + i] = k;
+    }
+  }
+
+  machines_.assign(static_cast<std::size_t>(n_classes_), {});
+  std::vector<int> signs(n);
+  for (int cls = 0; cls < n_classes_; ++cls) {
+    for (std::size_t i = 0; i < n; ++i) {
+      signs[i] = labels[i] == cls ? 1 : -1;
+    }
+    TrainBinary(signs, machines_[static_cast<std::size_t>(cls)], kernel);
+  }
+}
+
+void SvmRbf::TrainBinary(const std::vector<int>& signs,
+                         BinaryMachine& machine,
+                         const std::vector<float>& kernel) const {
+  const std::size_t n = signs.size();
+  std::vector<double> alpha(n, 0.0);
+  double bias = 0.0;
+  Rng rng = rng_;  // per-machine copy: training order is deterministic
+
+  auto decision = [&](std::size_t i) {
+    double sum = bias;
+    const float* krow = kernel.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) sum += alpha[j] * signs[j] * krow[j];
+    }
+    return sum;
+  };
+
+  const double c = config_.c;
+  const double tol = config_.tolerance;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes && iterations < config_.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = decision(i) - signs[i];
+      const bool violates = (signs[i] * ei < -tol && alpha[i] < c) ||
+                            (signs[i] * ei > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.Below(n - 1);
+      if (j >= i) ++j;
+      const double ej = decision(j) - signs[j];
+
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo = 0.0, hi = 0.0;
+      if (signs[i] != signs[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double kii = kernel[i * n + i];
+      const double kjj = kernel[j * n + j];
+      const double kij = kernel[i * n + j];
+      const double eta = 2.0 * kij - kii - kjj;
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - signs[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::fabs(aj - aj_old) < 1e-7) continue;
+      const double ai = ai_old + signs[i] * signs[j] * (aj_old - aj);
+
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = bias - ei - signs[i] * (ai - ai_old) * kii -
+                        signs[j] * (aj - aj_old) * kij;
+      const double b2 = bias - ej - signs[i] * (ai - ai_old) * kij -
+                        signs[j] * (aj - aj_old) * kjj;
+      if (ai > 0.0 && ai < c) {
+        bias = b1;
+      } else if (aj > 0.0 && aj < c) {
+        bias = b2;
+      } else {
+        bias = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  machine.bias = bias;
+  machine.alpha_y.clear();
+  machine.sv_indices.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      machine.alpha_y.push_back(alpha[i] * signs[i]);
+      machine.sv_indices.push_back(i);
+    }
+  }
+}
+
+double SvmRbf::DecisionValue(std::span<const float> row, int cls) const {
+  PELICAN_CHECK(cls >= 0 && cls < n_classes_, "class out of range");
+  const auto& machine = machines_[static_cast<std::size_t>(cls)];
+  double sum = machine.bias;
+  for (std::size_t s = 0; s < machine.sv_indices.size(); ++s) {
+    sum += machine.alpha_y[s] *
+           Kernel(row, train_x_.Row(static_cast<std::int64_t>(
+                           machine.sv_indices[s])));
+  }
+  return sum;
+}
+
+int SvmRbf::Predict(std::span<const float> row) const {
+  PELICAN_CHECK(!machines_.empty(), "Predict before Fit");
+  int best = 0;
+  double best_value = -1e300;
+  for (int cls = 0; cls < n_classes_; ++cls) {
+    const double value = DecisionValue(row, cls);
+    if (value > best_value) {
+      best_value = value;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+std::size_t SvmRbf::SupportVectorCount() const {
+  std::size_t count = 0;
+  for (const auto& machine : machines_) count += machine.sv_indices.size();
+  return count;
+}
+
+}  // namespace pelican::ml

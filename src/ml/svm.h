@@ -1,0 +1,61 @@
+// Support vector machine with a Gaussian (RBF) kernel, trained by a
+// simplified SMO (Platt 1998) and extended to multiclass by
+// one-vs-rest. Table V's "SVM (RBF)" baseline.
+//
+// Kernel evaluations are O(n²); the trainer caps the training set at
+// `max_train_samples` by stratified subsampling (the paper's own
+// citation [19] notes kernel machines generalize poorly at scale —
+// that behaviour is preserved).
+#pragma once
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace pelican::ml {
+
+struct SvmConfig {
+  double c = 1.0;            // soft-margin penalty
+  double gamma = 0.0;        // RBF width; 0 = 1/(D·var) (sklearn "scale")
+  double tolerance = 1e-3;
+  int max_passes = 5;        // SMO: passes with no alpha change before stop
+  int max_iterations = 200;  // hard cap on outer sweeps
+  std::size_t max_train_samples = 2000;
+};
+
+class SvmRbf final : public Classifier {
+ public:
+  explicit SvmRbf(SvmConfig config = {}, std::uint64_t seed = 17);
+
+  void Fit(const Tensor& x, std::span<const int> y) override;
+  [[nodiscard]] int Predict(std::span<const float> row) const override;
+  [[nodiscard]] std::string Name() const override { return "SVM(RBF)"; }
+
+  // Decision value of the one-vs-rest machine for class `cls`.
+  [[nodiscard]] double DecisionValue(std::span<const float> row,
+                                     int cls) const;
+  [[nodiscard]] int ClassCount() const { return n_classes_; }
+  // Total support vectors across the one-vs-rest machines.
+  [[nodiscard]] std::size_t SupportVectorCount() const;
+
+ private:
+  struct BinaryMachine {
+    std::vector<double> alpha_y;          // αᵢ·yᵢ for support vectors
+    std::vector<std::size_t> sv_indices;  // rows into train_x_
+    double bias = 0.0;
+  };
+
+  void TrainBinary(const std::vector<int>& signs, BinaryMachine& machine,
+                   const std::vector<float>& kernel) const;
+  [[nodiscard]] double Kernel(std::span<const float> a,
+                              std::span<const float> b) const;
+
+  SvmConfig config_;
+  Rng rng_;
+  int n_classes_ = 0;
+  double gamma_ = 1.0;
+  Tensor train_x_;  // retained support-vector data (subsampled train set)
+  std::vector<int> train_labels_;
+  std::vector<BinaryMachine> machines_;
+};
+
+}  // namespace pelican::ml

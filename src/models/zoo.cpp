@@ -1,0 +1,87 @@
+#include "models/zoo.h"
+
+#include <cmath>
+
+namespace pelican::models {
+
+std::pair<std::int64_t, std::int64_t> ChunkShape(std::int64_t features) {
+  PELICAN_CHECK(features > 0);
+  const auto root = static_cast<std::int64_t>(
+      std::sqrt(static_cast<double>(features)));
+  for (std::int64_t c = root; c >= 2; --c) {
+    if (features % c == 0) return {features / c, c};
+  }
+  return {features, 1};
+}
+
+std::unique_ptr<nn::Sequential> BuildMlp(std::int64_t features,
+                                         std::int64_t n_classes, Rng& rng,
+                                         std::int64_t hidden) {
+  PELICAN_CHECK(features > 0 && n_classes >= 2 && hidden >= 2);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Dense>(features, hidden, rng));
+  net->Add(nn::Relu());
+  net->Add(std::make_unique<nn::Dropout>(0.3F));
+  net->Add(std::make_unique<nn::Dense>(hidden, hidden / 2, rng));
+  net->Add(nn::Relu());
+  net->Add(std::make_unique<nn::Dense>(hidden / 2, n_classes, rng));
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> BuildCnn(std::int64_t features,
+                                         std::int64_t n_classes, Rng& rng,
+                                         std::int64_t filters) {
+  PELICAN_CHECK(features > 0 && n_classes >= 2 && filters >= 1);
+  const auto [len, ch] = ChunkShape(features);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Reshape>(Tensor::Shape{len, ch}));
+  net->Add(std::make_unique<nn::Conv1D>(ch, filters, /*kernel_size=*/3, rng));
+  net->Add(nn::Relu());
+  net->Add(std::make_unique<nn::MaxPool1D>(2));
+  net->Add(std::make_unique<nn::Conv1D>(filters, filters * 2,
+                                        /*kernel_size=*/3, rng));
+  net->Add(nn::Relu());
+  net->Add(std::make_unique<nn::MaxPool1D>(2));
+  net->Add(std::make_unique<nn::GlobalAvgPool1D>());
+  net->Add(std::make_unique<nn::Dense>(filters * 2, n_classes, rng));
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> BuildLstmNet(std::int64_t features,
+                                             std::int64_t n_classes, Rng& rng,
+                                             std::int64_t units) {
+  PELICAN_CHECK(features > 0 && n_classes >= 2 && units >= 1);
+  const auto [len, ch] = ChunkShape(features);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Reshape>(Tensor::Shape{len, ch}));
+  net->Add(std::make_unique<nn::Lstm>(ch, units, rng,
+                                      /*return_sequences=*/false));
+  net->Add(std::make_unique<nn::Dropout>(0.3F));
+  net->Add(std::make_unique<nn::Dense>(units, n_classes, rng));
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> BuildHastIds(std::int64_t features,
+                                             std::int64_t n_classes, Rng& rng,
+                                             std::int64_t filters,
+                                             std::int64_t units) {
+  PELICAN_CHECK(features > 0 && n_classes >= 2);
+  const auto [len, ch] = ChunkShape(features);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Reshape>(Tensor::Shape{len, ch}));
+  // Spatial stage (CNN).
+  net->Add(std::make_unique<nn::Conv1D>(ch, filters, /*kernel_size=*/3, rng));
+  net->Add(nn::Relu());
+  net->Add(std::make_unique<nn::MaxPool1D>(2));
+  net->Add(std::make_unique<nn::Conv1D>(filters, filters, /*kernel_size=*/3,
+                                        rng));
+  net->Add(nn::Relu());
+  net->Add(std::make_unique<nn::MaxPool1D>(2));
+  // Temporal stage (LSTM over the pooled sequence).
+  net->Add(std::make_unique<nn::Lstm>(filters, units, rng,
+                                      /*return_sequences=*/false));
+  net->Add(std::make_unique<nn::Dense>(units, n_classes, rng));
+  return net;
+}
+
+}  // namespace pelican::models

@@ -1,0 +1,44 @@
+// Deep-learning baselines of the Table V comparative study: MLP, CNN,
+// LSTM, and HAST-IDS (tandem CNN→LSTM, Wang et al. 2018).
+//
+// CNN/LSTM/HAST treat the encoded record as a sequence: the D features
+// are folded into an (L, C) grid with L·C = D (121 → 11×11,
+// 196 → 14×14), giving the convolution a spatial axis to slide over —
+// the standard trick these papers use to apply image-style models to
+// tabular flows. MLP consumes the flat vector directly.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/nn.h"
+
+namespace pelican::models {
+
+// Near-square factorization L×C = features with L >= C; (features, 1)
+// when features is prime.
+std::pair<std::int64_t, std::int64_t> ChunkShape(std::int64_t features);
+
+// Dense(hidden)→ReLU→Dropout→Dense(hidden/2)→ReLU→Dense(K).
+std::unique_ptr<nn::Sequential> BuildMlp(std::int64_t features,
+                                         std::int64_t n_classes, Rng& rng,
+                                         std::int64_t hidden = 128);
+
+// Two Conv1D+ReLU+MaxPool stages → GlobalAvgPool → Dense(K).
+std::unique_ptr<nn::Sequential> BuildCnn(std::int64_t features,
+                                         std::int64_t n_classes, Rng& rng,
+                                         std::int64_t filters = 32);
+
+// LSTM over the chunked sequence (last state) → Dense(K).
+std::unique_ptr<nn::Sequential> BuildLstmNet(std::int64_t features,
+                                             std::int64_t n_classes, Rng& rng,
+                                             std::int64_t units = 64);
+
+// HAST-IDS-style tandem: CNN stages extract spatial features, an LSTM
+// consumes the resulting sequence, Dense classifies.
+std::unique_ptr<nn::Sequential> BuildHastIds(std::int64_t features,
+                                             std::int64_t n_classes, Rng& rng,
+                                             std::int64_t filters = 32,
+                                             std::int64_t units = 64);
+
+}  // namespace pelican::models

@@ -1,0 +1,32 @@
+#include "nn/activations.h"
+
+namespace pelican::nn {
+
+Tensor ActivationLayer::Forward(const Tensor& x, bool /*training*/) {
+  y_ = x;
+  for (auto& v : y_.data()) v = Apply(kind_, v);
+  return y_;
+}
+
+Tensor ActivationLayer::Backward(const Tensor& dy) {
+  PELICAN_CHECK(dy.SameShape(y_), "activation backward shape mismatch");
+  Tensor dx = dy;
+  auto ys = y_.data();
+  auto ds = dx.data();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ds[i] *= GradFromY(kind_, ys[i]);
+  }
+  return dx;
+}
+
+std::string ActivationLayer::Name() const {
+  switch (kind_) {
+    case Activation::kRelu: return "ReLU";
+    case Activation::kSigmoid: return "Sigmoid";
+    case Activation::kTanh: return "Tanh";
+    case Activation::kHardSigmoid: return "HardSigmoid";
+  }
+  return "Activation";
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,122 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace pelican::nn {
+
+BatchNorm::BatchNorm(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(epsilon),
+      gamma_(Tensor::Full({channels}, 1.0F)),
+      beta_({channels}),
+      dgamma_({channels}),
+      dbeta_({channels}),
+      running_mean_({channels}),
+      running_var_(Tensor::Full({channels}, 1.0F)),
+      inv_std_({channels}) {
+  PELICAN_CHECK(channels > 0);
+  PELICAN_CHECK(momentum >= 0.0F && momentum < 1.0F);
+}
+
+namespace {
+// Channel index of flat element i given row width c (last-axis channels).
+inline std::int64_t ChannelOf(std::int64_t i, std::int64_t c) { return i % c; }
+}  // namespace
+
+Tensor BatchNorm::Forward(const Tensor& x, bool training) {
+  PELICAN_CHECK(x.rank() == 2 || x.rank() == 3, "BatchNorm expects rank 2/3");
+  const std::int64_t c = x.dim(x.rank() - 1);
+  PELICAN_CHECK(c == channels_, "BatchNorm channel mismatch");
+  in_shape_ = x.shape();
+  rows_ = x.size() / c;
+  const float* xp = x.data().data();
+
+  Tensor mean({c});
+  Tensor var({c});
+  if (training) {
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+      mean[ChannelOf(i, c)] += xp[i];
+    }
+    mean.Scale(1.0F / static_cast<float>(rows_));
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+      const float d = xp[i] - mean[ChannelOf(i, c)];
+      var[ChannelOf(i, c)] += d * d;
+    }
+    var.Scale(1.0F / static_cast<float>(rows_));
+    // Update running averages.
+    for (std::int64_t j = 0; j < c; ++j) {
+      running_mean_[j] = momentum_ * running_mean_[j] +
+                         (1.0F - momentum_) * mean[j];
+      running_var_[j] = momentum_ * running_var_[j] +
+                        (1.0F - momentum_) * var[j];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  for (std::int64_t j = 0; j < c; ++j) {
+    inv_std_[j] = 1.0F / std::sqrt(var[j] + eps_);
+  }
+
+  xhat_ = Tensor(in_shape_);
+  Tensor y(in_shape_);
+  float* hp = xhat_.data().data();
+  float* yp = y.data().data();
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const std::int64_t j = ChannelOf(i, c);
+    hp[i] = (xp[i] - mean[j]) * inv_std_[j];
+    yp[i] = gamma_[j] * hp[i] + beta_[j];
+  }
+  trained_forward_ = training;
+  return y;
+}
+
+Tensor BatchNorm::Backward(const Tensor& dy) {
+  PELICAN_CHECK(dy.shape() == in_shape_, "BatchNorm backward shape mismatch");
+  const std::int64_t c = channels_;
+  const auto m = static_cast<float>(rows_);
+  const float* dyp = dy.data().data();
+  const float* hp = xhat_.data().data();
+
+  // Per-channel reductions.
+  Tensor sum_dy({c});
+  Tensor sum_dy_xhat({c});
+  for (std::int64_t i = 0; i < dy.size(); ++i) {
+    const std::int64_t j = ChannelOf(i, c);
+    sum_dy[j] += dyp[i];
+    sum_dy_xhat[j] += dyp[i] * hp[i];
+  }
+  dgamma_.Add(sum_dy_xhat);
+  dbeta_.Add(sum_dy);
+
+  Tensor dx(in_shape_);
+  float* dxp = dx.data().data();
+  if (trained_forward_) {
+    // Full BN gradient (batch statistics participate).
+    for (std::int64_t i = 0; i < dy.size(); ++i) {
+      const std::int64_t j = ChannelOf(i, c);
+      dxp[i] = gamma_[j] * inv_std_[j] *
+               (dyp[i] - sum_dy[j] / m - hp[i] * sum_dy_xhat[j] / m);
+    }
+  } else {
+    // Inference-mode normalization is an affine map.
+    for (std::int64_t i = 0; i < dy.size(); ++i) {
+      const std::int64_t j = ChannelOf(i, c);
+      dxp[i] = dyp[i] * gamma_[j] * inv_std_[j];
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> BatchNorm::Params() {
+  return {{"bn.gamma", &gamma_, &dgamma_}, {"bn.beta", &beta_, &dbeta_}};
+}
+
+std::vector<BufferRef> BatchNorm::Buffers() {
+  return {{"bn.running_mean", &running_mean_},
+          {"bn.running_var", &running_var_}};
+}
+
+}  // namespace pelican::nn

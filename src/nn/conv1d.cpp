@@ -1,0 +1,104 @@
+#include "nn/conv1d.h"
+
+#include "nn/initializers.h"
+
+namespace pelican::nn {
+
+Conv1D::Conv1D(std::int64_t in_channels, std::int64_t filters,
+               std::int64_t kernel_size, Rng& rng)
+    : in_channels_(in_channels),
+      filters_(filters),
+      kernel_(kernel_size),
+      pad_left_((kernel_size - 1) / 2),
+      w_(GlorotUniform({kernel_size, in_channels, filters},
+                       kernel_size * in_channels, filters, rng)),
+      b_({filters}),
+      dw_({kernel_size, in_channels, filters}),
+      db_({filters}) {
+  PELICAN_CHECK(in_channels > 0 && filters > 0 && kernel_size > 0);
+}
+
+Tensor Conv1D::Forward(const Tensor& x, bool /*training*/) {
+  PELICAN_CHECK(x.rank() == 3 && x.dim(2) == in_channels_,
+                "Conv1D expects (N, L, C_in)");
+  x_ = x;
+  const std::int64_t n = x.dim(0), len = x.dim(1);
+  const std::int64_t cin = in_channels_, f = filters_, k = kernel_;
+  Tensor y({n, len, f});
+  const float* xp = x.data().data();
+  const float* wp = w_.data().data();
+  const float* bp = b_.data().data();
+  float* yp = y.data().data();
+  for (std::int64_t in = 0; in < n; ++in) {
+    const float* xs = xp + in * len * cin;
+    float* ys = yp + in * len * f;
+    for (std::int64_t t = 0; t < len; ++t) {
+      float* yrow = ys + t * f;
+      for (std::int64_t j = 0; j < f; ++j) yrow[j] = bp[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int64_t s = t + kk - pad_left_;
+        if (s < 0 || s >= len) continue;
+        const float* xrow = xs + s * cin;
+        const float* wk = wp + kk * cin * f;
+        for (std::int64_t c = 0; c < cin; ++c) {
+          const float xv = xrow[c];
+          if (xv == 0.0F) continue;
+          const float* wrow = wk + c * f;
+          for (std::int64_t j = 0; j < f; ++j) yrow[j] += xv * wrow[j];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1D::Backward(const Tensor& dy) {
+  const std::int64_t n = x_.dim(0), len = x_.dim(1);
+  const std::int64_t cin = in_channels_, f = filters_, k = kernel_;
+  PELICAN_CHECK(dy.rank() == 3 && dy.dim(0) == n && dy.dim(1) == len &&
+                    dy.dim(2) == f,
+                "Conv1D backward shape mismatch");
+  Tensor dx({n, len, cin});
+  const float* xp = x_.data().data();
+  const float* wp = w_.data().data();
+  const float* dyp = dy.data().data();
+  float* dxp = dx.data().data();
+  float* dwp = dw_.data().data();
+  float* dbp = db_.data().data();
+  for (std::int64_t in = 0; in < n; ++in) {
+    const float* xs = xp + in * len * cin;
+    const float* dys = dyp + in * len * f;
+    float* dxs = dxp + in * len * cin;
+    for (std::int64_t t = 0; t < len; ++t) {
+      const float* dyrow = dys + t * f;
+      for (std::int64_t j = 0; j < f; ++j) dbp[j] += dyrow[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int64_t s = t + kk - pad_left_;
+        if (s < 0 || s >= len) continue;
+        const float* xrow = xs + s * cin;
+        float* dxrow = dxs + s * cin;
+        const float* wk = wp + kk * cin * f;
+        float* dwk = dwp + kk * cin * f;
+        for (std::int64_t c = 0; c < cin; ++c) {
+          const float xv = xrow[c];
+          const float* wrow = wk + c * f;
+          float* dwrow = dwk + c * f;
+          float acc = 0.0F;
+          for (std::int64_t j = 0; j < f; ++j) {
+            const float g = dyrow[j];
+            acc += g * wrow[j];
+            dwrow[j] += g * xv;
+          }
+          dxrow[c] += acc;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Conv1D::Params() {
+  return {{"conv1d.w", &w_, &dw_}, {"conv1d.b", &b_, &db_}};
+}
+
+}  // namespace pelican::nn

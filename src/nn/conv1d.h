@@ -1,0 +1,43 @@
+// 1-D convolution over sequences, stride 1, 'same' padding (Keras
+// semantics: total pad = K-1, split floor((K-1)/2) left / rest right).
+//
+//   x (N, L, C_in) → y (N, L, F)
+//   weight (K, C_in, F), bias (F)
+//
+// The paper's blocks apply Conv1D with kernel size 10 followed by ReLU;
+// the activation is a separate ActivationLayer so the residual block can
+// place the final ReLU after the shortcut add.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pelican::nn {
+
+class Conv1D final : public Layer {
+ public:
+  Conv1D(std::int64_t in_channels, std::int64_t filters,
+         std::int64_t kernel_size, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& dy) override;
+  std::vector<ParamRef> Params() override;
+  [[nodiscard]] std::string Name() const override { return "Conv1D"; }
+  [[nodiscard]] int ParameterLayerCount() const override { return 1; }
+
+  [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::int64_t filters() const { return filters_; }
+  [[nodiscard]] std::int64_t kernel_size() const { return kernel_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t filters_;
+  std::int64_t kernel_;
+  std::int64_t pad_left_;
+  Tensor w_;   // (K, C_in, F)
+  Tensor b_;   // (F)
+  Tensor dw_;
+  Tensor db_;
+  Tensor x_;   // cached input
+};
+
+}  // namespace pelican::nn

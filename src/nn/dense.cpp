@@ -1,0 +1,39 @@
+#include "nn/dense.h"
+
+#include "nn/initializers.h"
+#include "tensor/ops.h"
+
+namespace pelican::nn {
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(GlorotUniform({in_features, out_features}, in_features,
+                       out_features, rng)),
+      b_({out_features}),
+      dw_({in_features, out_features}),
+      db_({out_features}) {}
+
+Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
+  PELICAN_CHECK(x.rank() == 2 && x.dim(1) == in_,
+                "Dense expects (N, in_features)");
+  x_ = x;
+  Tensor y = MatMul(x, w_);
+  AddRowBias(y, b_);
+  return y;
+}
+
+Tensor Dense::Backward(const Tensor& dy) {
+  PELICAN_CHECK(dy.rank() == 2 && dy.dim(1) == out_ && dy.dim(0) == x_.dim(0),
+                "Dense backward shape mismatch");
+  // dW += xᵀ·dy ; db += Σ rows(dy) ; dx = dy·Wᵀ.
+  MatMulTransAAccum(x_, dy, dw_);
+  SumRowsInto(dy, db_);
+  return MatMulTransB(dy, w_);
+}
+
+std::vector<ParamRef> Dense::Params() {
+  return {{"dense.w", &w_, &dw_}, {"dense.b", &b_, &db_}};
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,29 @@
+// Inverted dropout: at train time each element is zeroed with
+// probability `rate` and survivors are scaled by 1/(1-rate); inference
+// is the identity. The paper uses rate 0.6 in every block.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pelican::nn {
+
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float rate);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& dy) override;
+  [[nodiscard]] std::string Name() const override { return "Dropout"; }
+  void SetRng(Rng* rng) override { rng_ = rng; }
+
+  [[nodiscard]] float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng* rng_ = nullptr;
+  Rng fallback_rng_{0xd40u};
+  Tensor mask_;  // scaled keep-mask from the last training forward
+  bool used_mask_ = false;
+};
+
+}  // namespace pelican::nn

@@ -1,0 +1,217 @@
+#include "nn/gru.h"
+
+#include "nn/activations.h"
+#include "nn/initializers.h"
+#include "tensor/ops.h"
+
+namespace pelican::nn {
+
+Gru::Gru(std::int64_t input_size, std::int64_t units, Rng& rng,
+         bool return_sequences)
+    : input_size_(input_size),
+      units_(units),
+      return_sequences_(return_sequences),
+      wz_(GlorotUniform({input_size, units}, input_size, units, rng)),
+      wr_(GlorotUniform({input_size, units}, input_size, units, rng)),
+      wh_(GlorotUniform({input_size, units}, input_size, units, rng)),
+      uz_(Orthogonal(units, units, rng)),
+      ur_(Orthogonal(units, units, rng)),
+      uh_(Orthogonal(units, units, rng)),
+      bz_({units}),
+      br_({units}),
+      bh_({units}),
+      dwz_({input_size, units}),
+      dwr_({input_size, units}),
+      dwh_({input_size, units}),
+      duz_({units, units}),
+      dur_({units, units}),
+      duh_({units, units}),
+      dbz_({units}),
+      dbr_({units}),
+      dbh_({units}) {
+  PELICAN_CHECK(input_size > 0 && units > 0);
+}
+
+namespace {
+// Extracts time step t of (N, L, C) as a dense (N, C) matrix.
+Tensor SliceStep(const Tensor& x, std::int64_t t) {
+  const std::int64_t n = x.dim(0), len = x.dim(1), c = x.dim(2);
+  Tensor out({n, c});
+  const float* xp = x.data().data();
+  float* op = out.data().data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = xp + (i * len + t) * c;
+    std::copy(src, src + c, op + i * c);
+  }
+  return out;
+}
+}  // namespace
+
+Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
+  PELICAN_CHECK(x.rank() == 3 && x.dim(2) == input_size_,
+                "GRU expects (N, L, C_in)");
+  const std::int64_t n = x.dim(0), len = x.dim(1);
+  const std::int64_t h = units_;
+
+  xs_.clear();
+  hs_.clear();
+  zs_.clear();
+  rs_.clear();
+  hcands_.clear();
+  rhs_.clear();
+  hs_.push_back(Tensor({n, h}));  // h_0 = 0
+
+  for (std::int64_t t = 0; t < len; ++t) {
+    Tensor xt = SliceStep(x, t);
+    const Tensor& hprev = hs_.back();
+
+    Tensor z = MatMul(xt, wz_);
+    MatMulAccum(hprev, uz_, z);
+    AddRowBias(z, bz_);
+    for (auto& v : z.data()) v = HardSigmoidF(v);
+
+    Tensor r = MatMul(xt, wr_);
+    MatMulAccum(hprev, ur_, r);
+    AddRowBias(r, br_);
+    for (auto& v : r.data()) v = HardSigmoidF(v);
+
+    Tensor rh = Mul(r, hprev);
+    Tensor hc = MatMul(xt, wh_);
+    MatMulAccum(rh, uh_, hc);
+    AddRowBias(hc, bh_);
+    for (auto& v : hc.data()) v = TanhF(v);
+
+    Tensor hnew({n, h});
+    for (std::int64_t i = 0; i < hnew.size(); ++i) {
+      hnew[i] = z[i] * hprev[i] + (1.0F - z[i]) * hc[i];
+    }
+
+    xs_.push_back(std::move(xt));
+    zs_.push_back(std::move(z));
+    rs_.push_back(std::move(r));
+    rhs_.push_back(std::move(rh));
+    hcands_.push_back(std::move(hc));
+    hs_.push_back(std::move(hnew));
+  }
+
+  if (!return_sequences_) return hs_.back();
+
+  Tensor y({n, len, h});
+  float* yp = y.data().data();
+  for (std::int64_t t = 0; t < len; ++t) {
+    const float* hp = hs_[static_cast<std::size_t>(t + 1)].data().data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy(hp + i * h, hp + (i + 1) * h, yp + (i * len + t) * h);
+    }
+  }
+  return y;
+}
+
+Tensor Gru::Backward(const Tensor& dy) {
+  PELICAN_CHECK(!xs_.empty(), "Backward before Forward");
+  const auto len = static_cast<std::int64_t>(xs_.size());
+  const std::int64_t n = xs_[0].dim(0);
+  const std::int64_t h = units_;
+  if (return_sequences_) {
+    PELICAN_CHECK(dy.rank() == 3 && dy.dim(0) == n && dy.dim(1) == len &&
+                      dy.dim(2) == h,
+                  "GRU backward shape mismatch");
+  } else {
+    PELICAN_CHECK(dy.rank() == 2 && dy.dim(0) == n && dy.dim(1) == h,
+                  "GRU backward shape mismatch");
+  }
+
+  Tensor dx({n, len, input_size_});
+  Tensor dh({n, h});  // gradient flowing into h_t across steps
+
+  for (std::int64_t t = len - 1; t >= 0; --t) {
+    const auto ut = static_cast<std::size_t>(t);
+    // Add the output gradient for this step.
+    if (return_sequences_) {
+      const float* dyp = dy.data().data();
+      float* dhp = dh.data().data();
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* src = dyp + (i * len + t) * h;
+        for (std::int64_t j = 0; j < h; ++j) dhp[i * h + j] += src[j];
+      }
+    } else if (t == len - 1) {
+      dh.Add(dy);
+    }
+
+    const Tensor& hprev = hs_[ut];
+    const Tensor& z = zs_[ut];
+    const Tensor& r = rs_[ut];
+    const Tensor& hc = hcands_[ut];
+    const Tensor& rh = rhs_[ut];
+    const Tensor& xt = xs_[ut];
+
+    // Gate-local gradients.
+    Tensor dz({n, h}), dhc({n, h}), dh_prev({n, h});
+    for (std::int64_t i = 0; i < dh.size(); ++i) {
+      dz[i] = dh[i] * (hprev[i] - hc[i]);
+      dhc[i] = dh[i] * (1.0F - z[i]);
+      dh_prev[i] = dh[i] * z[i];
+    }
+
+    // Candidate pre-activation.
+    Tensor da_h = dhc;
+    for (std::int64_t i = 0; i < da_h.size(); ++i) {
+      da_h[i] *= TanhGradFromY(hc[i]);
+    }
+    MatMulTransAAccum(xt, da_h, dwh_);
+    MatMulTransAAccum(rh, da_h, duh_);
+    SumRowsInto(da_h, dbh_);
+    Tensor drh = MatMulTransB(da_h, uh_);
+    Tensor dr({n, h});
+    for (std::int64_t i = 0; i < drh.size(); ++i) {
+      dr[i] = drh[i] * hprev[i];
+      dh_prev[i] += drh[i] * r[i];
+    }
+
+    // Update and reset gate pre-activations.
+    Tensor da_z = dz;
+    for (std::int64_t i = 0; i < da_z.size(); ++i) {
+      da_z[i] *= HardSigmoidGradFromY(z[i]);
+    }
+    Tensor da_r = dr;
+    for (std::int64_t i = 0; i < da_r.size(); ++i) {
+      da_r[i] *= HardSigmoidGradFromY(r[i]);
+    }
+    MatMulTransAAccum(xt, da_z, dwz_);
+    MatMulTransAAccum(hprev, da_z, duz_);
+    SumRowsInto(da_z, dbz_);
+    MatMulTransAAccum(xt, da_r, dwr_);
+    MatMulTransAAccum(hprev, da_r, dur_);
+    SumRowsInto(da_r, dbr_);
+
+    dh_prev.Add(MatMulTransB(da_z, uz_));
+    dh_prev.Add(MatMulTransB(da_r, ur_));
+
+    // Input gradient for this step.
+    Tensor dxt = MatMulTransB(da_z, wz_);
+    dxt.Add(MatMulTransB(da_r, wr_));
+    dxt.Add(MatMulTransB(da_h, wh_));
+    float* dxp = dx.data().data();
+    const float* sp = dxt.data().data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = sp + i * input_size_;
+      float* dst = dxp + (i * len + t) * input_size_;
+      for (std::int64_t j = 0; j < input_size_; ++j) dst[j] += src[j];
+    }
+
+    dh = std::move(dh_prev);
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Gru::Params() {
+  return {
+      {"gru.wz", &wz_, &dwz_}, {"gru.wr", &wr_, &dwr_},
+      {"gru.wh", &wh_, &dwh_}, {"gru.uz", &uz_, &duz_},
+      {"gru.ur", &ur_, &dur_}, {"gru.uh", &uh_, &duh_},
+      {"gru.bz", &bz_, &dbz_}, {"gru.br", &br_, &dbr_},
+      {"gru.bh", &bh_, &dbh_},
+  };
+}
+
+}  // namespace pelican::nn

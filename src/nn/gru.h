@@ -1,0 +1,51 @@
+// Gated Recurrent Unit (Keras semantics) with full back-propagation
+// through time.
+//
+//   z_t = hard_sigmoid(x_t·Wz + h_{t-1}·Uz + bz)
+//   r_t = hard_sigmoid(x_t·Wr + h_{t-1}·Ur + br)
+//   h~_t = tanh(x_t·Wh + (r_t ⊙ h_{t-1})·Uh + bh)
+//   h_t = z_t ⊙ h_{t-1} + (1 - z_t) ⊙ h~_t
+//
+// Matches the paper's block: tanh output activation, hard-sigmoid
+// recurrent activation. Input (N, L, C_in); output (N, L, H) when
+// return_sequences, else (N, H) (last step).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pelican::nn {
+
+class Gru final : public Layer {
+ public:
+  Gru(std::int64_t input_size, std::int64_t units, Rng& rng,
+      bool return_sequences = true);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& dy) override;
+  std::vector<ParamRef> Params() override;
+  [[nodiscard]] std::string Name() const override { return "GRU"; }
+  [[nodiscard]] int ParameterLayerCount() const override { return 1; }
+
+  [[nodiscard]] std::int64_t units() const { return units_; }
+  [[nodiscard]] bool return_sequences() const { return return_sequences_; }
+
+ private:
+  std::int64_t input_size_;
+  std::int64_t units_;
+  bool return_sequences_;
+
+  // Input kernels (C_in, H), recurrent kernels (H, H), biases (H).
+  Tensor wz_, wr_, wh_;
+  Tensor uz_, ur_, uh_;
+  Tensor bz_, br_, bh_;
+  Tensor dwz_, dwr_, dwh_;
+  Tensor duz_, dur_, duh_;
+  Tensor dbz_, dbr_, dbh_;
+
+  // Forward caches, one entry per time step.
+  std::vector<Tensor> xs_;      // (N, C_in)
+  std::vector<Tensor> hs_;      // (N, H), hs_[0] is the initial state
+  std::vector<Tensor> zs_, rs_, hcands_, rhs_;
+};
+
+}  // namespace pelican::nn

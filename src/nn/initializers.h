@@ -1,0 +1,20 @@
+// Weight initialization schemes (Keras-compatible defaults).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace pelican::nn {
+
+// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out)).
+Tensor GlorotUniform(Tensor::Shape shape, std::int64_t fan_in,
+                     std::int64_t fan_out, Rng& rng);
+
+// He/Kaiming uniform for ReLU fan-in: U(-limit, limit), limit = sqrt(6/fan_in).
+Tensor HeUniform(Tensor::Shape shape, std::int64_t fan_in, Rng& rng);
+
+// Orthogonal init for square recurrent kernels (Gram–Schmidt on a random
+// Gaussian matrix). Falls back to scaled Gaussian for non-square shapes.
+Tensor Orthogonal(std::int64_t rows, std::int64_t cols, Rng& rng);
+
+}  // namespace pelican::nn

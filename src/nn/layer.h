@@ -1,0 +1,82 @@
+// Layer abstraction for the neural-network substrate.
+//
+// Each layer implements an explicit forward/backward pair (hand-derived
+// backprop, no tape autograd): Forward caches whatever it needs,
+// Backward(dy) returns dL/dx and *accumulates* parameter gradients into
+// the layers' grad tensors. Optimizers consume ParamRef views.
+//
+// Tensor conventions:
+//   (N, D)     feature batches (Dense and friends)
+//   (N, L, C)  sequence batches: N samples, L time steps, C channels
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace pelican::nn {
+
+// Non-owning view of one trainable parameter and its gradient.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+// Non-owning view of one non-trainable state tensor (e.g. batch-norm
+// running statistics) that must survive model save/load.
+struct BufferRef {
+  std::string name;
+  Tensor* value = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output. `training` toggles train-time behaviour
+  // (dropout masks, batch-norm batch statistics).
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  // Backpropagates dy (gradient w.r.t. the last Forward output) and
+  // returns the gradient w.r.t. that Forward's input. Must be called at
+  // most once per Forward.
+  virtual Tensor Backward(const Tensor& dy) = 0;
+
+  // Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> Params() { return {}; }
+
+  // Non-trainable persistent state (serialized alongside Params).
+  virtual std::vector<BufferRef> Buffers() { return {}; }
+
+  // Human-readable layer name for summaries and saved models.
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  // Number of "parameter layers" this layer contributes in the paper's
+  // depth-counting convention (BN, Conv, GRU, Dense each count 1;
+  // stateless layers count 0). Parameterized layers override this.
+  [[nodiscard]] virtual int ParameterLayerCount() const { return 0; }
+
+  // Supplies the RNG used for stochastic behaviour (dropout). Layers
+  // without randomness ignore it. The pointer must outlive the layer.
+  virtual void SetRng(Rng* rng) { (void)rng; }
+
+  // Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : Params()) p.grad->Zero();
+  }
+
+  // Total trainable scalar count.
+  [[nodiscard]] std::int64_t ParameterCount() {
+    std::int64_t n = 0;
+    for (auto& p : Params()) n += p.value->size();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace pelican::nn

@@ -1,0 +1,133 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace pelican::nn {
+
+namespace {
+void CheckShapes(const Tensor& logits, std::span<const int> labels) {
+  PELICAN_CHECK(logits.rank() == 2, "logits must be (N, K)");
+  PELICAN_CHECK(static_cast<std::int64_t>(labels.size()) == logits.dim(0),
+                "labels length must equal batch size");
+  for (int label : labels) {
+    PELICAN_CHECK(label >= 0 && label < logits.dim(1), "label out of range");
+  }
+}
+}  // namespace
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               std::span<const int> labels) {
+  CheckShapes(logits, labels);
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  LossResult result;
+  result.probs = SoftmaxRows(logits);
+  result.dlogits = result.probs;
+  double loss = 0.0;
+  const auto inv_n = 1.0F / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    const float p = result.probs.At(i, y);
+    loss -= std::log(std::max(p, 1e-12F));
+    result.dlogits.At(i, y) -= 1.0F;
+  }
+  for (std::int64_t i = 0; i < n * k; ++i) result.dlogits[i] *= inv_n;
+  result.loss = static_cast<float>(loss / static_cast<double>(n));
+  return result;
+}
+
+LossResult SoftmaxCrossEntropyWeighted(
+    const Tensor& logits, std::span<const int> labels,
+    std::span<const float> class_weights) {
+  CheckShapes(logits, labels);
+  PELICAN_CHECK(static_cast<std::int64_t>(class_weights.size()) ==
+                    logits.dim(1),
+                "class_weights length must equal class count");
+  for (float w : class_weights) {
+    PELICAN_CHECK(w > 0.0F, "class weights must be positive");
+  }
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  LossResult result;
+  result.probs = SoftmaxRows(logits);
+  result.dlogits = result.probs;
+
+  double total_weight = 0.0;
+  for (int label : labels) {
+    total_weight += class_weights[static_cast<std::size_t>(label)];
+  }
+  PELICAN_CHECK(total_weight > 0.0);
+
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    const float w = class_weights[static_cast<std::size_t>(y)];
+    const float p = result.probs.At(i, y);
+    loss -= static_cast<double>(w) * std::log(std::max(p, 1e-12F));
+    result.dlogits.At(i, y) -= 1.0F;
+    // Scale the whole row by this sample's weight.
+    for (std::int64_t j = 0; j < k; ++j) {
+      result.dlogits.At(i, j) *= w;
+    }
+  }
+  const auto inv = static_cast<float>(1.0 / total_weight);
+  result.dlogits.Scale(inv);
+  result.loss = static_cast<float>(loss / total_weight);
+  return result;
+}
+
+std::vector<float> BalancedClassWeights(std::span<const int> labels,
+                                        std::int64_t n_classes) {
+  PELICAN_CHECK(n_classes >= 2);
+  PELICAN_CHECK(!labels.empty());
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n_classes), 0);
+  for (int label : labels) {
+    PELICAN_CHECK(label >= 0 && label < n_classes, "label out of range");
+    counts[static_cast<std::size_t>(label)]++;
+  }
+  std::vector<float> weights(static_cast<std::size_t>(n_classes), 1.0F);
+  const auto n = static_cast<double>(labels.size());
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) ++present;
+  }
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) {
+      weights[c] = static_cast<float>(
+          n / (static_cast<double>(present) * static_cast<double>(counts[c])));
+    }
+  }
+  return weights;
+}
+
+float SoftmaxCrossEntropyLoss(const Tensor& logits,
+                              std::span<const int> labels) {
+  CheckShapes(logits, labels);
+  const std::int64_t n = logits.dim(0);
+  const Tensor probs = SoftmaxRows(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    loss -= std::log(std::max(probs.At(i, y), 1e-12F));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+MseResult MeanSquaredError(const Tensor& pred, const Tensor& target) {
+  PELICAN_CHECK(pred.SameShape(target), "MSE shape mismatch");
+  PELICAN_CHECK(pred.size() > 0, "MSE of empty tensors");
+  MseResult result;
+  result.dpred = Tensor(pred.shape());
+  double acc = 0.0;
+  const auto inv = 2.0F / static_cast<float>(pred.size());
+  for (std::int64_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    result.dpred[i] = d * inv;
+  }
+  result.loss = static_cast<float>(acc / static_cast<double>(pred.size()));
+  return result;
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,50 @@
+// Softmax cross-entropy over integer class labels.
+//
+// Combines the final softmax with the loss so the gradient w.r.t. the
+// logits is the numerically-benign (p - onehot)/N.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pelican::nn {
+
+struct LossResult {
+  float loss = 0.0F;     // mean negative log-likelihood
+  Tensor dlogits;        // gradient w.r.t. the logits, already /N
+  Tensor probs;          // row-wise softmax of the logits
+};
+
+// logits (N, K); labels.size() == N with values in [0, K).
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               std::span<const int> labels);
+
+// Class-weighted variant: per-sample loss is scaled by
+// class_weights[label] and the batch normalizer is the total weight, so
+// rare attack classes (U2R, Worms) can be emphasized. `class_weights`
+// must have length K with strictly positive entries.
+LossResult SoftmaxCrossEntropyWeighted(const Tensor& logits,
+                                       std::span<const int> labels,
+                                       std::span<const float> class_weights);
+
+// Mean NLL only (no gradient) — used for recording test loss.
+float SoftmaxCrossEntropyLoss(const Tensor& logits,
+                              std::span<const int> labels);
+
+// Inverse-frequency class weights normalized to mean 1 ("balanced" in
+// sklearn terms). Classes absent from `labels` get weight 1.
+std::vector<float> BalancedClassWeights(std::span<const int> labels,
+                                        std::int64_t n_classes);
+
+// Mean squared error between prediction and target (same shape).
+// Used by the autoencoder anomaly-detection baseline.
+struct MseResult {
+  float loss = 0.0F;   // mean over all elements
+  Tensor dpred;        // 2·(pred − target)/numel
+};
+MseResult MeanSquaredError(const Tensor& pred, const Tensor& target);
+
+}  // namespace pelican::nn

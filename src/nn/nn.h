@@ -1,0 +1,17 @@
+// Umbrella header for the neural-network substrate.
+#pragma once
+
+#include "nn/activations.h"   // IWYU pragma: export
+#include "nn/batchnorm.h"     // IWYU pragma: export
+#include "nn/conv1d.h"        // IWYU pragma: export
+#include "nn/dense.h"         // IWYU pragma: export
+#include "nn/dropout.h"       // IWYU pragma: export
+#include "nn/gru.h"           // IWYU pragma: export
+#include "nn/initializers.h"  // IWYU pragma: export
+#include "nn/layer.h"         // IWYU pragma: export
+#include "nn/loss.h"          // IWYU pragma: export
+#include "nn/lstm.h"          // IWYU pragma: export
+#include "nn/pooling.h"       // IWYU pragma: export
+#include "nn/reshape.h"       // IWYU pragma: export
+#include "nn/residual.h"      // IWYU pragma: export
+#include "nn/sequential.h"    // IWYU pragma: export

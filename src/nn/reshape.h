@@ -1,0 +1,24 @@
+// Reshape layer: fixes the per-sample shape while preserving the batch
+// axis. The paper inserts it after GRU to restore the (L, C) layout the
+// residual add expects.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pelican::nn {
+
+class Reshape final : public Layer {
+ public:
+  // `per_sample_shape` excludes the leading batch dimension.
+  explicit Reshape(Tensor::Shape per_sample_shape);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& dy) override;
+  [[nodiscard]] std::string Name() const override { return "Reshape"; }
+
+ private:
+  Tensor::Shape target_;
+  Tensor::Shape in_shape_;
+};
+
+}  // namespace pelican::nn

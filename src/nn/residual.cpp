@@ -1,0 +1,70 @@
+#include "nn/residual.h"
+
+namespace pelican::nn {
+
+ResidualWrap::ResidualWrap(LayerPtr pre, LayerPtr body, LayerPtr shortcut,
+                           LayerPtr post)
+    : pre_(std::move(pre)),
+      body_(std::move(body)),
+      shortcut_(std::move(shortcut)),
+      post_(std::move(post)) {
+  PELICAN_CHECK(body_ != nullptr, "residual body is required");
+}
+
+Tensor ResidualWrap::Forward(const Tensor& x, bool training) {
+  Tensor u = pre_ ? pre_->Forward(x, training) : x;
+  Tensor v = body_->Forward(u, training);
+  Tensor s = shortcut_ ? shortcut_->Forward(u, training) : u;
+  PELICAN_CHECK(v.SameShape(s),
+                "residual add shape mismatch: body " + v.ShapeString() +
+                    " vs shortcut " + s.ShapeString() +
+                    " (use a projection shortcut)");
+  v.Add(s);
+  return post_ ? post_->Forward(v, training) : v;
+}
+
+Tensor ResidualWrap::Backward(const Tensor& dy) {
+  Tensor d = post_ ? post_->Backward(dy) : dy;
+  // d flows into both the body and the shortcut.
+  Tensor du = body_->Backward(d);
+  Tensor ds = shortcut_ ? shortcut_->Backward(d) : d;
+  du.Add(ds);
+  return pre_ ? pre_->Backward(du) : du;
+}
+
+std::vector<ParamRef> ResidualWrap::Params() {
+  std::vector<ParamRef> params;
+  for (Layer* l : {pre_.get(), body_.get(), shortcut_.get(), post_.get()}) {
+    if (l == nullptr) continue;
+    auto ps = l->Params();
+    params.insert(params.end(), ps.begin(), ps.end());
+  }
+  return params;
+}
+
+std::vector<BufferRef> ResidualWrap::Buffers() {
+  std::vector<BufferRef> buffers;
+  for (Layer* l : {pre_.get(), body_.get(), shortcut_.get(), post_.get()}) {
+    if (l == nullptr) continue;
+    auto bs = l->Buffers();
+    buffers.insert(buffers.end(), bs.begin(), bs.end());
+  }
+  return buffers;
+}
+
+int ResidualWrap::ParameterLayerCount() const {
+  int n = 0;
+  for (const Layer* l :
+       {pre_.get(), body_.get(), shortcut_.get(), post_.get()}) {
+    if (l != nullptr) n += l->ParameterLayerCount();
+  }
+  return n;
+}
+
+void ResidualWrap::SetRng(Rng* rng) {
+  for (Layer* l : {pre_.get(), body_.get(), shortcut_.get(), post_.get()}) {
+    if (l != nullptr) l->SetRng(rng);
+  }
+}
+
+}  // namespace pelican::nn

@@ -1,0 +1,67 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+namespace pelican::nn {
+
+Sequential& Sequential::Add(LayerPtr layer) {
+  PELICAN_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (auto& layer : layers_) y = layer->Forward(y, training);
+  return y;
+}
+
+Tensor Sequential::Backward(const Tensor& dy) {
+  Tensor d = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    d = (*it)->Backward(d);
+  }
+  return d;
+}
+
+std::vector<ParamRef> Sequential::Params() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) {
+    auto ps = layer->Params();
+    params.insert(params.end(), ps.begin(), ps.end());
+  }
+  return params;
+}
+
+std::vector<BufferRef> Sequential::Buffers() {
+  std::vector<BufferRef> buffers;
+  for (auto& layer : layers_) {
+    auto bs = layer->Buffers();
+    buffers.insert(buffers.end(), bs.begin(), bs.end());
+  }
+  return buffers;
+}
+
+int Sequential::ParameterLayerCount() const {
+  int n = 0;
+  for (const auto& layer : layers_) n += layer->ParameterLayerCount();
+  return n;
+}
+
+void Sequential::SetRng(Rng* rng) {
+  for (auto& layer : layers_) layer->SetRng(rng);
+}
+
+std::string Sequential::Summary() {
+  std::ostringstream os;
+  std::int64_t total = 0;
+  for (auto& layer : layers_) {
+    const std::int64_t n = layer->ParameterCount();
+    total += n;
+    os << "  " << layer->Name() << "  params=" << n << '\n';
+  }
+  os << "total trainable parameters: " << total << '\n';
+  return os.str();
+}
+
+}  // namespace pelican::nn

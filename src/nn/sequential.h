@@ -1,0 +1,35 @@
+// Sequential layer container: forward chains layers in order, backward
+// in reverse. Also a Layer itself, so blocks nest (a residual block's
+// body is a Sequential inside a ResidualWrap inside the network).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pelican::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  // Appends a layer; returns *this for chaining.
+  Sequential& Add(LayerPtr layer);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& dy) override;
+  std::vector<ParamRef> Params() override;
+  std::vector<BufferRef> Buffers() override;
+  [[nodiscard]] std::string Name() const override { return "Sequential"; }
+  [[nodiscard]] int ParameterLayerCount() const override;
+  void SetRng(Rng* rng) override;
+
+  [[nodiscard]] std::size_t LayerCount() const { return layers_.size(); }
+  [[nodiscard]] Layer& LayerAt(std::size_t i) { return *layers_.at(i); }
+
+  // Multi-line human-readable structure summary.
+  [[nodiscard]] std::string Summary();
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace pelican::nn

@@ -1,0 +1,46 @@
+#include "optim/lr_schedule.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace pelican::optim {
+
+StepDecay::StepDecay(int step_epochs, float gamma)
+    : step_(step_epochs), gamma_(gamma) {
+  PELICAN_CHECK(step_epochs >= 1);
+  PELICAN_CHECK(gamma > 0.0F && gamma <= 1.0F);
+}
+
+float StepDecay::LearningRate(int epoch, float base) const {
+  PELICAN_CHECK(epoch >= 1);
+  const int drops = (epoch - 1) / step_;
+  return base * std::pow(gamma_, static_cast<float>(drops));
+}
+
+ExponentialDecay::ExponentialDecay(float gamma) : gamma_(gamma) {
+  PELICAN_CHECK(gamma > 0.0F && gamma <= 1.0F);
+}
+
+float ExponentialDecay::LearningRate(int epoch, float base) const {
+  PELICAN_CHECK(epoch >= 1);
+  return base * std::pow(gamma_, static_cast<float>(epoch - 1));
+}
+
+CosineAnnealing::CosineAnnealing(int total_epochs, float floor_lr)
+    : total_(total_epochs), floor_(floor_lr) {
+  PELICAN_CHECK(total_epochs >= 1);
+  PELICAN_CHECK(floor_lr >= 0.0F);
+}
+
+float CosineAnnealing::LearningRate(int epoch, float base) const {
+  PELICAN_CHECK(epoch >= 1);
+  const auto t = static_cast<float>(std::min(epoch - 1, total_ - 1));
+  const auto horizon = static_cast<float>(std::max(1, total_ - 1));
+  const float cosine =
+      0.5F * (1.0F + std::cos(std::numbers::pi_v<float> * t / horizon));
+  return floor_ + (base - floor_) * cosine;
+}
+
+}  // namespace pelican::optim

@@ -1,0 +1,67 @@
+// Learning-rate schedules, applied by the Trainer at each epoch start.
+//
+// The paper trains at a fixed 0.01 (Table I); schedules are provided
+// for downstream users and for the deeper-Pelican extension bench,
+// where a decaying rate stabilizes the 81-layer configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace pelican::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate for 1-based `epoch` given the configured base rate.
+  [[nodiscard]] virtual float LearningRate(int epoch, float base) const = 0;
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+// Fixed rate (the paper's setting).
+class ConstantLr final : public LrSchedule {
+ public:
+  [[nodiscard]] float LearningRate(int /*epoch*/, float base) const override {
+    return base;
+  }
+  [[nodiscard]] std::string Name() const override { return "constant"; }
+};
+
+// base · gamma^floor((epoch-1)/step).
+class StepDecay final : public LrSchedule {
+ public:
+  StepDecay(int step_epochs, float gamma);
+  [[nodiscard]] float LearningRate(int epoch, float base) const override;
+  [[nodiscard]] std::string Name() const override { return "step-decay"; }
+
+ private:
+  int step_;
+  float gamma_;
+};
+
+// base · gamma^(epoch-1).
+class ExponentialDecay final : public LrSchedule {
+ public:
+  explicit ExponentialDecay(float gamma);
+  [[nodiscard]] float LearningRate(int epoch, float base) const override;
+  [[nodiscard]] std::string Name() const override { return "exp-decay"; }
+
+ private:
+  float gamma_;
+};
+
+// Cosine annealing from base to `floor` over `total_epochs`.
+class CosineAnnealing final : public LrSchedule {
+ public:
+  CosineAnnealing(int total_epochs, float floor_lr = 0.0F);
+  [[nodiscard]] float LearningRate(int epoch, float base) const override;
+  [[nodiscard]] std::string Name() const override { return "cosine"; }
+
+ private:
+  int total_;
+  float floor_;
+};
+
+using LrSchedulePtr = std::shared_ptr<const LrSchedule>;
+
+}  // namespace pelican::optim

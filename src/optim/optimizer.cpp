@@ -1,0 +1,158 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace pelican::optim {
+
+void Optimizer::Attach(std::vector<nn::ParamRef> params) {
+  for (const auto& p : params) {
+    PELICAN_CHECK(p.value != nullptr && p.grad != nullptr,
+                  "null ParamRef passed to optimizer");
+    PELICAN_CHECK(p.value->SameShape(*p.grad),
+                  "parameter/gradient shape mismatch for " + p.name);
+  }
+  params_ = std::move(params);
+  InitState();
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.grad->Zero();
+}
+
+void Optimizer::Step() {
+  PELICAN_CHECK(!params_.empty(), "optimizer not attached");
+  if (clip_norm_ > 0.0F) {
+    double sq = 0.0;
+    for (auto& p : params_) {
+      for (float g : p.grad->data()) sq += static_cast<double>(g) * g;
+    }
+    const auto norm = static_cast<float>(std::sqrt(sq));
+    if (norm > clip_norm_) {
+      const float scale = clip_norm_ / norm;
+      for (auto& p : params_) p.grad->Scale(scale);
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    UpdateParam(i, *params_[i].value, *params_[i].grad);
+  }
+}
+
+// ---- SGD --------------------------------------------------------------
+
+Sgd::Sgd(float lr, float momentum) : Optimizer(lr), momentum_(momentum) {
+  PELICAN_CHECK(momentum >= 0.0F && momentum < 1.0F);
+}
+
+void Sgd::InitState() {
+  velocity_.clear();
+  for (std::size_t i = 0; i < ParamCount(); ++i) {
+    velocity_.emplace_back(ParamValue(i).shape());
+  }
+}
+
+void Sgd::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
+  if (momentum_ == 0.0F) {
+    value.Axpy(-lr_, grad);
+    return;
+  }
+  Tensor& v = velocity_[i];
+  for (std::int64_t j = 0; j < v.size(); ++j) {
+    v[j] = momentum_ * v[j] - lr_ * grad[j];
+    value[j] += v[j];
+  }
+}
+
+// ---- RMSprop ------------------------------------------------------------
+
+RmsProp::RmsProp(float lr, float rho, float eps)
+    : Optimizer(lr), rho_(rho), eps_(eps) {
+  PELICAN_CHECK(rho > 0.0F && rho < 1.0F);
+}
+
+void RmsProp::InitState() {
+  cache_.clear();
+  for (std::size_t i = 0; i < ParamCount(); ++i) {
+    cache_.emplace_back(ParamValue(i).shape());
+  }
+}
+
+void RmsProp::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
+  Tensor& c = cache_[i];
+  for (std::int64_t j = 0; j < c.size(); ++j) {
+    const float g = grad[j];
+    c[j] = rho_ * c[j] + (1.0F - rho_) * g * g;
+    value[j] -= lr_ * g / (std::sqrt(c[j]) + eps_);
+  }
+}
+
+// ---- AdaDelta -----------------------------------------------------------
+
+AdaDelta::AdaDelta(float lr, float rho, float eps)
+    : Optimizer(lr), rho_(rho), eps_(eps) {}
+
+void AdaDelta::InitState() {
+  accum_grad_.clear();
+  accum_update_.clear();
+  for (std::size_t i = 0; i < ParamCount(); ++i) {
+    accum_grad_.emplace_back(ParamValue(i).shape());
+    accum_update_.emplace_back(ParamValue(i).shape());
+  }
+}
+
+void AdaDelta::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
+  Tensor& eg = accum_grad_[i];
+  Tensor& eu = accum_update_[i];
+  for (std::int64_t j = 0; j < eg.size(); ++j) {
+    const float g = grad[j];
+    eg[j] = rho_ * eg[j] + (1.0F - rho_) * g * g;
+    const float update =
+        -std::sqrt(eu[j] + eps_) / std::sqrt(eg[j] + eps_) * g;
+    eu[j] = rho_ * eu[j] + (1.0F - rho_) * update * update;
+    value[j] += lr_ * update;
+  }
+}
+
+// ---- Adam ---------------------------------------------------------------
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::InitState() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (std::size_t i = 0; i < ParamCount(); ++i) {
+    m_.emplace_back(ParamValue(i).shape());
+    v_.emplace_back(ParamValue(i).shape());
+  }
+}
+
+void Adam::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
+  if (i == 0) ++t_;  // one time step per Step() call
+  Tensor& m = m_[i];
+  Tensor& v = v_[i];
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::int64_t j = 0; j < m.size(); ++j) {
+    const float g = grad[j];
+    m[j] = beta1_ * m[j] + (1.0F - beta1_) * g;
+    v[j] = beta2_ * v[j] + (1.0F - beta2_) * g * g;
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, float lr) {
+  const std::string key = ToLower(name);
+  if (key == "sgd") return std::make_unique<Sgd>(lr);
+  if (key == "rmsprop") return std::make_unique<RmsProp>(lr);
+  if (key == "adadelta") return std::make_unique<AdaDelta>(lr);
+  if (key == "adam") return std::make_unique<Adam>(lr);
+  PELICAN_CHECK(false, "unknown optimizer: " + name);
+  return nullptr;
+}
+
+}  // namespace pelican::optim

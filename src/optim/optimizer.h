@@ -1,0 +1,120 @@
+// Gradient-descent optimizers.
+//
+// An optimizer is attached to a model's ParamRefs once; Step() then
+// applies one update from the accumulated gradients. Per-parameter state
+// (RMSprop caches, momenta) is allocated at attach time and indexed in
+// parameter order. Optional global-norm gradient clipping runs before
+// the update (off by default; ablated — the paper's Plain-41 exploding
+// gradients are part of the phenomenon under study).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pelican::optim {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Binds the optimizer to a parameter set; resets all state.
+  void Attach(std::vector<nn::ParamRef> params);
+
+  // Applies one update from the currently-accumulated gradients.
+  void Step();
+
+  // Zeroes every attached gradient.
+  void ZeroGrad();
+
+  // Global-norm clipping threshold; <= 0 disables (default).
+  void SetClipNorm(float max_norm) { clip_norm_ = max_norm; }
+
+  [[nodiscard]] float learning_rate() const { return lr_; }
+  void SetLearningRate(float lr) { lr_ = lr; }
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+
+  // Per-parameter update; `i` indexes the attached parameter list.
+  virtual void UpdateParam(std::size_t i, Tensor& value,
+                           const Tensor& grad) = 0;
+  // Allocates per-parameter state after Attach.
+  virtual void InitState() {}
+
+  [[nodiscard]] std::size_t ParamCount() const { return params_.size(); }
+  [[nodiscard]] const Tensor& ParamValue(std::size_t i) const {
+    return *params_[i].value;
+  }
+
+  float lr_;
+
+ private:
+  std::vector<nn::ParamRef> params_;
+  float clip_norm_ = 0.0F;
+};
+
+// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0F);
+  [[nodiscard]] std::string Name() const override { return "SGD"; }
+
+ private:
+  void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
+  void InitState() override;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// RMSprop (Tieleman & Hinton) — the paper's training algorithm.
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(float lr = 0.001F, float rho = 0.9F, float eps = 1e-7F);
+  [[nodiscard]] std::string Name() const override { return "RMSprop"; }
+
+ private:
+  void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
+  void InitState() override;
+  float rho_;
+  float eps_;
+  std::vector<Tensor> cache_;
+};
+
+// AdaDelta (Zeiler 2012) — mentioned in the paper's Section III.
+class AdaDelta final : public Optimizer {
+ public:
+  explicit AdaDelta(float lr = 1.0F, float rho = 0.95F, float eps = 1e-6F);
+  [[nodiscard]] std::string Name() const override { return "AdaDelta"; }
+
+ private:
+  void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
+  void InitState() override;
+  float rho_;
+  float eps_;
+  std::vector<Tensor> accum_grad_;
+  std::vector<Tensor> accum_update_;
+};
+
+// Adam (Kingma & Ba) — provided for downstream users.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 0.001F, float beta1 = 0.9F, float beta2 = 0.999F,
+                float eps = 1e-8F);
+  [[nodiscard]] std::string Name() const override { return "Adam"; }
+
+ private:
+  void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
+  void InitState() override;
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, float lr);
+
+}  // namespace pelican::optim

@@ -1,0 +1,198 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace pelican {
+
+namespace {
+void CheckRank2(const Tensor& t, const char* what) {
+  PELICAN_CHECK(t.rank() == 2, what);
+}
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMul: a must be rank-2");
+  CheckRank2(b, "MatMul: b must be rank-2");
+  PELICAN_CHECK(a.dim(1) == b.dim(0), "MatMul: inner dims differ");
+  Tensor c({a.dim(0), b.dim(1)});
+  MatMulAccum(a, b, c);
+  return c;
+}
+
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor& c) {
+  CheckRank2(a, "MatMulAccum: a must be rank-2");
+  CheckRank2(b, "MatMulAccum: b must be rank-2");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  PELICAN_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
+                "MatMulAccum: shape mismatch");
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  // ikj loop order: unit-stride access to B and C rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = cp + i * n;
+    const float* arow = ap + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0F) continue;
+      const float* brow = bp + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  CheckRank2(a, "MatMulTransB: a must be rank-2");
+  CheckRank2(b, "MatMulTransB: b must be rank-2");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  PELICAN_CHECK(b.dim(1) == k, "MatMulTransB: inner dims differ");
+  Tensor c({m, n});
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      cp[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  MatMulTransAAccum(a, b, c);
+  return c;
+}
+
+void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor& c) {
+  CheckRank2(a, "MatMulTransA: a must be rank-2");
+  CheckRank2(b, "MatMulTransA: b must be rank-2");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  PELICAN_CHECK(b.dim(0) == k, "MatMulTransA: inner dims differ");
+  PELICAN_CHECK(c.dim(0) == m && c.dim(1) == n, "MatMulTransA: bad out shape");
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = cp + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor Transpose2D(const Tensor& x) {
+  CheckRank2(x, "Transpose2D: rank-2 required");
+  const std::int64_t m = x.dim(0), n = x.dim(1);
+  Tensor y({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) y.At(j, i) = x.At(i, j);
+  }
+  return y;
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  CheckRank2(a, "MatVec: a must be rank-2");
+  PELICAN_CHECK(x.rank() == 1 && x.dim(0) == a.dim(1), "MatVec: shape");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor y({m});
+  const float* ap = a.data().data();
+  const float* xp = x.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    const float* arow = ap + i * n;
+    for (std::int64_t j = 0; j < n; ++j) acc += arow[j] * xp[j];
+    y[i] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+void AddRowBias(Tensor& x, const Tensor& bias) {
+  CheckRank2(x, "AddRowBias: x must be rank-2");
+  PELICAN_CHECK(bias.rank() == 1 && bias.dim(0) == x.dim(1),
+                "AddRowBias: bias shape");
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  float* xp = x.data().data();
+  const float* bp = bias.data().data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = xp + i * d;
+    for (std::int64_t j = 0; j < d; ++j) row[j] += bp[j];
+  }
+}
+
+void SumRowsInto(const Tensor& dy, Tensor& grad_bias) {
+  CheckRank2(dy, "SumRowsInto: dy must be rank-2");
+  PELICAN_CHECK(grad_bias.rank() == 1 && grad_bias.dim(0) == dy.dim(1),
+                "SumRowsInto: bias shape");
+  const std::int64_t n = dy.dim(0), d = dy.dim(1);
+  const float* dp = dy.data().data();
+  float* gp = grad_bias.data().data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = dp + i * d;
+    for (std::int64_t j = 0; j < d; ++j) gp[j] += row[j];
+  }
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.Add(b);
+  return c;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.Axpy(-1.0F, b);
+  return c;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.Mul(b);
+  return c;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  CheckRank2(logits, "SoftmaxRows: rank-2 required");
+  const std::int64_t n = logits.dim(0), d = logits.dim(1);
+  Tensor out({n, d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto row = logits.Row(i);
+    float mx = row[0];
+    for (float v : row) mx = std::max(mx, v);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float e = std::exp(row[static_cast<std::size_t>(j)] - mx);
+      out.At(i, j) = e;
+      denom += e;
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < d; ++j) out.At(i, j) *= inv;
+  }
+  return out;
+}
+
+float Norm(const Tensor& x) {
+  double acc = 0.0;
+  for (float v : x.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  PELICAN_CHECK(a.SameShape(b), "MaxAbsDiff: shape mismatch");
+  float m = 0.0F;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace pelican

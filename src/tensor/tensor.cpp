@@ -1,0 +1,171 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace pelican {
+
+std::int64_t NumElements(const Tensor::Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    PELICAN_CHECK(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(NumElements(shape_)), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  PELICAN_CHECK(NumElements(shape_) == static_cast<std::int64_t>(data_.size()),
+                "data length does not match shape");
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> data) {
+  return Tensor(std::move(shape), std::move(data));
+}
+
+Tensor Tensor::RandomUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.UniformF(lo, hi);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Normal(mean, stddev));
+  return t;
+}
+
+std::int64_t Tensor::dim(int axis) const {
+  PELICAN_CHECK(axis >= 0 && axis < rank(), "axis out of range");
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  PELICAN_CHECK(NumElements(new_shape) == size(),
+                "reshape must preserve element count");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+std::int64_t Tensor::Index(std::initializer_list<std::int64_t> idx) const {
+  PELICAN_DCHECK(static_cast<int>(idx.size()) == rank(),
+                 "index rank mismatch");
+  std::int64_t flat = 0;
+  int axis = 0;
+  for (std::int64_t i : idx) {
+    PELICAN_DCHECK(i >= 0 && i < shape_[static_cast<std::size_t>(axis)],
+                   "index out of bounds");
+    flat = flat * shape_[static_cast<std::size_t>(axis)] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+std::span<float> Tensor::Row(std::int64_t i) {
+  PELICAN_CHECK(rank() == 2, "Row requires rank-2 tensor");
+  const auto cols = static_cast<std::size_t>(shape_[1]);
+  PELICAN_DCHECK(i >= 0 && i < shape_[0]);
+  return {data_.data() + static_cast<std::size_t>(i) * cols, cols};
+}
+
+std::span<const float> Tensor::Row(std::int64_t i) const {
+  PELICAN_CHECK(rank() == 2, "Row requires rank-2 tensor");
+  const auto cols = static_cast<std::size_t>(shape_[1]);
+  PELICAN_DCHECK(i >= 0 && i < shape_[0]);
+  return {data_.data() + static_cast<std::size_t>(i) * cols, cols};
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Add(const Tensor& other) {
+  PELICAN_CHECK(SameShape(other), "Add shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  PELICAN_CHECK(SameShape(other), "Axpy shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+void Tensor::Mul(const Tensor& other) {
+  PELICAN_CHECK(SameShape(other), "Mul shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  PELICAN_CHECK(!data_.empty(), "Mean of empty tensor");
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::Min() const {
+  PELICAN_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  PELICAN_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0F;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::int64_t Tensor::ArgMaxRow(std::int64_t row) const {
+  if (rank() == 1) {
+    PELICAN_CHECK(row == 0, "rank-1 tensor has a single row");
+    std::span<const float> r = data_;
+    return std::distance(r.begin(), std::max_element(r.begin(), r.end()));
+  }
+  PELICAN_CHECK(rank() == 2, "ArgMaxRow requires rank-1 or rank-2 tensor");
+  auto r = Row(row);
+  return std::distance(r.begin(), std::max_element(r.begin(), r.end()));
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace pelican

@@ -1,0 +1,127 @@
+// A small dense tensor of floats, row-major, value-semantic.
+//
+// This is the numeric substrate for the whole library: network
+// activations, weights and gradients are all Tensors. Rank is dynamic
+// (vector<int64_t> shape); the layers in pelican::nn use ranks 1–3:
+//   (D)        vectors / biases
+//   (N, D)     batched feature matrices
+//   (N, L, C)  batched sequences: N samples, L time steps, C channels
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pelican {
+
+class Rng;
+
+class Tensor {
+ public:
+  using Shape = std::vector<std::int64_t>;
+
+  Tensor() = default;
+  // Allocates zero-initialized storage for `shape`.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ---- factories ----------------------------------------------------
+  static Tensor Zeros(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor FromVector(Shape shape, std::vector<float> data);
+  // i.i.d. draws.
+  static Tensor RandomUniform(Shape shape, Rng& rng, float lo, float hi);
+  static Tensor RandomNormal(Shape shape, Rng& rng, float mean, float stddev);
+
+  // ---- shape --------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] std::int64_t dim(int axis) const;
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool SameShape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+  // Returns a tensor sharing no storage (copy) with a new shape of equal
+  // element count.
+  [[nodiscard]] Tensor Reshaped(Shape new_shape) const;
+
+  // ---- element access -----------------------------------------------
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  float& operator[](std::int64_t flat) {
+    PELICAN_DCHECK(flat >= 0 && flat < size());
+    return data_[static_cast<std::size_t>(flat)];
+  }
+  float operator[](std::int64_t flat) const {
+    PELICAN_DCHECK(flat >= 0 && flat < size());
+    return data_[static_cast<std::size_t>(flat)];
+  }
+
+  float& At(std::int64_t i) { return (*this)[Index({i})]; }
+  float& At(std::int64_t i, std::int64_t j) { return (*this)[Index({i, j})]; }
+  float& At(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return (*this)[Index({i, j, k})];
+  }
+  [[nodiscard]] float At(std::int64_t i) const { return (*this)[Index({i})]; }
+  [[nodiscard]] float At(std::int64_t i, std::int64_t j) const {
+    return (*this)[Index({i, j})];
+  }
+  [[nodiscard]] float At(std::int64_t i, std::int64_t j,
+                         std::int64_t k) const {
+    return (*this)[Index({i, j, k})];
+  }
+
+  // Flat offset of a multi-index (bounds-checked in debug builds).
+  [[nodiscard]] std::int64_t Index(
+      std::initializer_list<std::int64_t> idx) const;
+
+  // Contiguous row view for a rank-2 tensor: row i, length dim(1).
+  [[nodiscard]] std::span<float> Row(std::int64_t i);
+  [[nodiscard]] std::span<const float> Row(std::int64_t i) const;
+
+  // ---- mutation -----------------------------------------------------
+  void Fill(float value);
+  void Zero() { Fill(0.0F); }
+
+  // this += other (same shape).
+  void Add(const Tensor& other);
+  // this += alpha * other (same shape).
+  void Axpy(float alpha, const Tensor& other);
+  // this *= alpha.
+  void Scale(float alpha);
+  // elementwise this *= other.
+  void Mul(const Tensor& other);
+
+  // ---- reductions ---------------------------------------------------
+  [[nodiscard]] float Sum() const;
+  [[nodiscard]] float Mean() const;
+  [[nodiscard]] float Min() const;
+  [[nodiscard]] float Max() const;
+  [[nodiscard]] float AbsMax() const;
+  // Index of the max element in a rank-1 tensor or a row of a rank-2 one.
+  [[nodiscard]] std::int64_t ArgMaxRow(std::int64_t row) const;
+
+  [[nodiscard]] std::string ShapeString() const;
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Total element count of a shape.
+std::int64_t NumElements(const Tensor::Shape& shape);
+
+}  // namespace pelican

@@ -1,0 +1,410 @@
+// Data-pipeline tests: schema/encoded widths (must match the paper's
+// 121 / 196), one-hot encoding, standardization, k-fold splits, the
+// batcher, CSV round-trips, and statistical properties of the synthetic
+// generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "data/data.h"
+
+namespace pelican::data {
+namespace {
+
+Schema TinySchema() {
+  std::vector<ColumnSpec> cols;
+  cols.push_back({"bytes", ColumnKind::kNumeric, {}});
+  cols.push_back({"proto", ColumnKind::kCategorical, {"tcp", "udp", "icmp"}});
+  cols.push_back({"rate", ColumnKind::kNumeric, {}});
+  return Schema(std::move(cols), {"Normal", "Attack"});
+}
+
+TEST(Schema, EncodedWidthCountsVocab) {
+  EXPECT_EQ(TinySchema().EncodedWidth(), 1 + 3 + 1);
+}
+
+TEST(Schema, LabelAndColumnLookup) {
+  const auto s = TinySchema();
+  EXPECT_EQ(s.LabelIndex("Attack"), 1);
+  EXPECT_EQ(s.LabelIndex("nope"), -1);
+  EXPECT_EQ(s.ColumnIndex("proto"), 1);
+  EXPECT_EQ(s.ColumnIndex("nope"), -1);
+}
+
+TEST(Schema, PaperWidths) {
+  EXPECT_EQ(NslKddSchema().EncodedWidth(), 121);   // Section V-C
+  EXPECT_EQ(UnswNb15Schema().EncodedWidth(), 196);
+  EXPECT_EQ(NslKddSchema().LabelCount(), 5u);
+  EXPECT_EQ(UnswNb15Schema().LabelCount(), 10u);
+  EXPECT_EQ(NslKddSchema().ColumnCount(), 41u);    // dataset columns
+  EXPECT_EQ(UnswNb15Schema().ColumnCount(), 42u);
+}
+
+TEST(RawDataset, AddAndAccess) {
+  RawDataset ds(TinySchema());
+  ds.Add({100.0, 1.0, 0.5}, 0);
+  ds.Add({5.0, 2.0, 0.1}, 1);
+  EXPECT_EQ(ds.Size(), 2u);
+  EXPECT_EQ(ds.Row(1)[1], 2.0);
+  EXPECT_EQ(ds.Label(0), 0);
+}
+
+TEST(RawDataset, RejectsBadRecords) {
+  RawDataset ds(TinySchema());
+  EXPECT_THROW(ds.Add({1.0, 0.0}, 0), CheckError);          // width
+  EXPECT_THROW(ds.Add({1.0, 3.0, 0.0}, 0), CheckError);     // vocab
+  EXPECT_THROW(ds.Add({1.0, 0.5, 0.0}, 0), CheckError);     // non-integral
+  EXPECT_THROW(ds.Add({1.0, 0.0, 0.0}, 2), CheckError);     // label range
+}
+
+TEST(RawDataset, SubsetPreservesOrder) {
+  RawDataset ds(TinySchema());
+  for (int i = 0; i < 5; ++i) ds.Add({double(i), 0.0, 0.0}, i % 2);
+  const std::vector<std::size_t> idx = {4, 0, 2};
+  auto sub = ds.Subset(idx);
+  EXPECT_EQ(sub.Size(), 3u);
+  EXPECT_EQ(sub.Row(0)[0], 4.0);
+  EXPECT_EQ(sub.Row(1)[0], 0.0);
+  EXPECT_EQ(sub.Row(2)[0], 2.0);
+}
+
+TEST(RawDataset, LabelHistogram) {
+  RawDataset ds(TinySchema());
+  ds.Add({0, 0, 0}, 0);
+  ds.Add({0, 0, 0}, 1);
+  ds.Add({0, 0, 0}, 1);
+  const auto hist = ds.LabelHistogram();
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+}
+
+TEST(OneHotEncoder, ExpandsCategoricals) {
+  const auto schema = TinySchema();
+  OneHotEncoder enc(schema);
+  EXPECT_EQ(enc.EncodedWidth(), 5);
+  RawDataset ds(schema);
+  ds.Add({7.0, 1.0, 0.25}, 0);  // proto=udp
+  Tensor x = enc.Transform(ds);
+  EXPECT_EQ(x.shape(), (Tensor::Shape{1, 5}));
+  EXPECT_FLOAT_EQ(x.At(0, 0), 7.0F);    // bytes
+  EXPECT_FLOAT_EQ(x.At(0, 1), 0.0F);    // proto=tcp
+  EXPECT_FLOAT_EQ(x.At(0, 2), 1.0F);    // proto=udp
+  EXPECT_FLOAT_EQ(x.At(0, 3), 0.0F);    // proto=icmp
+  EXPECT_FLOAT_EQ(x.At(0, 4), 0.25F);   // rate
+}
+
+TEST(OneHotEncoder, FeatureNamesFollowGetDummiesConvention) {
+  OneHotEncoder enc(TinySchema());
+  const auto& names = enc.FeatureNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "bytes");
+  EXPECT_EQ(names[1], "proto=tcp");
+  EXPECT_EQ(names[3], "proto=icmp");
+  EXPECT_EQ(names[4], "rate");
+}
+
+TEST(OneHotEncoder, ExactlyOneHotPerCategoricalColumn) {
+  Rng rng(31);
+  auto ds = GenerateNslKdd(200, rng);
+  OneHotEncoder enc(ds.schema());
+  Tensor x = enc.Transform(ds);
+  // protocol_type occupies offsets [1, 4) (after "duration").
+  for (std::int64_t i = 0; i < x.dim(0); ++i) {
+    float sum = 0.0F;
+    for (std::int64_t j = 1; j < 4; ++j) sum += x.At(i, j);
+    EXPECT_FLOAT_EQ(sum, 1.0F);
+  }
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Rng rng(32);
+  Tensor x = Tensor::RandomNormal({500, 3}, rng, 4.0F, 2.5F);
+  StandardScaler scaler;
+  scaler.Fit(x);
+  scaler.Transform(x);
+  for (std::int64_t j = 0; j < 3; ++j) {
+    double mean = 0.0, sq = 0.0;
+    for (std::int64_t i = 0; i < 500; ++i) {
+      mean += x.At(i, j);
+      sq += static_cast<double>(x.At(i, j)) * x.At(i, j);
+    }
+    mean /= 500;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 500 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnsBecomeZero) {
+  Tensor x = Tensor::Full({10, 2}, 3.0F);
+  StandardScaler scaler;
+  scaler.Fit(x);
+  scaler.Transform(x);
+  EXPECT_EQ(x.AbsMax(), 0.0F);
+}
+
+TEST(StandardScaler, TransformBeforeFitThrows) {
+  Tensor x({2, 2});
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.Transform(x), CheckError);
+}
+
+TEST(StandardScaler, SetStatisticsRestores) {
+  StandardScaler a;
+  Rng rng(33);
+  Tensor x = Tensor::RandomNormal({100, 2}, rng, 1.0F, 2.0F);
+  a.Fit(x);
+  StandardScaler b;
+  b.SetStatistics(a.mean(), a.stddev());
+  Tensor xa = x, xb = x;
+  a.Transform(xa);
+  b.Transform(xb);
+  EXPECT_EQ(xa, xb);
+}
+
+TEST(KFold, PartitionIsDisjointAndComplete) {
+  Rng rng(34);
+  KFold kfold(5, rng);
+  const auto splits = kfold.Split(23);
+  std::set<std::size_t> all_test;
+  for (const auto& s : splits) {
+    for (auto i : s.test_indices) {
+      EXPECT_TRUE(all_test.insert(i).second) << "duplicate test index";
+    }
+    EXPECT_EQ(s.train_indices.size() + s.test_indices.size(), 23u);
+  }
+  EXPECT_EQ(all_test.size(), 23u);
+}
+
+TEST(KFold, TrainAndTestDontOverlap) {
+  Rng rng(35);
+  KFold kfold(4, rng);
+  for (const auto& s : kfold.Split(40)) {
+    std::set<std::size_t> train(s.train_indices.begin(),
+                                s.train_indices.end());
+    for (auto i : s.test_indices) EXPECT_EQ(train.count(i), 0u);
+  }
+}
+
+TEST(StratifiedKFold, PreservesClassProportions) {
+  Rng rng(36);
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  StratifiedKFold kfold(5, rng);
+  for (const auto& s : kfold.Split(labels)) {
+    int minority = 0;
+    for (auto i : s.test_indices) {
+      if (labels[i] == 1) ++minority;
+    }
+    EXPECT_EQ(minority, 4);  // exactly 20/5 per fold
+  }
+}
+
+TEST(StratifiedHoldout, MinorityClassKeptInBothSides) {
+  Rng rng(37);
+  std::vector<int> labels(97, 0);
+  labels.push_back(1);
+  labels.push_back(1);
+  labels.push_back(1);
+  const auto split = StratifiedHoldout(labels, 0.3, rng);
+  int train_minority = 0, test_minority = 0;
+  for (auto i : split.train_indices) train_minority += labels[i] == 1;
+  for (auto i : split.test_indices) test_minority += labels[i] == 1;
+  EXPECT_GE(train_minority, 1);
+  EXPECT_GE(test_minority, 1);
+}
+
+TEST(Batcher, CoversEverySampleOncePerEpoch) {
+  Rng rng(38);
+  Tensor x({10, 2});
+  for (std::int64_t i = 0; i < 10; ++i) x.At(i, 0) = static_cast<float>(i);
+  std::vector<int> y(10, 0);
+  Batcher batcher(x, y, 3, rng);
+  EXPECT_EQ(batcher.BatchesPerEpoch(), 4u);
+  Batch batch;
+  std::multiset<float> seen;
+  while (batcher.Next(batch)) {
+    for (std::int64_t i = 0; i < batch.x.dim(0); ++i) {
+      seen.insert(batch.x.At(i, 0));
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+  }
+}
+
+TEST(Batcher, LabelsStayAlignedWithRows) {
+  Rng rng(39);
+  Tensor x({20, 1});
+  std::vector<int> y(20);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    x.At(i, 0) = static_cast<float>(i);
+    y[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  }
+  Batcher batcher(x, y, 7, rng);
+  Batch batch;
+  while (batcher.Next(batch)) {
+    for (std::int64_t i = 0; i < batch.x.dim(0); ++i) {
+      EXPECT_EQ(static_cast<int>(batch.x.At(i, 0)),
+                batch.labels[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Csv, RoundTripPreservesData) {
+  Rng rng(40);
+  auto ds = GenerateNslKdd(50, rng);
+  std::stringstream buffer;
+  WriteCsv(ds, buffer);
+  auto loaded = ReadCsv(ds.schema(), buffer);
+  ASSERT_EQ(loaded.Size(), ds.Size());
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    EXPECT_EQ(loaded.Label(i), ds.Label(i));
+    auto a = ds.Row(i);
+    auto b = loaded.Row(i);
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      EXPECT_NEAR(a[c], b[c], 1e-5) << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(Csv, RejectsUnknownCategory) {
+  const auto schema = TinySchema();
+  std::stringstream buffer;
+  buffer << "bytes,proto,rate,label\n1.0,quic,0.5,Normal\n";
+  EXPECT_THROW(ReadCsv(schema, buffer), CheckError);
+}
+
+TEST(Csv, RejectsHeaderMismatch) {
+  const auto schema = TinySchema();
+  std::stringstream buffer;
+  buffer << "bytes,rate,proto,label\n";
+  EXPECT_THROW(ReadCsv(schema, buffer), CheckError);
+}
+
+TEST(Generator, RespectsClassPriors) {
+  Rng rng(41);
+  auto ds = GenerateNslKdd(20000, rng);
+  const auto hist = ds.LabelHistogram();
+  const double n = static_cast<double>(ds.Size());
+  EXPECT_NEAR(hist[0] / n, 0.52, 0.03);  // Normal
+  EXPECT_NEAR(hist[1] / n, 0.36, 0.03);  // DoS
+  EXPECT_GT(hist[4], 0u);                // U2R present despite 0.5% prior
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto da = GenerateNslKdd(100, a);
+  auto db = GenerateNslKdd(100, b);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(da.Label(i), db.Label(i));
+    auto ra = da.Row(i);
+    auto rb = db.Row(i);
+    for (std::size_t c = 0; c < ra.size(); ++c) EXPECT_EQ(ra[c], rb[c]);
+  }
+}
+
+TEST(Generator, RateFeaturesStayInUnitInterval) {
+  Rng rng(43);
+  auto ds = GenerateNslKdd(500, rng);
+  const int serror = ds.schema().ColumnIndex("serror_rate");
+  ASSERT_GE(serror, 0);
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    const double v = ds.Row(i)[static_cast<std::size_t>(serror)];
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Generator, DosHasElevatedSynErrorRates) {
+  Rng rng(44);
+  auto ds = GenerateNslKdd(5000, rng);
+  const auto serror =
+      static_cast<std::size_t>(ds.schema().ColumnIndex("serror_rate"));
+  double dos_sum = 0.0, normal_sum = 0.0;
+  int dos_n = 0, normal_n = 0;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    if (ds.Label(i) == static_cast<int>(NslKddClass::kDos)) {
+      dos_sum += ds.Row(i)[serror];
+      ++dos_n;
+    } else if (ds.Label(i) == static_cast<int>(NslKddClass::kNormal)) {
+      normal_sum += ds.Row(i)[serror];
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(dos_n, 0);
+  ASSERT_GT(normal_n, 0);
+  EXPECT_GT(dos_sum / dos_n, normal_sum / normal_n + 0.2);
+}
+
+TEST(Generator, UnswWormsArePresentButRare) {
+  Rng rng(45);
+  auto ds = GenerateUnswNb15(30000, rng);
+  const auto hist = ds.LabelHistogram();
+  const auto worms = hist[static_cast<int>(UnswClass::kWorms)];
+  EXPECT_GT(worms, 0u);
+  EXPECT_LT(static_cast<double>(worms) / ds.Size(), 0.01);
+}
+
+TEST(Generator, SeparationZeroCollapsesClasses) {
+  // With separation → 0 classes become nearly indistinguishable:
+  // per-feature class means converge. Spot-check serror_rate for DoS.
+  Rng rng(46);
+  auto spec = NslKddSpec(0.0);
+  auto ds = Generate(spec, 4000, rng);
+  const auto serror =
+      static_cast<std::size_t>(ds.schema().ColumnIndex("serror_rate"));
+  double dos_sum = 0.0, normal_sum = 0.0;
+  int dos_n = 0, normal_n = 0;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    if (ds.Label(i) == 1) {
+      dos_sum += ds.Row(i)[serror];
+      ++dos_n;
+    }
+    if (ds.Label(i) == 0) {
+      normal_sum += ds.Row(i)[serror];
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(dos_n, 0);
+  EXPECT_NEAR(dos_sum / dos_n, normal_sum / normal_n, 0.05);
+}
+
+TEST(Generator, ValidateCatchesBadSpecs) {
+  auto spec = NslKddSpec();
+  spec.class_priors.pop_back();
+  EXPECT_THROW(spec.Validate(), CheckError);
+
+  auto spec2 = NslKddSpec();
+  spec2.classes[0].profiles[0].numeric.pop_back();
+  EXPECT_THROW(spec2.Validate(), CheckError);
+
+  auto spec3 = NslKddSpec();
+  spec3.label_noise = 1.5;
+  EXPECT_THROW(spec3.Validate(), CheckError);
+}
+
+TEST(Generator, LabelNoiseFlipsSomeLabels) {
+  // With huge separation and 20% label noise, roughly 20% of DoS-shaped
+  // records carry a non-DoS label; we just verify noise occurs by
+  // comparing against a noiseless run of the same seed.
+  auto spec = NslKddSpec();
+  spec.label_noise = 0.0;
+  Rng a(47);
+  auto clean = Generate(spec, 2000, a);
+  spec.label_noise = 0.2;
+  Rng b(47);
+  auto noisy = Generate(spec, 2000, b);
+  int flips = 0;
+  for (std::size_t i = 0; i < clean.Size(); ++i) {
+    if (clean.Label(i) != noisy.Label(i)) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / clean.Size(), 0.2, 0.05);
+}
+
+}  // namespace
+}  // namespace pelican::data

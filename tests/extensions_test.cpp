@@ -1,0 +1,504 @@
+// Tests for the extension features: LR schedules, class-weighted loss,
+// early stopping, transfer-learning fine-tunes, probability outputs,
+// and the streaming detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "models/pelican.h"
+#include "models/zoo.h"
+#include "optim/lr_schedule.h"
+#include "tensor/ops.h"
+
+namespace pelican {
+namespace {
+
+// ---- LR schedules -------------------------------------------------------
+
+TEST(LrSchedule, ConstantIsFlat) {
+  optim::ConstantLr schedule;
+  EXPECT_FLOAT_EQ(schedule.LearningRate(1, 0.01F), 0.01F);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(100, 0.01F), 0.01F);
+}
+
+TEST(LrSchedule, StepDecayDropsAtBoundaries) {
+  optim::StepDecay schedule(10, 0.5F);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(1, 1.0F), 1.0F);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(10, 1.0F), 1.0F);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(11, 1.0F), 0.5F);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(21, 1.0F), 0.25F);
+}
+
+TEST(LrSchedule, ExponentialDecayIsGeometric) {
+  optim::ExponentialDecay schedule(0.9F);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(1, 1.0F), 1.0F);
+  EXPECT_NEAR(schedule.LearningRate(3, 1.0F), 0.81F, 1e-6F);
+}
+
+TEST(LrSchedule, CosineAnnealsFromBaseToFloor) {
+  optim::CosineAnnealing schedule(11, 0.001F);
+  EXPECT_NEAR(schedule.LearningRate(1, 0.1F), 0.1F, 1e-6F);
+  EXPECT_NEAR(schedule.LearningRate(11, 0.1F), 0.001F, 1e-6F);
+  // Midpoint ≈ average of base and floor.
+  EXPECT_NEAR(schedule.LearningRate(6, 0.1F), 0.0505F, 1e-4F);
+}
+
+TEST(LrSchedule, MonotoneNonIncreasing) {
+  const optim::CosineAnnealing cosine(20);
+  const optim::ExponentialDecay expo(0.95F);
+  const optim::StepDecay step(5, 0.7F);
+  for (const optim::LrSchedule* s :
+       {static_cast<const optim::LrSchedule*>(&cosine),
+        static_cast<const optim::LrSchedule*>(&expo),
+        static_cast<const optim::LrSchedule*>(&step)}) {
+    float prev = s->LearningRate(1, 0.1F);
+    for (int e = 2; e <= 20; ++e) {
+      const float cur = s->LearningRate(e, 0.1F);
+      EXPECT_LE(cur, prev + 1e-7F) << s->Name() << " epoch " << e;
+      prev = cur;
+    }
+  }
+}
+
+TEST(LrSchedule, RejectsBadParameters) {
+  EXPECT_THROW(optim::StepDecay(0, 0.5F), CheckError);
+  EXPECT_THROW(optim::StepDecay(5, 1.5F), CheckError);
+  EXPECT_THROW(optim::ExponentialDecay(0.0F), CheckError);
+  EXPECT_THROW(optim::CosineAnnealing(0), CheckError);
+}
+
+// ---- weighted loss ------------------------------------------------------
+
+TEST(WeightedLoss, UniformWeightsMatchUnweighted) {
+  Rng rng(1);
+  Tensor logits = Tensor::RandomNormal({6, 4}, rng, 0, 1);
+  const std::vector<int> labels = {0, 1, 2, 3, 1, 0};
+  const std::vector<float> uniform(4, 1.0F);
+  const auto plain = nn::SoftmaxCrossEntropy(logits, labels);
+  const auto weighted =
+      nn::SoftmaxCrossEntropyWeighted(logits, labels, uniform);
+  EXPECT_NEAR(plain.loss, weighted.loss, 1e-5F);
+  EXPECT_LT(MaxAbsDiff(plain.dlogits, weighted.dlogits), 1e-6F);
+}
+
+TEST(WeightedLoss, HeavyClassDominatesLoss) {
+  Tensor logits({2, 2});  // uniform predictions
+  const std::vector<int> labels = {0, 1};
+  // Class 1 weighted 9×: its NLL share is 90%.
+  const std::vector<float> weights = {1.0F, 9.0F};
+  const auto result =
+      nn::SoftmaxCrossEntropyWeighted(logits, labels, weights);
+  // Both samples have NLL log(2); weighted mean is still log(2).
+  EXPECT_NEAR(result.loss, std::log(2.0F), 1e-5F);
+  // But gradient mass concentrates on sample 1 (weight 9 of 10).
+  float mass0 = 0.0F, mass1 = 0.0F;
+  for (std::int64_t j = 0; j < 2; ++j) {
+    mass0 += std::fabs(result.dlogits.At(0, j));
+    mass1 += std::fabs(result.dlogits.At(1, j));
+  }
+  EXPECT_NEAR(mass1 / mass0, 9.0F, 1e-3F);
+}
+
+TEST(WeightedLoss, GradientMatchesFiniteDifferences) {
+  Rng rng(2);
+  Tensor logits = Tensor::RandomNormal({4, 3}, rng, 0, 1);
+  const std::vector<int> labels = {2, 0, 1, 2};
+  const std::vector<float> weights = {0.5F, 2.0F, 4.0F};
+  const auto result =
+      nn::SoftmaxCrossEntropyWeighted(logits, labels, weights);
+
+  const float eps = 1e-2F;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float up =
+        nn::SoftmaxCrossEntropyWeighted(logits, labels, weights).loss;
+    logits[i] = saved - eps;
+    const float down =
+        nn::SoftmaxCrossEntropyWeighted(logits, labels, weights).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(result.dlogits[i], (up - down) / (2 * eps), 2e-3F)
+        << "logit " << i;
+  }
+}
+
+TEST(WeightedLoss, RejectsBadWeights) {
+  Tensor logits({2, 2});
+  const std::vector<int> labels = {0, 1};
+  EXPECT_THROW(nn::SoftmaxCrossEntropyWeighted(
+                   logits, labels, std::vector<float>{1.0F}),
+               CheckError);
+  EXPECT_THROW(nn::SoftmaxCrossEntropyWeighted(
+                   logits, labels, std::vector<float>{1.0F, 0.0F}),
+               CheckError);
+}
+
+TEST(BalancedWeights, InverseFrequency) {
+  const std::vector<int> labels = {0, 0, 0, 1};  // 3:1 imbalance
+  const auto weights = nn::BalancedClassWeights(labels, 2);
+  // n/(k·count): 4/(2·3) and 4/(2·1).
+  EXPECT_NEAR(weights[0], 4.0F / 6.0F, 1e-6F);
+  EXPECT_NEAR(weights[1], 2.0F, 1e-6F);
+}
+
+TEST(BalancedWeights, AbsentClassGetsUnitWeight) {
+  const std::vector<int> labels = {0, 0, 2};
+  const auto weights = nn::BalancedClassWeights(labels, 3);
+  EXPECT_FLOAT_EQ(weights[1], 1.0F);
+  EXPECT_GT(weights[2], weights[0]);
+}
+
+TEST(BalancedWeights, TrainerLearnsMinorityClassBetter) {
+  // A 20:1 imbalanced blob problem: balanced weighting should lift
+  // minority recall relative to unweighted training.
+  Rng rng(3);
+  const std::int64_t n = 420;
+  Tensor x({n, 2});
+  std::vector<int> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int cls = i % 21 == 0 ? 1 : 0;
+    // Overlapping clusters so the boundary placement matters.
+    const float base = cls == 0 ? -0.4F : 0.8F;
+    x.At(i, 0) = base + static_cast<float>(rng.Normal(0, 0.8));
+    x.At(i, 1) = base + static_cast<float>(rng.Normal(0, 0.8));
+    y[static_cast<std::size_t>(i)] = cls;
+  }
+
+  auto minority_recall = [&](bool balanced) {
+    Rng net_rng(5);
+    nn::Sequential net;
+    net.Add(std::make_unique<nn::Dense>(2, 8, net_rng));
+    net.Add(nn::Tanh());
+    net.Add(std::make_unique<nn::Dense>(8, 2, net_rng));
+    core::TrainConfig tc;
+    tc.epochs = 30;
+    tc.batch_size = 32;
+    tc.seed = 9;
+    tc.balanced_class_weights = balanced;
+    core::Trainer trainer(net, tc);
+    trainer.Fit(x, y);
+    const auto pred = trainer.Predict(x);
+    int tp = 0, fn = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (y[i] == 1) (pred[i] == 1 ? tp : fn)++;
+    }
+    return static_cast<double>(tp) / static_cast<double>(tp + fn);
+  };
+
+  EXPECT_GT(minority_recall(true), minority_recall(false));
+}
+
+// ---- early stopping -----------------------------------------------------
+
+TEST(EarlyStopping, HaltsWhenTestLossStalls) {
+  Rng rng(6);
+  // Pure-noise labels: test loss cannot improve for long.
+  Tensor x = Tensor::RandomNormal({100, 4}, rng, 0, 1);
+  std::vector<int> y(100);
+  for (auto& v : y) v = static_cast<int>(rng.Below(2));
+  Tensor xt = Tensor::RandomNormal({50, 4}, rng, 0, 1);
+  std::vector<int> yt(50);
+  for (auto& v : yt) v = static_cast<int>(rng.Below(2));
+
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(4, 2, rng));
+  core::TrainConfig tc;
+  tc.epochs = 60;
+  tc.early_stopping_patience = 3;
+  core::Trainer trainer(net, tc);
+  const auto history = trainer.Fit(x, y, &xt, yt);
+  EXPECT_LT(history.size(), 60u);
+  EXPECT_GE(history.size(), 4u);  // at least patience+1 epochs ran
+}
+
+TEST(EarlyStopping, DisabledRunsAllEpochs) {
+  Rng rng(7);
+  Tensor x = Tensor::RandomNormal({60, 4}, rng, 0, 1);
+  std::vector<int> y(60, 0);
+  for (std::size_t i = 0; i < 30; ++i) y[i] = 1;
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(4, 2, rng));
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  core::Trainer trainer(net, tc);
+  EXPECT_EQ(trainer.Fit(x, y, &x, y).size(), 8u);
+}
+
+TEST(EarlyStopping, RestoreBestWeightsRecoversBestTestLoss) {
+  Rng rng(61);
+  // Tiny train set + big capacity → test loss degrades after early
+  // epochs (overfitting), so "best" and "last" weights differ.
+  Tensor x = Tensor::RandomNormal({24, 6}, rng, 0, 1);
+  std::vector<int> y(24);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 2);
+  Tensor xt = Tensor::RandomNormal({40, 6}, rng, 0, 1);
+  std::vector<int> yt(40);
+  for (std::size_t i = 0; i < yt.size(); ++i) {
+    yt[i] = static_cast<int>(rng.Below(2));
+  }
+
+  auto run = [&](bool restore) {
+    Rng net_rng(7);
+    nn::Sequential net;
+    net.Add(std::make_unique<nn::Dense>(6, 32, net_rng));
+    net.Add(nn::Relu());
+    net.Add(std::make_unique<nn::Dense>(32, 2, net_rng));
+    core::TrainConfig tc;
+    tc.epochs = 40;
+    tc.seed = 3;
+    tc.learning_rate = 0.05F;
+    tc.restore_best_weights = restore;
+    core::Trainer trainer(net, tc);
+    const auto history = trainer.Fit(x, y, &xt, yt);
+    float best = history.front().test_loss.value();
+    for (const auto& e : history) best = std::min(best, *e.test_loss);
+    return std::pair<float, float>{trainer.Evaluate(xt, yt).loss, best};
+  };
+
+  const auto [restored_loss, best_seen] = run(true);
+  // After restoration the final model scores (approximately) the best
+  // test loss observed during training.
+  EXPECT_NEAR(restored_loss, best_seen, 1e-4F);
+}
+
+TEST(LrScheduleInTrainer, ScheduledRunStillLearns) {
+  Rng rng(8);
+  Tensor x({120, 3});
+  std::vector<int> y(120);
+  for (std::int64_t i = 0; i < 120; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    for (std::int64_t j = 0; j < 3; ++j) {
+      x.At(i, j) = (cls == 0 ? -1.5F : 1.5F) +
+                   static_cast<float>(rng.Normal(0, 0.5));
+    }
+    y[static_cast<std::size_t>(i)] = cls;
+  }
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(3, 2, rng));
+  core::TrainConfig tc;
+  tc.epochs = 12;
+  tc.lr_schedule = std::make_shared<optim::CosineAnnealing>(12, 1e-4F);
+  core::Trainer trainer(net, tc);
+  const auto history = trainer.Fit(x, y);
+  EXPECT_GT(history.back().train_accuracy, 0.95F);
+}
+
+// ---- transfer learning --------------------------------------------------
+
+TEST(Transfer, TrainableSuffixSelectsTailParameters) {
+  Rng rng(9);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(4, 4, rng));  // layer 0
+  net.Add(nn::Relu());                              // layer 1
+  net.Add(std::make_unique<nn::Dense>(4, 2, rng));  // layer 2
+  const auto all = net.Params();
+  const auto tail = core::TrainableSuffix(net, 2);
+  ASSERT_EQ(tail.size(), 2u);  // second Dense's weight + bias
+  EXPECT_EQ(tail[0].value, all[2].value);
+  EXPECT_EQ(core::TrainableParameterCount(net, 2), 4 * 2 + 2);
+  EXPECT_THROW(core::TrainableSuffix(net, 3), CheckError);
+}
+
+TEST(Transfer, FineTuneLeavesFrozenParametersUntouched) {
+  Rng rng(10);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(4, 6, rng));
+  net.Add(nn::Tanh());
+  net.Add(std::make_unique<nn::Dense>(6, 2, rng));
+
+  const Tensor frozen_before = *net.LayerAt(0).Params()[0].value;
+  const Tensor head_before = *net.LayerAt(2).Params()[0].value;
+
+  Tensor x = Tensor::RandomNormal({64, 4}, rng, 0, 1);
+  std::vector<int> y(64);
+  for (std::size_t i = 0; i < 64; ++i) y[i] = static_cast<int>(i % 2);
+
+  core::TransferConfig config;
+  config.frozen_prefix_layers = 2;
+  config.train.epochs = 5;
+  config.train.batch_size = 16;
+  core::FineTune(net, config, x, y);
+
+  EXPECT_EQ(*net.LayerAt(0).Params()[0].value, frozen_before)
+      << "frozen layer must not change";
+  EXPECT_NE(*net.LayerAt(2).Params()[0].value, head_before)
+      << "head must be updated";
+}
+
+TEST(Transfer, FineTuneImprovesOnShiftedData) {
+  // Pretrain on one separation, fine-tune the head on a shifted
+  // distribution with little data; accuracy on the shifted test set
+  // must improve relative to the stale model.
+  Rng rng(11);
+  const auto source = data::GenerateNslKdd(800, rng);
+  Rng target_rng(12);
+  const auto target_train = data::GenerateNslKdd(200, target_rng, 0.55);
+  const auto target_test = data::GenerateNslKdd(400, target_rng, 0.55);
+
+  const data::OneHotEncoder encoder(source.schema());
+  data::StandardScaler scaler;
+  Tensor x_src = encoder.Transform(source);
+  scaler.Fit(x_src);
+  scaler.Transform(x_src);
+  Tensor x_tt = encoder.Transform(target_train);
+  scaler.Transform(x_tt);
+  Tensor x_te = encoder.Transform(target_test);
+  scaler.Transform(x_te);
+
+  models::NetworkConfig nc;
+  nc.features = encoder.EncodedWidth();
+  nc.n_classes = 5;
+  nc.n_blocks = 3;
+  nc.residual = true;
+  nc.channels = 16;
+  nc.dropout = 0.3F;
+  Rng net_rng(13);
+  auto net = models::BuildNetwork(nc, net_rng);
+
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 64;
+  core::Trainer pretrainer(*net, tc);
+  pretrainer.Fit(x_src, source.Labels());
+  const float stale = pretrainer.Evaluate(x_te, target_test.Labels()).accuracy;
+
+  core::TransferConfig transfer;
+  transfer.frozen_prefix_layers = 3;  // Reshape + stem + first block
+  transfer.train = tc;
+  transfer.train.epochs = 10;
+  core::FineTune(*net, transfer, x_tt, target_train.Labels());
+  const float tuned = pretrainer.Evaluate(x_te, target_test.Labels()).accuracy;
+  EXPECT_GT(tuned, stale - 0.02F)
+      << "fine-tune must not regress materially (stale=" << stale
+      << " tuned=" << tuned << ")";
+}
+
+// ---- probabilities & streaming ------------------------------------------
+
+TEST(Probabilities, RowsSumToOneAndAgreeWithPredict) {
+  Rng rng(14);
+  Tensor x = Tensor::RandomNormal({40, 4}, rng, 0, 1);
+  std::vector<int> y(40);
+  for (std::size_t i = 0; i < 40; ++i) y[i] = static_cast<int>(i % 3);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(4, 3, rng));
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 16;  // force multiple batches through the probs path
+  core::Trainer trainer(net, tc);
+  trainer.Fit(x, y);
+
+  const Tensor probs = trainer.PredictProbabilities(x);
+  const auto pred = trainer.Predict(x);
+  ASSERT_EQ(probs.shape(), (Tensor::Shape{40, 3}));
+  for (std::int64_t i = 0; i < 40; ++i) {
+    float sum = 0.0F;
+    for (std::int64_t j = 0; j < 3; ++j) sum += probs.At(i, j);
+    EXPECT_NEAR(sum, 1.0F, 1e-4F);
+    EXPECT_EQ(probs.ArgMaxRow(i), pred[static_cast<std::size_t>(i)]);
+  }
+}
+
+core::PelicanIds MakeTrainedIds(const data::RawDataset& train_set) {
+  core::IdsConfig config;
+  config.n_blocks = 2;
+  config.channels = 12;
+  config.train.epochs = 6;
+  config.train.batch_size = 32;
+  core::PelicanIds ids(train_set.schema(), config);
+  ids.Train(train_set);
+  return ids;
+}
+
+TEST(Stream, AlertsOnAttacksNotOnNormal) {
+  Rng rng(15);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  const auto spec = data::NslKddSpec();
+  Rng stream_rng(16);
+  core::StreamDetector detector(ids);
+  int normal_alerts = 0, dos_alerts = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto alert = detector.Ingest(data::GenerateRecord(spec, 0, stream_rng));
+    normal_alerts += alert.has_value() ? 1 : 0;
+  }
+  for (int i = 0; i < 30; ++i) {
+    auto alert = detector.Ingest(data::GenerateRecord(spec, 1, stream_rng));
+    dos_alerts += alert.has_value() ? 1 : 0;
+  }
+  EXPECT_LE(normal_alerts, 4);
+  EXPECT_GE(dos_alerts, 25);
+
+  const auto stats = detector.Stats();
+  EXPECT_EQ(stats.processed, 60u);
+  EXPECT_EQ(stats.alerts,
+            static_cast<std::uint64_t>(normal_alerts + dos_alerts));
+}
+
+TEST(Stream, FloodLimiterSuppressesBursts) {
+  Rng rng(17);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  core::StreamConfig config;
+  config.window = 16;
+  config.max_window_alert_rate = 0.25;
+  core::StreamDetector detector(ids, config);
+
+  const auto spec = data::NslKddSpec();
+  Rng stream_rng(18);
+  std::uint64_t suppressed = 0, delivered = 0;
+  for (int i = 0; i < 100; ++i) {  // sustained DoS flood
+    auto alert = detector.Ingest(data::GenerateRecord(spec, 1, stream_rng));
+    if (alert) (alert->suppressed ? suppressed : delivered)++;
+  }
+  EXPECT_GT(suppressed, 50u);
+  EXPECT_GT(delivered, 0u);  // the first alerts got through
+  EXPECT_EQ(detector.Stats().suppressed, suppressed);
+}
+
+TEST(Stream, WindowStatsTrackRecentTraffic) {
+  Rng rng(19);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  core::StreamConfig config;
+  config.window = 8;
+  core::StreamDetector detector(ids, config);
+  const auto spec = data::NslKddSpec();
+  Rng stream_rng(20);
+  // Fill the window with attacks, then flush with normal traffic.
+  for (int i = 0; i < 8; ++i) {
+    detector.Ingest(data::GenerateRecord(spec, 1, stream_rng));
+  }
+  EXPECT_GT(detector.Stats().window_alert_rate, 0.8);
+  for (int i = 0; i < 8; ++i) {
+    detector.Ingest(data::GenerateRecord(spec, 0, stream_rng));
+  }
+  EXPECT_LT(detector.Stats().window_alert_rate, 0.2);
+  detector.ResetWindow();
+  EXPECT_EQ(detector.Stats().window_alert_rate, 0.0);
+}
+
+TEST(Stream, RequiresTrainedModel) {
+  core::IdsConfig config;
+  core::PelicanIds ids(data::NslKddSchema(), config);
+  EXPECT_THROW(core::StreamDetector detector(ids), CheckError);
+}
+
+TEST(Verdict, CarriesConfidence) {
+  Rng rng(21);
+  const auto train_set = data::GenerateNslKdd(500, rng);
+  auto ids = MakeTrainedIds(train_set);
+  auto row = train_set.Row(0);
+  const auto verdict =
+      ids.Inspect(std::vector<double>(row.begin(), row.end()));
+  EXPECT_GT(verdict.confidence, 1.0F / 5.0F);  // above uniform
+  EXPECT_LE(verdict.confidence, 1.0F);
+}
+
+}  // namespace
+}  // namespace pelican

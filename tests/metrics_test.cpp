@@ -1,0 +1,246 @@
+// Metrics unit tests: confusion-matrix bookkeeping and the paper's
+// ACC / DR / FAR definitions (eqs. 3–5), including the multiclass →
+// binary attack-vs-normal collapse.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "metrics/metrics.h"
+
+namespace pelican::metrics {
+namespace {
+
+TEST(ConfusionMatrix, RecordsCounts) {
+  ConfusionMatrix cm(3);
+  cm.Record(0, 0);
+  cm.Record(0, 1);
+  cm.Record(2, 2);
+  EXPECT_EQ(cm.Count(0, 0), 1);
+  EXPECT_EQ(cm.Count(0, 1), 1);
+  EXPECT_EQ(cm.Count(2, 2), 1);
+  EXPECT_EQ(cm.Count(1, 1), 0);
+  EXPECT_EQ(cm.Total(), 3);
+}
+
+TEST(ConfusionMatrix, RowAndColTotals) {
+  ConfusionMatrix cm(2);
+  cm.Record(0, 0);
+  cm.Record(0, 1);
+  cm.Record(1, 1);
+  EXPECT_EQ(cm.RowTotal(0), 2);
+  EXPECT_EQ(cm.ColTotal(1), 2);
+}
+
+TEST(ConfusionMatrix, AccuracyIsTraceOverTotal) {
+  ConfusionMatrix cm(2);
+  cm.Record(0, 0);
+  cm.Record(0, 0);
+  cm.Record(1, 0);
+  cm.Record(1, 1);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: TP=3, FP=1, FN=2.
+  for (int i = 0; i < 3; ++i) cm.Record(1, 1);
+  cm.Record(0, 1);
+  for (int i = 0; i < 2; ++i) cm.Record(1, 0);
+  cm.Record(0, 0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.75);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.6);
+  EXPECT_NEAR(cm.F1(1), 2 * 0.75 * 0.6 / 1.35, 1e-12);
+}
+
+TEST(ConfusionMatrix, UndefinedMetricsAreZero) {
+  ConfusionMatrix cm(3);
+  cm.Record(0, 0);
+  EXPECT_EQ(cm.Precision(2), 0.0);
+  EXPECT_EQ(cm.Recall(2), 0.0);
+  EXPECT_EQ(cm.F1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts) {
+  ConfusionMatrix a(2), b(2);
+  a.Record(0, 0);
+  b.Record(0, 0);
+  b.Record(1, 0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(0, 0), 2);
+  EXPECT_EQ(a.Count(1, 0), 1);
+  EXPECT_EQ(a.Total(), 3);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.Record(2, 0), CheckError);
+  EXPECT_THROW(cm.Record(0, -1), CheckError);
+}
+
+TEST(ConfusionMatrix, RecordAllLengthMismatch) {
+  ConfusionMatrix cm(2);
+  const std::vector<int> t = {0, 1};
+  const std::vector<int> p = {0};
+  EXPECT_THROW(cm.RecordAll(t, p), CheckError);
+}
+
+TEST(BinaryCollapse, MapsMulticlassToAttackVsNormal) {
+  // 3 classes; class 0 = Normal.
+  ConfusionMatrix cm(3);
+  cm.Record(0, 0);  // TN
+  cm.Record(0, 2);  // FP (normal flagged as attack class 2)
+  cm.Record(1, 1);  // TP
+  cm.Record(1, 2);  // TP — wrong attack class still counts as detected
+  cm.Record(2, 0);  // FN (attack passed as normal)
+  const auto b = CollapseToBinary(cm, 0);
+  EXPECT_EQ(b.tn, 1);
+  EXPECT_EQ(b.fp, 1);
+  EXPECT_EQ(b.tp, 2);
+  EXPECT_EQ(b.fn, 1);
+}
+
+TEST(BinaryOutcome, PaperEquations) {
+  BinaryOutcome b;
+  b.tp = 90;
+  b.fn = 10;
+  b.fp = 5;
+  b.tn = 95;
+  EXPECT_DOUBLE_EQ(b.DetectionRate(), 0.9);        // eq. 4
+  EXPECT_DOUBLE_EQ(b.FalseAlarmRate(), 0.05);      // eq. 5
+  EXPECT_DOUBLE_EQ(b.Accuracy(), 185.0 / 200.0);   // eq. 3
+}
+
+TEST(BinaryOutcome, EmptyDenominatorsAreZero) {
+  BinaryOutcome b;
+  EXPECT_EQ(b.DetectionRate(), 0.0);
+  EXPECT_EQ(b.FalseAlarmRate(), 0.0);
+  EXPECT_EQ(b.Accuracy(), 0.0);
+}
+
+TEST(BinaryCollapse, NonZeroNormalLabel) {
+  ConfusionMatrix cm(3);
+  cm.Record(1, 1);  // normal = class 1 → TN
+  cm.Record(0, 1);  // attack predicted normal → FN
+  cm.Record(2, 0);  // attack predicted attack → TP
+  const auto b = CollapseToBinary(cm, 1);
+  EXPECT_EQ(b.tn, 1);
+  EXPECT_EQ(b.fn, 1);
+  EXPECT_EQ(b.tp, 1);
+  EXPECT_EQ(b.fp, 0);
+}
+
+TEST(Report, ContainsClassNamesAndAccuracy) {
+  ConfusionMatrix cm(2);
+  cm.Record(0, 0);
+  cm.Record(1, 1);
+  const std::vector<std::string> names = {"Normal", "DoS"};
+  const auto report = ClassificationReport(cm, names);
+  EXPECT_NE(report.find("Normal"), std::string::npos);
+  EXPECT_NE(report.find("DoS"), std::string::npos);
+  EXPECT_NE(report.find("1.0000"), std::string::npos);
+}
+
+TEST(Report, RejectsWrongNameCount) {
+  ConfusionMatrix cm(2);
+  const std::vector<std::string> names = {"only-one"};
+  EXPECT_THROW(ClassificationReport(cm, names), CheckError);
+}
+
+TEST(Roc, PerfectRankingGivesAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> truth = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 1.0);
+}
+
+TEST(Roc, InvertedRankingGivesAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> truth = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 0.0);
+}
+
+TEST(Roc, RandomScoresGiveAucNearHalf) {
+  std::vector<double> scores;
+  std::vector<int> truth;
+  std::uint64_t state = 99;
+  for (int i = 0; i < 4000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    scores.push_back(static_cast<double>(state % 10007) / 10007.0);
+    truth.push_back(static_cast<int>(state % 2));
+  }
+  EXPECT_NEAR(RocAuc(scores, truth), 0.5, 0.05);
+}
+
+TEST(Roc, KnownInterleavedCase) {
+  // scores: P=0.8, N=0.7, P=0.6, N=0.5. Pairs: (0.8 vs 0.7)✓,
+  // (0.8 vs 0.5)✓, (0.6 vs 0.7)✗, (0.6 vs 0.5)✓ → AUC = 3/4.
+  const std::vector<double> scores = {0.8, 0.7, 0.6, 0.5};
+  const std::vector<int> truth = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 0.75);
+}
+
+TEST(Roc, TiedScoresGetHalfCredit) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<int> truth = {1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, truth), 0.5);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  const std::vector<double> scores = {0.9, 0.1, 0.8, 0.4, 0.3};
+  const std::vector<int> truth = {1, 0, 1, 0, 1};
+  const auto curve = RocCurve(scores, truth);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_EQ(curve.back().true_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate,
+              curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate,
+              curve[i - 1].true_positive_rate);
+  }
+}
+
+TEST(Roc, RejectsDegenerateInputs) {
+  EXPECT_THROW(RocAuc(std::vector<double>{}, std::vector<int>{}),
+               CheckError);
+  EXPECT_THROW(RocAuc(std::vector<double>{1.0, 2.0},
+                      std::vector<int>{1, 1}),
+               CheckError);  // single class
+  EXPECT_THROW(RocAuc(std::vector<double>{1.0},
+                      std::vector<int>{1, 0}),
+               CheckError);  // length mismatch
+}
+
+// Property sweep: DR and FAR stay in [0,1] and accuracy equals the
+// weighted combination for random confusion contents.
+class BinaryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryProperty, RatesAreBoundedAndConsistent) {
+  const int seed = GetParam();
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::int64_t>(state % 1000);
+  };
+  BinaryOutcome b;
+  b.tp = next();
+  b.tn = next();
+  b.fp = next();
+  b.fn = next();
+  EXPECT_GE(b.DetectionRate(), 0.0);
+  EXPECT_LE(b.DetectionRate(), 1.0);
+  EXPECT_GE(b.FalseAlarmRate(), 0.0);
+  EXPECT_LE(b.FalseAlarmRate(), 1.0);
+  EXPECT_GE(b.Accuracy(), 0.0);
+  EXPECT_LE(b.Accuracy(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOutcomes, BinaryProperty,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace pelican::metrics

@@ -1,0 +1,203 @@
+// Model-builder tests: block topology, the paper's parameter-layer
+// arithmetic (5 blocks → 21, 10 blocks → 41), end-to-end shapes for all
+// Table V architectures, trainability smoke checks.
+#include <gtest/gtest.h>
+
+#include "models/pelican.h"
+#include "models/zoo.h"
+
+namespace pelican::models {
+namespace {
+
+TEST(Blocks, PlainBlockPreservesPaperShape) {
+  Rng rng(1);
+  BlockConfig config;
+  config.channels = 8;
+  auto block = MakePlainBlock(config, rng);
+  auto y = block->Forward(Tensor::RandomNormal({4, 1, 8}, rng, 0, 1), false);
+  EXPECT_EQ(y.shape(), (Tensor::Shape{4, 1, 8}));
+}
+
+TEST(Blocks, PlainBlockCountsFourParameterLayers) {
+  Rng rng(2);
+  BlockConfig config;
+  config.channels = 4;
+  auto block = MakePlainBlock(config, rng);
+  EXPECT_EQ(block->ParameterLayerCount(), 4);  // BN, Conv, BN, GRU
+}
+
+TEST(Blocks, ResidualBlockCountsFourParameterLayers) {
+  Rng rng(3);
+  BlockConfig config;
+  config.channels = 4;
+  auto block = MakeResidualBlock(config, rng);
+  EXPECT_EQ(block->ParameterLayerCount(), 4);
+}
+
+TEST(Blocks, ResidualIdentityRequiresShapePreservingBody) {
+  Rng rng(4);
+  BlockConfig config;
+  config.channels = 4;
+  config.input_len = 8;  // pooling halves it → identity add impossible
+  EXPECT_THROW(MakeResidualBlock(config, rng, ShortcutKind::kIdentity),
+               CheckError);
+}
+
+TEST(Blocks, ProjectionShortcutHandlesPooling) {
+  Rng rng(5);
+  BlockConfig config;
+  config.channels = 4;
+  config.input_len = 8;
+  auto block = MakeResidualBlock(config, rng, ShortcutKind::kProjection);
+  auto y = block->Forward(Tensor::RandomNormal({2, 8, 4}, rng, 0, 1), false);
+  EXPECT_EQ(y.shape(), (Tensor::Shape{2, 4, 4}));
+}
+
+TEST(Blocks, LstmVariantBuilds) {
+  Rng rng(6);
+  BlockConfig config;
+  config.channels = 4;
+  config.recurrent = RecurrentKind::kLstm;
+  auto block = MakeResidualBlock(config, rng);
+  auto y = block->Forward(Tensor::RandomNormal({2, 1, 4}, rng, 0, 1), false);
+  EXPECT_EQ(y.shape(), (Tensor::Shape{2, 1, 4}));
+}
+
+TEST(Blocks, ShortcutTapAblationBuilds) {
+  Rng rng(7);
+  BlockConfig config;
+  config.channels = 4;
+  auto block =
+      MakeResidualBlock(config, rng, ShortcutKind::kIdentity,
+                        ShortcutTap::kBlockInput);
+  auto y = block->Forward(Tensor::RandomNormal({2, 1, 4}, rng, 0, 1), false);
+  EXPECT_EQ(y.shape(), (Tensor::Shape{2, 1, 4}));
+}
+
+TEST(Networks, PaperDepthArithmetic) {
+  // 5 blocks · 4 layers + dense = 21 ; 10 blocks → 41 (Section V-C).
+  Rng rng(8);
+  auto plain21 = BuildPlain21(12, 5, rng);
+  EXPECT_EQ(plain21->ParameterLayerCount(), 21);
+  auto residual21 = BuildResidual21(12, 5, rng);
+  EXPECT_EQ(residual21->ParameterLayerCount(), 21);
+  auto plain41 = BuildPlain41(12, 5, rng);
+  EXPECT_EQ(plain41->ParameterLayerCount(), 41);
+  auto pelican = BuildPelican(12, 5, rng);
+  EXPECT_EQ(pelican->ParameterLayerCount(), 41);
+}
+
+TEST(Networks, ParameterLayersForMatchesBuiltNetworks) {
+  NetworkConfig config;
+  config.features = 12;
+  config.n_classes = 5;
+  config.n_blocks = 5;
+  config.residual = true;
+  Rng rng(9);
+  auto net = BuildNetwork(config, rng);
+  EXPECT_EQ(net->ParameterLayerCount(), ParameterLayersFor(config));
+
+  config.channels = 6;  // adds the projection stem
+  Rng rng2(9);
+  auto narrow = BuildNetwork(config, rng2);
+  EXPECT_EQ(narrow->ParameterLayerCount(), ParameterLayersFor(config));
+}
+
+TEST(Networks, OutputShapeIsLogits) {
+  Rng rng(10);
+  auto net = BuildResidual21(10, 4, rng);
+  auto y = net->Forward(Tensor::RandomNormal({6, 10}, rng, 0, 1), false);
+  EXPECT_EQ(y.shape(), (Tensor::Shape{6, 4}));
+}
+
+TEST(Networks, ChannelReductionShrinksParameterCount) {
+  Rng rng(11);
+  auto wide = BuildPelican(64, 5, rng);
+  Rng rng2(11);
+  auto narrow = BuildPelican(64, 5, rng2, /*channels=*/8);
+  EXPECT_LT(narrow->ParameterCount(), wide->ParameterCount() / 10);
+}
+
+TEST(Networks, LuNetDepthFollowsBlockCount) {
+  Rng rng(12);
+  for (int blocks : {1, 3, 10}) {
+    auto net = BuildLuNet(12, 5, blocks, rng);
+    EXPECT_EQ(net->ParameterLayerCount(), 4 * blocks + 1);
+  }
+}
+
+TEST(Networks, ResidualHasSameParamCountAsPlain) {
+  // The identity shortcut adds no parameters — the comparison in
+  // Tables II–IV is apples-to-apples.
+  Rng rng(13);
+  auto plain = BuildPlain21(16, 5, rng);
+  Rng rng2(13);
+  auto residual = BuildResidual21(16, 5, rng2);
+  EXPECT_EQ(plain->ParameterCount(), residual->ParameterCount());
+}
+
+TEST(Zoo, ChunkShapeFactorizations) {
+  EXPECT_EQ(ChunkShape(121), (std::pair<std::int64_t, std::int64_t>{11, 11}));
+  EXPECT_EQ(ChunkShape(196), (std::pair<std::int64_t, std::int64_t>{14, 14}));
+  EXPECT_EQ(ChunkShape(12), (std::pair<std::int64_t, std::int64_t>{4, 3}));
+  EXPECT_EQ(ChunkShape(13), (std::pair<std::int64_t, std::int64_t>{13, 1}));
+  EXPECT_EQ(ChunkShape(1), (std::pair<std::int64_t, std::int64_t>{1, 1}));
+}
+
+TEST(Zoo, AllBaselinesProduceLogits) {
+  Rng rng(14);
+  const std::int64_t features = 24, classes = 5, batch = 3;
+  auto x = Tensor::RandomNormal({batch, features}, rng, 0, 1);
+  for (auto& net :
+       {BuildMlp(features, classes, rng), BuildCnn(features, classes, rng),
+        BuildLstmNet(features, classes, rng),
+        BuildHastIds(features, classes, rng)}) {
+    auto y = net->Forward(x, false);
+    EXPECT_EQ(y.shape(), (Tensor::Shape{batch, classes}));
+  }
+}
+
+TEST(Zoo, BaselinesBackpropagate) {
+  Rng rng(15);
+  const std::int64_t features = 24, classes = 3;
+  auto x = Tensor::RandomNormal({2, features}, rng, 0, 1);
+  for (auto& net :
+       {BuildMlp(features, classes, rng), BuildCnn(features, classes, rng),
+        BuildLstmNet(features, classes, rng),
+        BuildHastIds(features, classes, rng)}) {
+    auto y = net->Forward(x, true);
+    auto dx = net->Backward(Tensor::Full(y.shape(), 0.1F));
+    EXPECT_EQ(dx.shape(), x.shape());
+    // At least one parameter received gradient signal.
+    float grad_mag = 0.0F;
+    for (auto& p : net->Params()) grad_mag += p.grad->AbsMax();
+    EXPECT_GT(grad_mag, 0.0F);
+  }
+}
+
+TEST(Networks, PelicanBackpropagatesThroughAllBlocks) {
+  Rng rng(16);
+  auto net = BuildPelican(10, 3, rng);
+  auto x = Tensor::RandomNormal({2, 10}, rng, 0, 1);
+  auto y = net->Forward(x, true);
+  net->Backward(Tensor::Full(y.shape(), 0.1F));
+  // With the paper's one-time-step input the GRU's recurrent kernels
+  // and reset gate act on h_{t-1} = 0, so they are *structurally* dead
+  // (this matches the Keras original). Every other tensor in every
+  // block must receive gradient — the residual shortcut cannot starve
+  // the early blocks.
+  auto is_structurally_dead = [](const std::string& name) {
+    return name == "gru.uz" || name == "gru.ur" || name == "gru.uh" ||
+           name == "gru.wr" || name == "gru.br";
+  };
+  for (auto& p : net->Params()) {
+    if (is_structurally_dead(p.name)) {
+      EXPECT_EQ(p.grad->AbsMax(), 0.0F) << p.name;
+    } else {
+      EXPECT_GT(p.grad->AbsMax(), 0.0F) << p.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pelican::models

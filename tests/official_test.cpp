@@ -1,0 +1,214 @@
+// Tests for the official-format dataset loaders, using in-memory
+// fixtures shaped exactly like KDDTrain+.txt / UNSW_NB15_training-set.csv.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/encoder.h"
+#include "data/nslkdd.h"
+#include "data/official.h"
+#include "data/unsw_nb15.h"
+
+namespace pelican::data {
+namespace {
+
+// One NSL-KDD official line: 41 features, attack name, difficulty.
+std::string KddLine(const std::string& protocol, const std::string& service,
+                    const std::string& flag, const std::string& attack) {
+  std::ostringstream os;
+  os << "0," << protocol << "," << service << "," << flag;
+  for (int i = 0; i < 37; ++i) os << "," << (i % 3 == 0 ? "1" : "0.25");
+  os << "," << attack << ",21";
+  return os.str();
+}
+
+TEST(NslKddOfficial, ParsesRowsAndMapsAttackTaxonomy) {
+  std::stringstream in;
+  in << KddLine("tcp", "http", "SF", "normal") << "\n"
+     << KddLine("tcp", "private", "S0", "neptune") << "\n"
+     << KddLine("icmp", "ecr_i", "SF", "smurf") << "\n"
+     << KddLine("tcp", "telnet", "SF", "buffer_overflow") << "\n"
+     << KddLine("tcp", "ftp", "SF", "guess_passwd") << "\n"
+     << KddLine("tcp", "other", "REJ", "portsweep") << "\n";
+  OfficialLoadReport report;
+  const auto ds = ReadNslKddOfficial(in, &report);
+  ASSERT_EQ(ds.Size(), 6u);
+  EXPECT_EQ(report.rows, 6u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(ds.Label(0), static_cast<int>(NslKddClass::kNormal));
+  EXPECT_EQ(ds.Label(1), static_cast<int>(NslKddClass::kDos));
+  EXPECT_EQ(ds.Label(2), static_cast<int>(NslKddClass::kDos));
+  EXPECT_EQ(ds.Label(3), static_cast<int>(NslKddClass::kU2r));
+  EXPECT_EQ(ds.Label(4), static_cast<int>(NslKddClass::kR2l));
+  EXPECT_EQ(ds.Label(5), static_cast<int>(NslKddClass::kProbe));
+}
+
+TEST(NslKddOfficial, CategoricalCellsDecodeToVocabularyIndices) {
+  std::stringstream in;
+  in << KddLine("udp", "domain_u", "SF", "normal") << "\n";
+  const auto ds = ReadNslKddOfficial(in, nullptr);
+  ASSERT_EQ(ds.Size(), 1u);
+  const auto& schema = ds.schema();
+  const auto proto_col =
+      static_cast<std::size_t>(schema.ColumnIndex("protocol_type"));
+  const auto service_col =
+      static_cast<std::size_t>(schema.ColumnIndex("service"));
+  const auto proto_idx =
+      static_cast<std::size_t>(ds.Row(0)[proto_col]);
+  const auto service_idx =
+      static_cast<std::size_t>(ds.Row(0)[service_col]);
+  EXPECT_EQ(schema.Column(proto_col).categories[proto_idx], "udp");
+  EXPECT_EQ(schema.Column(service_col).categories[service_idx], "domain_u");
+}
+
+TEST(NslKddOfficial, UnknownServiceFallsBackToOther) {
+  std::stringstream in;
+  in << KddLine("tcp", "totally_new_service", "SF", "normal") << "\n";
+  OfficialLoadReport report;
+  const auto ds = ReadNslKddOfficial(in, &report);
+  ASSERT_EQ(ds.Size(), 1u);
+  EXPECT_EQ(report.unknown_categories, 1u);
+  const auto& schema = ds.schema();
+  const auto service_col =
+      static_cast<std::size_t>(schema.ColumnIndex("service"));
+  const auto idx = static_cast<std::size_t>(ds.Row(0)[service_col]);
+  EXPECT_EQ(schema.Column(service_col).categories[idx], "other");
+}
+
+TEST(NslKddOfficial, SkipsMalformedAndUnknownAttacks) {
+  std::stringstream in;
+  in << "1,2,3\n"                                       // too short
+     << KddLine("tcp", "http", "SF", "zergrush") << "\n"  // unknown attack
+     << KddLine("tcp", "http", "SF", "normal") << "\n";
+  OfficialLoadReport report;
+  const auto ds = ReadNslKddOfficial(in, &report);
+  EXPECT_EQ(ds.Size(), 1u);
+  EXPECT_EQ(report.skipped, 2u);
+}
+
+TEST(NslKddOfficial, AcceptsLinesWithoutDifficultyColumn) {
+  auto line = KddLine("tcp", "http", "SF", "normal");
+  line = line.substr(0, line.rfind(','));  // drop difficulty
+  std::stringstream in;
+  in << line << "\n";
+  const auto ds = ReadNslKddOfficial(in, nullptr);
+  EXPECT_EQ(ds.Size(), 1u);
+}
+
+TEST(NslKddAttackCategoryFn, CoversTaxonomy) {
+  EXPECT_EQ(NslKddAttackCategory("neptune"),
+            static_cast<int>(NslKddClass::kDos));
+  EXPECT_EQ(NslKddAttackCategory("NMAP"),
+            static_cast<int>(NslKddClass::kProbe));
+  EXPECT_EQ(NslKddAttackCategory("rootkit"),
+            static_cast<int>(NslKddClass::kU2r));
+  EXPECT_EQ(NslKddAttackCategory("warezmaster"),
+            static_cast<int>(NslKddClass::kR2l));
+  EXPECT_EQ(NslKddAttackCategory("normal"),
+            static_cast<int>(NslKddClass::kNormal));
+  EXPECT_EQ(NslKddAttackCategory("not_an_attack"), -1);
+}
+
+// ---- UNSW-NB15 ----------------------------------------------------------
+
+std::string UnswHeader() {
+  return "id,dur,proto,service,state,spkts,dpkts,sbytes,dbytes,rate,sttl,"
+         "dttl,sload,dload,sloss,dloss,sinpkt,dinpkt,sjit,djit,swin,stcpb,"
+         "dtcpb,dwin,tcprtt,synack,ackdat,smean,dmean,trans_depth,"
+         "response_body_len,ct_srv_src,ct_state_ttl,ct_dst_ltm,"
+         "ct_src_dport_ltm,ct_dst_sport_ltm,ct_dst_src_ltm,is_ftp_login,"
+         "ct_ftp_cmd,ct_flw_http_mthd,ct_src_ltm,ct_srv_dst,"
+         "is_sm_ips_ports,attack_cat,label";
+}
+
+std::string UnswLine(int id, const std::string& proto,
+                     const std::string& service, const std::string& state,
+                     const std::string& attack_cat, int label) {
+  std::ostringstream os;
+  os << id << ",0.12," << proto << "," << service << "," << state;
+  for (int i = 0; i < 38; ++i) os << "," << (i + 1);
+  os << "," << attack_cat << "," << label;
+  return os.str();
+}
+
+TEST(UnswOfficial, ParsesHeaderedRows) {
+  std::stringstream in;
+  in << UnswHeader() << "\n"
+     << UnswLine(1, "tcp", "http", "FIN", "Normal", 0) << "\n"
+     << UnswLine(2, "udp", "dns", "INT", "Generic", 1) << "\n"
+     << UnswLine(3, "tcp", "-", "FIN", "Exploits", 1) << "\n";
+  OfficialLoadReport report;
+  const auto ds = ReadUnswNb15Official(in, &report);
+  ASSERT_EQ(ds.Size(), 3u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(ds.Label(0), static_cast<int>(UnswClass::kNormal));
+  EXPECT_EQ(ds.Label(1), static_cast<int>(UnswClass::kGeneric));
+  EXPECT_EQ(ds.Label(2), static_cast<int>(UnswClass::kExploits));
+  // dur landed in the right column despite the extra id column.
+  const auto dur_col = static_cast<std::size_t>(
+      ds.schema().ColumnIndex("dur"));
+  EXPECT_DOUBLE_EQ(ds.Row(0)[dur_col], 0.12);
+}
+
+TEST(UnswOfficial, NormalizesAttackCategorySpelling) {
+  std::stringstream in;
+  in << UnswHeader() << "\n"
+     << UnswLine(1, "tcp", "-", "FIN", "Backdoor", 1) << "\n"   // no 's'
+     << UnswLine(2, "tcp", "-", "FIN", "backdoors", 1) << "\n"
+     << UnswLine(3, "tcp", "-", "FIN", "DoS", 1) << "\n"
+     << UnswLine(4, "tcp", "-", "FIN", "dos", 1) << "\n";
+  const auto ds = ReadUnswNb15Official(in, nullptr);
+  ASSERT_EQ(ds.Size(), 4u);
+  EXPECT_EQ(ds.Label(0), static_cast<int>(UnswClass::kBackdoors));
+  EXPECT_EQ(ds.Label(1), static_cast<int>(UnswClass::kBackdoors));
+  EXPECT_EQ(ds.Label(2), static_cast<int>(UnswClass::kDos));
+  EXPECT_EQ(ds.Label(3), static_cast<int>(UnswClass::kDos));
+}
+
+TEST(UnswOfficial, UnknownProtoFallsBackToUnas) {
+  std::stringstream in;
+  in << UnswHeader() << "\n"
+     << UnswLine(1, "zz-proto", "-", "FIN", "Normal", 0) << "\n";
+  OfficialLoadReport report;
+  const auto ds = ReadUnswNb15Official(in, &report);
+  ASSERT_EQ(ds.Size(), 1u);
+  EXPECT_EQ(report.unknown_categories, 1u);
+  const auto proto_col =
+      static_cast<std::size_t>(ds.schema().ColumnIndex("proto"));
+  const auto idx = static_cast<std::size_t>(ds.Row(0)[proto_col]);
+  EXPECT_EQ(ds.schema().Column(proto_col).categories[idx], "unas");
+}
+
+TEST(UnswOfficial, RejectsHeaderMissingColumns) {
+  std::stringstream in;
+  in << "id,dur,proto\n1,0.1,tcp\n";
+  EXPECT_THROW(ReadUnswNb15Official(in, nullptr), CheckError);
+}
+
+TEST(UnswOfficial, SkipsRowsWithWrongFieldCount) {
+  std::stringstream in;
+  in << UnswHeader() << "\n"
+     << "1,2,3\n"
+     << UnswLine(2, "tcp", "http", "FIN", "Normal", 0) << "\n";
+  OfficialLoadReport report;
+  const auto ds = ReadUnswNb15Official(in, &report);
+  EXPECT_EQ(ds.Size(), 1u);
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(UnswOfficial, LoadedDataRunsThroughEncoder) {
+  std::stringstream in;
+  in << UnswHeader() << "\n";
+  for (int i = 0; i < 10; ++i) {
+    in << UnswLine(i, i % 2 == 0 ? "tcp" : "udp", "http", "FIN",
+                   i % 2 == 0 ? "Normal" : "Generic", i % 2)
+       << "\n";
+  }
+  const auto ds = ReadUnswNb15Official(in, nullptr);
+  const OneHotEncoder encoder(ds.schema());
+  const Tensor x = encoder.Transform(ds);
+  EXPECT_EQ(x.shape(), (Tensor::Shape{10, 196}));
+}
+
+}  // namespace
+}  // namespace pelican::data

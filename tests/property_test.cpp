@@ -1,0 +1,268 @@
+// Parameterized property sweeps across the substrate: shape invariants
+// and gradient checks for layer-configuration grids, generator
+// discriminability per class, binary collapse, pipeline determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/trainer.h"
+#include "data/data.h"
+#include "gradcheck.h"
+#include "nn/nn.h"
+#include "tensor/ops.h"
+
+namespace pelican {
+namespace {
+
+// ---- Conv1D shape/gradient grid ------------------------------------------
+
+using ConvParam = std::tuple<int, int, int, int>;  // L, C_in, F, K
+
+class ConvProperty : public ::testing::TestWithParam<ConvParam> {};
+
+TEST_P(ConvProperty, PreservesLengthAndPassesGradCheck) {
+  const auto [len, cin, f, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(len * 1000 + cin * 100 + f * 10 + k));
+  nn::Conv1D conv(cin, f, k, rng);
+  auto x = Tensor::RandomNormal({2, len, cin}, rng, 0, 1);
+  auto y = conv.Forward(x, true);
+  ASSERT_EQ(y.shape(), (Tensor::Shape{2, len, f}));  // 'same' padding
+  testing::CheckGradients(conv, std::move(x), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, ConvProperty,
+    ::testing::Values(ConvParam{1, 4, 4, 10},   // the paper's degenerate L=1
+                      ConvParam{6, 3, 5, 3},    // odd kernel
+                      ConvParam{6, 3, 5, 4},    // even kernel (asym padding)
+                      ConvParam{5, 1, 2, 5},    // kernel == length
+                      ConvParam{3, 2, 2, 7},    // kernel > length
+                      ConvParam{8, 5, 1, 1}));  // 1x1 projection
+
+// ---- recurrent shape/gradient grid ---------------------------------------
+
+using RnnParam = std::tuple<int, int, int, bool>;  // L, C_in, H, sequences
+
+class GruProperty : public ::testing::TestWithParam<RnnParam> {};
+
+TEST_P(GruProperty, ShapesAndGradients) {
+  const auto [len, cin, h, seq] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(len * 71 + cin * 13 + h));
+  nn::Gru gru(cin, h, rng, seq);
+  auto x = Tensor::RandomNormal({2, len, cin}, rng, 0, 1);
+  auto y = gru.Forward(x, true);
+  if (seq) {
+    ASSERT_EQ(y.shape(), (Tensor::Shape{2, len, h}));
+  } else {
+    ASSERT_EQ(y.shape(), (Tensor::Shape{2, h}));
+  }
+  testing::GradCheckOptions opts;
+  opts.epsilon = 2e-3F;  // hard-sigmoid kinks
+  opts.tolerance = 4e-2F;
+  testing::CheckGradients(gru, std::move(x), rng, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, GruProperty,
+                         ::testing::Values(RnnParam{1, 5, 5, true},
+                                           RnnParam{3, 2, 6, true},
+                                           RnnParam{7, 4, 3, false},
+                                           RnnParam{2, 1, 1, true}));
+
+class LstmProperty : public ::testing::TestWithParam<RnnParam> {};
+
+TEST_P(LstmProperty, ShapesAndGradients) {
+  const auto [len, cin, h, seq] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(len * 91 + cin * 17 + h));
+  nn::Lstm lstm(cin, h, rng, seq);
+  auto x = Tensor::RandomNormal({2, len, cin}, rng, 0, 1);
+  auto y = lstm.Forward(x, true);
+  if (seq) {
+    ASSERT_EQ(y.shape(), (Tensor::Shape{2, len, h}));
+  } else {
+    ASSERT_EQ(y.shape(), (Tensor::Shape{2, h}));
+  }
+  testing::GradCheckOptions opts;
+  opts.epsilon = 2e-3F;
+  opts.tolerance = 4e-2F;
+  testing::CheckGradients(lstm, std::move(x), rng, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, LstmProperty,
+                         ::testing::Values(RnnParam{1, 5, 5, true},
+                                           RnnParam{4, 3, 4, true},
+                                           RnnParam{5, 2, 3, false}));
+
+// ---- pooling length rules --------------------------------------------------
+
+using PoolParam = std::tuple<int, int>;  // L, pool
+
+class PoolProperty : public ::testing::TestWithParam<PoolParam> {};
+
+TEST_P(PoolProperty, OutputLengthMatchesRuleAndBackwardConserves) {
+  const auto [len, pool] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(len * 31 + pool));
+  nn::MaxPool1D layer(pool);
+  const std::int64_t expected =
+      len < pool ? 1 : static_cast<std::int64_t>(len / pool);
+  EXPECT_EQ(layer.OutputLength(len), expected);
+
+  auto x = Tensor::RandomUniform({3, len, 2}, rng, -2.0F, 2.0F);
+  auto y = layer.Forward(x, true);
+  ASSERT_EQ(y.dim(1), expected);
+  // Backward routes exactly the upstream mass (sum preserved).
+  auto dy = Tensor::Full(y.shape(), 1.0F);
+  auto dx = layer.Backward(dy);
+  EXPECT_NEAR(dx.Sum(), dy.Sum(), 1e-3F);
+}
+
+INSTANTIATE_TEST_SUITE_P(LengthGrid, PoolProperty,
+                         ::testing::Values(PoolParam{1, 2}, PoolParam{2, 2},
+                                           PoolParam{7, 2}, PoolParam{8, 2},
+                                           PoolParam{4, 3}, PoolParam{2, 5},
+                                           PoolParam{9, 3}));
+
+// ---- batchnorm rank/width grid ---------------------------------------------
+
+using BnParam = std::tuple<int, int, int>;  // N, L (0 = rank-2), C
+
+class BatchNormProperty : public ::testing::TestWithParam<BnParam> {};
+
+TEST_P(BatchNormProperty, NormalizesPerChannel) {
+  const auto [n, len, c] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 37 + len * 11 + c));
+  nn::BatchNorm bn(c);
+  Tensor x = len == 0
+                 ? Tensor::RandomNormal({n, c}, rng, 3.0F, 2.0F)
+                 : Tensor::RandomNormal({n, len, c}, rng, 3.0F, 2.0F);
+  auto y = bn.Forward(x, true);
+  ASSERT_EQ(y.shape(), x.shape());
+  // Channel means ≈ 0 after normalization.
+  const std::int64_t rows = y.size() / c;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double mean = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) mean += y[r * c + ch];
+    EXPECT_NEAR(mean / static_cast<double>(rows), 0.0, 1e-3)
+        << "channel " << ch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankGrid, BatchNormProperty,
+                         ::testing::Values(BnParam{16, 0, 3},
+                                           BnParam{64, 0, 1},
+                                           BnParam{8, 4, 2},
+                                           BnParam{4, 16, 5}));
+
+// ---- generator class discriminability -------------------------------------
+
+// Every NSL-KDD class must be statistically distinguishable from Normal
+// at default separation: a trivial nearest-centroid rule on encoded
+// features should beat coin-flipping by a wide margin.
+class NslClassProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NslClassProperty, ClassSeparableFromNormal) {
+  const int attack_class = GetParam();
+  const auto spec = data::NslKddSpec();
+  Rng rng(static_cast<std::uint64_t>(attack_class) * 101 + 7);
+  data::RawDataset ds(spec.schema);
+  constexpr int kPerClass = 120;
+  for (int i = 0; i < kPerClass; ++i) {
+    ds.Add(data::GenerateRecord(spec, 0, rng), 0);
+    ds.Add(data::GenerateRecord(spec, attack_class, rng), 1);
+  }
+  const data::OneHotEncoder encoder(spec.schema);
+  Tensor x = encoder.Transform(ds);
+  data::StandardScaler scaler;
+  scaler.Fit(x);
+  scaler.Transform(x);
+
+  // Centroids from the first half; evaluate on the second half.
+  const std::int64_t d = x.dim(1);
+  Tensor centroid0({d}), centroid1({d});
+  const std::int64_t half = x.dim(0) / 2;
+  std::int64_t n0 = 0, n1 = 0;
+  for (std::int64_t i = 0; i < half; ++i) {
+    auto& centroid = ds.Label(static_cast<std::size_t>(i)) == 0
+                         ? centroid0
+                         : centroid1;
+    auto& count = ds.Label(static_cast<std::size_t>(i)) == 0 ? n0 : n1;
+    for (std::int64_t j = 0; j < d; ++j) centroid[j] += x.At(i, j);
+    ++count;
+  }
+  centroid0.Scale(1.0F / static_cast<float>(n0));
+  centroid1.Scale(1.0F / static_cast<float>(n1));
+
+  int correct = 0, total = 0;
+  for (std::int64_t i = half; i < x.dim(0); ++i) {
+    double d0 = 0.0, d1 = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      d0 += std::pow(x.At(i, j) - centroid0[j], 2.0F);
+      d1 += std::pow(x.At(i, j) - centroid1[j], 2.0F);
+    }
+    const int predicted = d1 < d0 ? 1 : 0;
+    correct += predicted == ds.Label(static_cast<std::size_t>(i));
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8)
+      << "class " << spec.schema.LabelName(
+                         static_cast<std::size_t>(attack_class));
+}
+
+INSTANTIATE_TEST_SUITE_P(AttackClasses, NslClassProperty,
+                         ::testing::Range(1, 5));
+
+// ---- binary collapse --------------------------------------------------------
+
+TEST(BinaryCollapseDataset, MapsLabelsAndKeepsFeatures) {
+  Rng rng(5);
+  const auto ds = data::GenerateUnswNb15(300, rng);
+  const auto binary = data::CollapseLabelsToBinary(ds);
+  ASSERT_EQ(binary.Size(), ds.Size());
+  EXPECT_EQ(binary.schema().LabelCount(), 2u);
+  EXPECT_EQ(binary.schema().ColumnCount(), ds.schema().ColumnCount());
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    EXPECT_EQ(binary.Label(i), ds.Label(i) == 0 ? 0 : 1);
+    const auto a = ds.Row(i);
+    const auto b = binary.Row(i);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(BinaryCollapseDataset, NonZeroNormalLabel) {
+  Rng rng(6);
+  const auto ds = data::GenerateNslKdd(100, rng);
+  const auto binary = data::CollapseLabelsToBinary(ds, /*normal_label=*/1);
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    EXPECT_EQ(binary.Label(i), ds.Label(i) == 1 ? 0 : 1);
+  }
+}
+
+// ---- determinism across the whole pipeline ---------------------------------
+
+TEST(Determinism, EndToEndPipelineIsBitReproducible) {
+  auto run = [] {
+    Rng rng(33);
+    auto ds = data::GenerateNslKdd(300, rng);
+    const data::OneHotEncoder encoder(ds.schema());
+    Tensor x = encoder.Transform(ds);
+    data::StandardScaler scaler;
+    scaler.Fit(x);
+    scaler.Transform(x);
+    Rng net_rng(44);
+    nn::Sequential net;
+    net.Add(std::make_unique<nn::Dense>(x.dim(1), 16, net_rng));
+    net.Add(nn::Relu());
+    net.Add(std::make_unique<nn::Dropout>(0.3F));
+    net.Add(std::make_unique<nn::Dense>(16, 5, net_rng));
+    core::TrainConfig tc;
+    tc.epochs = 3;
+    tc.seed = 55;
+    core::Trainer trainer(net, tc);
+    auto history = trainer.Fit(x, ds.Labels());
+    return history.back().train_loss;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pelican

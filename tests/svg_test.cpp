@@ -1,0 +1,88 @@
+// Tests for the SVG chart renderer behind tools/plot_history.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/svg.h"
+
+namespace pelican {
+namespace {
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(LineChart, RendersWellFormedSvgDocument) {
+  LineChart chart("Loss", "epoch", "loss");
+  chart.AddSeries("a", {{1, 0.5}, {2, 0.4}, {3, 0.3}});
+  const auto svg = chart.Render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Loss"), std::string::npos);
+  EXPECT_NE(svg.find("epoch"), std::string::npos);
+}
+
+TEST(LineChart, OnePolylinePerSeries) {
+  LineChart chart("t", "x", "y");
+  chart.AddSeries("a", {{0, 0}, {1, 1}});
+  chart.AddSeries("b", {{0, 1}, {1, 0}});
+  chart.AddSeries("c", {{0, 2}, {1, 2}});
+  EXPECT_EQ(chart.SeriesCount(), 3u);
+  const auto svg = chart.Render();
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 3u);
+  // Legend entries.
+  EXPECT_NE(svg.find(">a</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">b</text>"), std::string::npos);
+}
+
+TEST(LineChart, EscapesXmlInLabels) {
+  LineChart chart("a < b & c", "x", "y");
+  chart.AddSeries("s<1>", {{0, 0}, {1, 1}});
+  const auto svg = chart.Render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(LineChart, HandlesConstantSeries) {
+  LineChart chart("flat", "x", "y");
+  chart.AddSeries("flat", {{0, 5}, {1, 5}, {2, 5}});
+  EXPECT_NO_THROW(chart.Render());
+}
+
+TEST(LineChart, RejectsEmptyChartAndSeries) {
+  LineChart chart("t", "x", "y");
+  EXPECT_THROW(chart.Render(), CheckError);
+  EXPECT_THROW(chart.AddSeries("empty", {}), CheckError);
+}
+
+TEST(LineChart, RejectsTinyCanvas) {
+  LineChart chart("t", "x", "y");
+  chart.AddSeries("a", {{0, 0}, {1, 1}});
+  EXPECT_THROW(chart.Render(50, 50), CheckError);
+}
+
+TEST(WriteTextFile, RoundTrips) {
+  const std::string path = "/tmp/pelican_svg_test.svg";
+  WriteTextFile(path, "<svg>hello</svg>");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg>hello</svg>");
+  std::remove(path.c_str());
+}
+
+TEST(WriteTextFile, RejectsUnwritablePath) {
+  EXPECT_THROW(WriteTextFile("/no/such/dir/file.svg", "x"), CheckError);
+}
+
+}  // namespace
+}  // namespace pelican

@@ -1,0 +1,30 @@
+#!/bin/sh
+# End-to-end smoke test of the pelican CLI, run under ctest:
+# generate → train → info → eval → classify, all against a temp dir.
+set -e
+
+PELICAN_BIN="$1"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$PELICAN_BIN" generate --dataset nsl --records 300 --seed 5 \
+    --out "$WORK_DIR/flows.csv"
+test -s "$WORK_DIR/flows.csv"
+
+"$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+    --blocks 2 --channels 8 --epochs 3 --out "$WORK_DIR/model.bin"
+test -s "$WORK_DIR/model.bin"
+test -s "$WORK_DIR/model.bin.meta"
+test -s "$WORK_DIR/model.bin.pre"
+
+"$PELICAN_BIN" info --model "$WORK_DIR/model.bin" | grep -q "residual"
+
+"$PELICAN_BIN" eval --model "$WORK_DIR/model.bin" \
+    --csv "$WORK_DIR/flows.csv" | grep -q "ACC"
+
+"$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \
+    --records 40 --seed 9 --limit 3 | grep -q "records,"  || \
+"$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \
+    --records 40 --seed 9 --limit 3 | grep -q "records"
+
+echo "cli smoke test passed"

@@ -1,0 +1,305 @@
+// pelican — command-line NIDS built on the library.
+//
+//   pelican generate --dataset nsl --records 5000 --out flows.csv
+//   pelican train    --dataset unsw --records 3000 --epochs 16 \
+//                    --out model.bin
+//   pelican train    --dataset nsl --csv flows.csv --out model.bin
+//   pelican train    --dataset nsl --official KDDTrain+.txt --out model.bin
+//   pelican eval     --model model.bin --csv flows.csv
+//   pelican classify --model model.bin --csv flows.csv --limit 20
+//   pelican info     --model model.bin
+//
+// Model files carry a .meta sidecar (key=value) recording the
+// architecture and source schema so eval/classify can rebuild the
+// network without flags.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+#include "core/core.h"
+#include "data/data.h"
+#include "metrics/metrics.h"
+
+namespace {
+
+using namespace pelican;
+
+// ---- tiny flag parser ----------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      PELICAN_CHECK(arg.rfind("--", 0) == 0, "expected --flag, got " + arg);
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] std::string Get(const std::string& name,
+                                const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long GetLong(const std::string& name, long fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  [[nodiscard]] bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// ---- model metadata sidecar ------------------------------------------------
+
+struct ModelMeta {
+  std::string schema;  // "nsl" or "unsw"
+  int blocks = 10;
+  bool residual = true;
+  std::int64_t channels = 24;
+};
+
+void WriteMeta(const std::string& model_path, const ModelMeta& meta) {
+  std::ofstream out(model_path + ".meta");
+  PELICAN_CHECK(out.is_open(), "cannot write " + model_path + ".meta");
+  out << "schema=" << meta.schema << "\nblocks=" << meta.blocks
+      << "\nresidual=" << (meta.residual ? 1 : 0)
+      << "\nchannels=" << meta.channels << "\n";
+}
+
+ModelMeta ReadMeta(const std::string& model_path) {
+  std::ifstream in(model_path + ".meta");
+  PELICAN_CHECK(in.is_open(), "cannot read " + model_path + ".meta");
+  ModelMeta meta;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto parts = Split(Trim(line), '=');
+    if (parts.size() != 2) continue;
+    if (parts[0] == "schema") meta.schema = parts[1];
+    if (parts[0] == "blocks") meta.blocks = std::atoi(parts[1].c_str());
+    if (parts[0] == "residual") meta.residual = parts[1] == "1";
+    if (parts[0] == "channels") meta.channels = std::atol(parts[1].c_str());
+  }
+  PELICAN_CHECK(meta.schema == "nsl" || meta.schema == "unsw",
+                "bad schema in meta file");
+  return meta;
+}
+
+data::Schema SchemaFor(const std::string& name) {
+  if (name == "nsl") return data::NslKddSchema();
+  if (name == "unsw") return data::UnswNb15Schema();
+  PELICAN_CHECK(false, "--dataset must be nsl or unsw, got " + name);
+  return data::NslKddSchema();
+}
+
+// Loads records from --csv / --official, or generates --records.
+data::RawDataset LoadData(const std::string& dataset_name,
+                          const Flags& flags) {
+  const auto schema = SchemaFor(dataset_name);
+  if (flags.Has("csv")) {
+    std::printf("loading %s ...\n", flags.Get("csv").c_str());
+    return data::ReadCsvFile(schema, flags.Get("csv"));
+  }
+  if (flags.Has("official")) {
+    std::printf("loading official file %s ...\n",
+                flags.Get("official").c_str());
+    data::OfficialLoadReport report;
+    auto ds = dataset_name == "nsl"
+                  ? data::ReadNslKddOfficialFile(flags.Get("official"),
+                                                 &report)
+                  : data::ReadUnswNb15OfficialFile(flags.Get("official"),
+                                                   &report);
+    std::printf("  %zu rows, %zu skipped, %zu unknown categories\n",
+                report.rows, report.skipped, report.unknown_categories);
+    return ds;
+  }
+  const auto records =
+      static_cast<std::size_t>(flags.GetLong("records", 3000));
+  const auto seed = static_cast<std::uint64_t>(flags.GetLong("seed", 2020));
+  Rng rng(seed);
+  std::printf("generating %zu synthetic %s records (seed %llu)\n", records,
+              dataset_name.c_str(),
+              static_cast<unsigned long long>(seed));
+  return dataset_name == "nsl" ? data::GenerateNslKdd(records, rng)
+                               : data::GenerateUnswNb15(records, rng);
+}
+
+core::IdsConfig ConfigFrom(const ModelMeta& meta, const Flags& flags) {
+  core::IdsConfig config;
+  config.n_blocks = meta.blocks;
+  config.residual = meta.residual;
+  config.channels = meta.channels;
+  config.train.epochs = static_cast<int>(flags.GetLong("epochs", 16));
+  config.train.batch_size =
+      static_cast<std::size_t>(flags.GetLong("batch", 64));
+  config.train.learning_rate = 0.01F;
+  config.train.seed = static_cast<std::uint64_t>(flags.GetLong("seed", 2020));
+  config.train.verbose = flags.Has("verbose");
+  return config;
+}
+
+// ---- subcommands -----------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  const auto dataset_name = flags.Get("dataset", "nsl");
+  const auto out = flags.Get("out");
+  PELICAN_CHECK(!out.empty(), "generate requires --out <file.csv>");
+  const auto ds = LoadData(dataset_name, flags);
+  data::WriteCsvFile(ds, out);
+  std::printf("wrote %zu records to %s\n", ds.Size(), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const auto dataset_name = flags.Get("dataset", "nsl");
+  const auto out = flags.Get("out");
+  PELICAN_CHECK(!out.empty(), "train requires --out <model.bin>");
+
+  ModelMeta meta;
+  meta.schema = dataset_name;
+  meta.blocks = static_cast<int>(flags.GetLong("blocks", 10));
+  meta.residual = !flags.Has("plain");
+  meta.channels = flags.GetLong("channels", 24);
+
+  const auto ds = LoadData(dataset_name, flags);
+  const auto config = ConfigFrom(meta, flags);
+  core::PelicanIds ids(ds.schema(), config);
+  std::printf("training %s-%d (channels=%lld) for %d epochs on %zu "
+              "records...\n",
+              meta.residual ? "Residual" : "Plain", 4 * meta.blocks + 1,
+              static_cast<long long>(meta.channels), config.train.epochs,
+              ds.Size());
+  const auto history = ids.Train(ds);
+  std::printf("final train loss %.4f, accuracy %.2f%%\n",
+              history.back().train_loss,
+              history.back().train_accuracy * 100.0F);
+  ids.Save(out);
+  WriteMeta(out, meta);
+  std::printf("saved model to %s (+ .pre, .meta)\n", out.c_str());
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  const auto model = flags.Get("model");
+  PELICAN_CHECK(!model.empty(), "eval requires --model <model.bin>");
+  const auto meta = ReadMeta(model);
+  const auto ds = LoadData(meta.schema, flags);
+
+  core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
+  ids.Load(model);
+
+  const auto predictions = ids.Classify(ds);
+  metrics::ConfusionMatrix cm(ds.schema().LabelCount());
+  cm.RecordAll(ds.Labels(), predictions);
+  const auto binary = metrics::CollapseToBinary(cm, 0);
+  std::printf("%s\n",
+              metrics::ClassificationReport(cm, ds.schema().Labels())
+                  .c_str());
+  std::printf("DR %.2f%%  ACC %.2f%%  FAR %.2f%%  (TP %lld FP %lld)\n",
+              binary.DetectionRate() * 100.0, cm.Accuracy() * 100.0,
+              binary.FalseAlarmRate() * 100.0,
+              static_cast<long long>(binary.tp),
+              static_cast<long long>(binary.fp));
+  return 0;
+}
+
+int CmdClassify(const Flags& flags) {
+  const auto model = flags.Get("model");
+  PELICAN_CHECK(!model.empty(), "classify requires --model <model.bin>");
+  const auto meta = ReadMeta(model);
+  const auto ds = LoadData(meta.schema, flags);
+
+  core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
+  ids.Load(model);
+
+  const auto limit = static_cast<std::size_t>(flags.GetLong("limit", 0));
+  core::StreamConfig stream_config;
+  core::StreamDetector detector(ids, stream_config);
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    const auto alert = detector.Ingest(ds.Row(i));
+    if (alert && (limit == 0 || shown < limit)) {
+      std::printf("record %6zu: %-16s confidence=%.2f%s\n", i,
+                  alert->class_name.c_str(), alert->confidence,
+                  alert->suppressed ? "  [suppressed]" : "");
+      ++shown;
+    }
+  }
+  const auto stats = detector.Stats();
+  std::printf("\n%llu records, %llu alerts (%.2f%%)\n",
+              static_cast<unsigned long long>(stats.processed),
+              static_cast<unsigned long long>(stats.alerts),
+              100.0 * static_cast<double>(stats.alerts) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, stats.processed)));
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const auto model = flags.Get("model");
+  PELICAN_CHECK(!model.empty(), "info requires --model <model.bin>");
+  const auto meta = ReadMeta(model);
+  core::IdsConfig config;
+  config.n_blocks = meta.blocks;
+  config.residual = meta.residual;
+  config.channels = meta.channels;
+  core::PelicanIds ids(SchemaFor(meta.schema), config);
+  ids.Load(model);
+  std::printf("model: %s\n", model.c_str());
+  std::printf("  schema:    %s (%zu classes, %lld encoded features)\n",
+              meta.schema.c_str(), ids.schema().LabelCount(),
+              static_cast<long long>(ids.schema().EncodedWidth()));
+  std::printf("  structure: %s, %d blocks (%d parameter layers), "
+              "channels %lld\n",
+              meta.residual ? "residual" : "plain", meta.blocks,
+              ids.network().ParameterLayerCount(),
+              static_cast<long long>(meta.channels));
+  std::printf("  trainable parameters: %lld\n",
+              static_cast<long long>(ids.network().ParameterCount()));
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "pelican — deep residual network intrusion detection\n\n"
+      "usage: pelican <command> [--flags]\n\n"
+      "commands:\n"
+      "  generate  --dataset nsl|unsw --records N [--seed S] --out f.csv\n"
+      "  train     --dataset nsl|unsw [--csv f|--official f|--records N]\n"
+      "            [--blocks 10] [--plain] [--channels 24] [--epochs 16]\n"
+      "            --out model.bin\n"
+      "  eval      --model model.bin [--csv f|--official f|--records N]\n"
+      "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
+      "  info      --model model.bin\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    Flags flags(argc, argv, 2);
+    if (command == "generate") return CmdGenerate(flags);
+    if (command == "train") return CmdTrain(flags);
+    if (command == "eval") return CmdEval(flags);
+    if (command == "classify") return CmdClassify(flags);
+    if (command == "info") return CmdInfo(flags);
+    return Usage();
+  } catch (const pelican::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
