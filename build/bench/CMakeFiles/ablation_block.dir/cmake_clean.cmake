@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block.dir/ablation_block.cpp.o"
+  "CMakeFiles/ablation_block.dir/ablation_block.cpp.o.d"
+  "ablation_block"
+  "ablation_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_imbalance.cpp" "bench/CMakeFiles/ablation_imbalance.dir/ablation_imbalance.cpp.o" "gcc" "bench/CMakeFiles/ablation_imbalance.dir/ablation_imbalance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pelican_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pelican_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pelican_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pelican_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pelican_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pelican_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pelican_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

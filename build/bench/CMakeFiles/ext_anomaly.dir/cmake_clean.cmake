@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_anomaly.dir/ext_anomaly.cpp.o"
+  "CMakeFiles/ext_anomaly.dir/ext_anomaly.cpp.o.d"
+  "ext_anomaly"
+  "ext_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

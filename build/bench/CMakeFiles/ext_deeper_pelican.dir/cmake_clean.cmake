@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deeper_pelican.dir/ext_deeper_pelican.cpp.o"
+  "CMakeFiles/ext_deeper_pelican.dir/ext_deeper_pelican.cpp.o.d"
+  "ext_deeper_pelican"
+  "ext_deeper_pelican.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deeper_pelican.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

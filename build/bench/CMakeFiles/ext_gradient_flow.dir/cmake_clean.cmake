@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gradient_flow.dir/ext_gradient_flow.cpp.o"
+  "CMakeFiles/ext_gradient_flow.dir/ext_gradient_flow.cpp.o.d"
+  "ext_gradient_flow"
+  "ext_gradient_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gradient_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

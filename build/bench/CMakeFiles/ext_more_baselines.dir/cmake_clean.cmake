@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_more_baselines.dir/ext_more_baselines.cpp.o"
+  "CMakeFiles/ext_more_baselines.dir/ext_more_baselines.cpp.o.d"
+  "ext_more_baselines"
+  "ext_more_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_more_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_per_class.dir/ext_per_class.cpp.o"
+  "CMakeFiles/ext_per_class.dir/ext_per_class.cpp.o.d"
+  "ext_per_class"
+  "ext_per_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_per_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

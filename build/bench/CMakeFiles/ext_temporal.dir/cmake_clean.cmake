@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_temporal.dir/ext_temporal.cpp.o"
+  "CMakeFiles/ext_temporal.dir/ext_temporal.cpp.o.d"
+  "ext_temporal"
+  "ext_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_degradation.dir/fig2_degradation.cpp.o"
+  "CMakeFiles/fig2_degradation.dir/fig2_degradation.cpp.o.d"
+  "fig2_degradation"
+  "fig2_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_losses.dir/fig5_losses.cpp.o"
+  "CMakeFiles/fig5_losses.dir/fig5_losses.cpp.o.d"
+  "fig5_losses"
+  "fig5_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

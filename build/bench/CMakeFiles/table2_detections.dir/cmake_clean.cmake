@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_detections.dir/table2_detections.cpp.o"
+  "CMakeFiles/table2_detections.dir/table2_detections.cpp.o.d"
+  "table2_detections"
+  "table2_detections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_detections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

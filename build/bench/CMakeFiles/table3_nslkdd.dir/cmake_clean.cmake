@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nslkdd.dir/table3_nslkdd.cpp.o"
+  "CMakeFiles/table3_nslkdd.dir/table3_nslkdd.cpp.o.d"
+  "table3_nslkdd"
+  "table3_nslkdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nslkdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

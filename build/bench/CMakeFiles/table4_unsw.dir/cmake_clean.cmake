@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_unsw.dir/table4_unsw.cpp.o"
+  "CMakeFiles/table4_unsw.dir/table4_unsw.cpp.o.d"
+  "table4_unsw"
+  "table4_unsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_unsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nslkdd_ids.dir/nslkdd_ids.cpp.o"
+  "CMakeFiles/nslkdd_ids.dir/nslkdd_ids.cpp.o.d"
+  "nslkdd_ids"
+  "nslkdd_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nslkdd_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

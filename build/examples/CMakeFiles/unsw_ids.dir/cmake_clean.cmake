@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsw_ids.dir/unsw_ids.cpp.o"
+  "CMakeFiles/unsw_ids.dir/unsw_ids.cpp.o.d"
+  "unsw_ids"
+  "unsw_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsw_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_common.dir/logging.cpp.o"
+  "CMakeFiles/pelican_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/rng.cpp.o"
+  "CMakeFiles/pelican_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/strings.cpp.o"
+  "CMakeFiles/pelican_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/svg.cpp.o"
+  "CMakeFiles/pelican_common.dir/svg.cpp.o.d"
+  "CMakeFiles/pelican_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pelican_common.dir/thread_pool.cpp.o.d"
+  "libpelican_common.a"
+  "libpelican_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

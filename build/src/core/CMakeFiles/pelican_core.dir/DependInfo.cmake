@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cross_validation.cpp" "src/core/CMakeFiles/pelican_core.dir/cross_validation.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/core/experiment_config.cpp" "src/core/CMakeFiles/pelican_core.dir/experiment_config.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/experiment_config.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/pelican_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/neural_classifier.cpp" "src/core/CMakeFiles/pelican_core.dir/neural_classifier.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/neural_classifier.cpp.o.d"
+  "/root/repo/src/core/pelican_ids.cpp" "src/core/CMakeFiles/pelican_core.dir/pelican_ids.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/pelican_ids.cpp.o.d"
+  "/root/repo/src/core/stream.cpp" "src/core/CMakeFiles/pelican_core.dir/stream.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/stream.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/pelican_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/pelican_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/pelican_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pelican_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pelican_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pelican_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pelican_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pelican_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pelican_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_core.dir/cross_validation.cpp.o"
+  "CMakeFiles/pelican_core.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/experiment_config.cpp.o"
+  "CMakeFiles/pelican_core.dir/experiment_config.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/model_io.cpp.o"
+  "CMakeFiles/pelican_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/neural_classifier.cpp.o"
+  "CMakeFiles/pelican_core.dir/neural_classifier.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/pelican_ids.cpp.o"
+  "CMakeFiles/pelican_core.dir/pelican_ids.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/stream.cpp.o"
+  "CMakeFiles/pelican_core.dir/stream.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/trainer.cpp.o"
+  "CMakeFiles/pelican_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/pelican_core.dir/transfer.cpp.o"
+  "CMakeFiles/pelican_core.dir/transfer.cpp.o.d"
+  "libpelican_core.a"
+  "libpelican_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batcher.cpp" "src/data/CMakeFiles/pelican_data.dir/batcher.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/batcher.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/pelican_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/pelican_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/encoder.cpp" "src/data/CMakeFiles/pelican_data.dir/encoder.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/encoder.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/pelican_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/kfold.cpp" "src/data/CMakeFiles/pelican_data.dir/kfold.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/kfold.cpp.o.d"
+  "/root/repo/src/data/nslkdd.cpp" "src/data/CMakeFiles/pelican_data.dir/nslkdd.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/nslkdd.cpp.o.d"
+  "/root/repo/src/data/official.cpp" "src/data/CMakeFiles/pelican_data.dir/official.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/official.cpp.o.d"
+  "/root/repo/src/data/resample.cpp" "src/data/CMakeFiles/pelican_data.dir/resample.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/resample.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/data/CMakeFiles/pelican_data.dir/scaler.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/scaler.cpp.o.d"
+  "/root/repo/src/data/schema.cpp" "src/data/CMakeFiles/pelican_data.dir/schema.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/schema.cpp.o.d"
+  "/root/repo/src/data/stream_window.cpp" "src/data/CMakeFiles/pelican_data.dir/stream_window.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/stream_window.cpp.o.d"
+  "/root/repo/src/data/unsw_nb15.cpp" "src/data/CMakeFiles/pelican_data.dir/unsw_nb15.cpp.o" "gcc" "src/data/CMakeFiles/pelican_data.dir/unsw_nb15.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pelican_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

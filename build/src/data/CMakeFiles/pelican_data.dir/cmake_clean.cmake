@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_data.dir/batcher.cpp.o"
+  "CMakeFiles/pelican_data.dir/batcher.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/csv.cpp.o"
+  "CMakeFiles/pelican_data.dir/csv.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/dataset.cpp.o"
+  "CMakeFiles/pelican_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/encoder.cpp.o"
+  "CMakeFiles/pelican_data.dir/encoder.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/generator.cpp.o"
+  "CMakeFiles/pelican_data.dir/generator.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/kfold.cpp.o"
+  "CMakeFiles/pelican_data.dir/kfold.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/nslkdd.cpp.o"
+  "CMakeFiles/pelican_data.dir/nslkdd.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/official.cpp.o"
+  "CMakeFiles/pelican_data.dir/official.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/resample.cpp.o"
+  "CMakeFiles/pelican_data.dir/resample.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/scaler.cpp.o"
+  "CMakeFiles/pelican_data.dir/scaler.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/schema.cpp.o"
+  "CMakeFiles/pelican_data.dir/schema.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/stream_window.cpp.o"
+  "CMakeFiles/pelican_data.dir/stream_window.cpp.o.d"
+  "CMakeFiles/pelican_data.dir/unsw_nb15.cpp.o"
+  "CMakeFiles/pelican_data.dir/unsw_nb15.cpp.o.d"
+  "libpelican_data.a"
+  "libpelican_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

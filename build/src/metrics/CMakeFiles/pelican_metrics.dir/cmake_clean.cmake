@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/pelican_metrics.dir/metrics.cpp.o.d"
+  "libpelican_metrics.a"
+  "libpelican_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/ml/CMakeFiles/pelican_ml.dir/adaboost.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/ml/anomaly.cpp" "src/ml/CMakeFiles/pelican_ml.dir/anomaly.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/anomaly.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/pelican_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/pelican_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/pelican_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/pelican_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/pelican_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/pelican_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/pelican_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pelican_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pelican_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pelican_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/pelican_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/anomaly.cpp.o"
+  "CMakeFiles/pelican_ml.dir/anomaly.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/classifier.cpp.o"
+  "CMakeFiles/pelican_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/pelican_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/knn.cpp.o"
+  "CMakeFiles/pelican_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/pelican_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/pelican_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/pelican_ml.dir/svm.cpp.o"
+  "CMakeFiles/pelican_ml.dir/svm.cpp.o.d"
+  "libpelican_ml.a"
+  "libpelican_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/blocks.cpp" "src/models/CMakeFiles/pelican_models.dir/blocks.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/blocks.cpp.o.d"
+  "/root/repo/src/models/pelican.cpp" "src/models/CMakeFiles/pelican_models.dir/pelican.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/pelican.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/models/CMakeFiles/pelican_models.dir/zoo.cpp.o" "gcc" "src/models/CMakeFiles/pelican_models.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pelican_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pelican_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_models.dir/blocks.cpp.o"
+  "CMakeFiles/pelican_models.dir/blocks.cpp.o.d"
+  "CMakeFiles/pelican_models.dir/pelican.cpp.o"
+  "CMakeFiles/pelican_models.dir/pelican.cpp.o.d"
+  "CMakeFiles/pelican_models.dir/zoo.cpp.o"
+  "CMakeFiles/pelican_models.dir/zoo.cpp.o.d"
+  "libpelican_models.a"
+  "libpelican_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

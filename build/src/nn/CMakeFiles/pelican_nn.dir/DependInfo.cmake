@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/pelican_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/pelican_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/pelican_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/pelican_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/pelican_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/pelican_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/initializers.cpp" "src/nn/CMakeFiles/pelican_nn.dir/initializers.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/initializers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pelican_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/pelican_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/pelican_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/reshape.cpp" "src/nn/CMakeFiles/pelican_nn.dir/reshape.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/reshape.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/pelican_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/pelican_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/pelican_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pelican_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pelican_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

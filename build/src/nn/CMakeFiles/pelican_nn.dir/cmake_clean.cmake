@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_nn.dir/activations.cpp.o"
+  "CMakeFiles/pelican_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/pelican_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/pelican_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/dense.cpp.o"
+  "CMakeFiles/pelican_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/dropout.cpp.o"
+  "CMakeFiles/pelican_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/gru.cpp.o"
+  "CMakeFiles/pelican_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/initializers.cpp.o"
+  "CMakeFiles/pelican_nn.dir/initializers.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/loss.cpp.o"
+  "CMakeFiles/pelican_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/lstm.cpp.o"
+  "CMakeFiles/pelican_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/pooling.cpp.o"
+  "CMakeFiles/pelican_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/reshape.cpp.o"
+  "CMakeFiles/pelican_nn.dir/reshape.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/residual.cpp.o"
+  "CMakeFiles/pelican_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/pelican_nn.dir/sequential.cpp.o"
+  "CMakeFiles/pelican_nn.dir/sequential.cpp.o.d"
+  "libpelican_nn.a"
+  "libpelican_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_optim.dir/lr_schedule.cpp.o"
+  "CMakeFiles/pelican_optim.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/pelican_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/pelican_optim.dir/optimizer.cpp.o.d"
+  "libpelican_optim.a"
+  "libpelican_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican_tensor.dir/ops.cpp.o"
+  "CMakeFiles/pelican_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/pelican_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/pelican_tensor.dir/tensor.cpp.o.d"
+  "libpelican_tensor.a"
+  "libpelican_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_resample_test.dir/anomaly_resample_test.cpp.o"
+  "CMakeFiles/anomaly_resample_test.dir/anomaly_resample_test.cpp.o.d"
+  "anomaly_resample_test"
+  "anomaly_resample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_resample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

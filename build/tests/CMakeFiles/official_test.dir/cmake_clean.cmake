@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/official_test.dir/official_test.cpp.o"
+  "CMakeFiles/official_test.dir/official_test.cpp.o.d"
+  "official_test"
+  "official_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/official_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pelican.dir/pelican_cli.cpp.o"
+  "CMakeFiles/pelican.dir/pelican_cli.cpp.o.d"
+  "pelican"
+  "pelican.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pelican.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

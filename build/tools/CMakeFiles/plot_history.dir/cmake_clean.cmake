@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_history.dir/plot_history.cpp.o"
+  "CMakeFiles/plot_history.dir/plot_history.cpp.o.d"
+  "plot_history"
+  "plot_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
