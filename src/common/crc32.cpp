@@ -1,0 +1,50 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace pelican {
+
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320, built once at
+// static-init time (256 entries, byte-at-a-time processing).
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFU] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32Of(const void* data, std::size_t size) {
+  Crc32 crc;
+  crc.Update(data, size);
+  return crc.Value();
+}
+
+std::uint32_t Crc32Of(std::string_view bytes) {
+  return Crc32Of(bytes.data(), bytes.size());
+}
+
+}  // namespace pelican

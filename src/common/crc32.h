@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for artifact integrity.
+//
+// Model weight files and training checkpoints carry a CRC32 footer so a
+// truncated or bit-flipped artifact is rejected at load time instead of
+// silently corrupting a run. Incremental use:
+//
+//   Crc32 crc;
+//   crc.Update(header.data(), header.size());
+//   crc.Update(body.data(), body.size());
+//   footer = crc.Value();
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pelican {
+
+class Crc32 {
+ public:
+  void Update(const void* data, std::size_t size);
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  // Final checksum of everything fed so far (the state stays usable —
+  // further Update calls keep accumulating).
+  [[nodiscard]] std::uint32_t Value() const { return state_ ^ 0xFFFFFFFFU; }
+
+  void Reset() { state_ = 0xFFFFFFFFU; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFU;
+};
+
+// One-shot convenience.
+[[nodiscard]] std::uint32_t Crc32Of(const void* data, std::size_t size);
+[[nodiscard]] std::uint32_t Crc32Of(std::string_view bytes);
+
+}  // namespace pelican

@@ -1,0 +1,55 @@
+#include "common/fault_injection.h"
+
+#include "common/check.h"
+#include "common/file_io.h"
+
+namespace pelican::common {
+
+FaultyStreamBuf::int_type FaultyStreamBuf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+  const std::size_t offset = offset_++;
+  if (offset >= plan_.fail_at) return traits_type::eof();
+  if (offset >= plan_.truncate_at) return ch;  // swallowed, not an error
+  char byte = traits_type::to_char_type(ch);
+  if (offset == plan_.flip_offset) {
+    byte = static_cast<char>(static_cast<unsigned char>(byte) ^
+                             plan_.flip_mask);
+  }
+  return inner_->sputc(byte);
+}
+
+FaultyStreamBuf::int_type FaultyStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  const std::size_t offset = offset_;
+  if (offset >= plan_.fail_at || offset >= plan_.truncate_at) {
+    return traits_type::eof();
+  }
+  const int_type ch = inner_->sbumpc();
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+  ++offset_;
+  byte_ = traits_type::to_char_type(ch);
+  if (offset == plan_.flip_offset) {
+    byte_ = static_cast<char>(static_cast<unsigned char>(byte_) ^
+                              plan_.flip_mask);
+  }
+  setg(&byte_, &byte_, &byte_ + 1);
+  return traits_type::to_int_type(byte_);
+}
+
+void CorruptFile(const std::string& path, const FailPlan& plan) {
+  std::string bytes = ReadFileBytes(path);
+  if (plan.flip_offset != kNoFault) {
+    PELICAN_CHECK(plan.flip_offset < bytes.size(),
+                  "flip offset beyond end of " + path);
+    bytes[plan.flip_offset] = static_cast<char>(
+        static_cast<unsigned char>(bytes[plan.flip_offset]) ^ plan.flip_mask);
+  }
+  if (plan.truncate_at != kNoFault) {
+    PELICAN_CHECK(plan.truncate_at <= bytes.size(),
+                  "truncation offset beyond end of " + path);
+    bytes.resize(plan.truncate_at);
+  }
+  AtomicWriteFile(path, bytes);
+}
+
+}  // namespace pelican::common

@@ -1,0 +1,87 @@
+// Fault-injection harness for I/O robustness tests.
+//
+// A FailPlan describes byte-level faults — truncation, a single
+// flipped bit, a hard write/read error — at configurable offsets.
+// FaultyOStream / FaultyIStream apply a plan to bytes flowing through a
+// wrapped stream (exercising writer/reader error paths in-process), and
+// CorruptFile applies a plan to an artifact on disk (exercising the
+// checksum/truncation rejection paths of LoadWeights and the
+// Checkpointer). Test-only by intent, but shipped in the library so
+// examples and downstream users can drill their own pipelines.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace pelican::common {
+
+inline constexpr std::size_t kNoFault = std::numeric_limits<std::size_t>::max();
+
+struct FailPlan {
+  // Drop every byte at offset >= truncate_at. Writes are silently
+  // swallowed (a crash losing the file tail); reads hit EOF early.
+  std::size_t truncate_at = kNoFault;
+  // XOR flip_mask into the single byte at flip_offset.
+  std::size_t flip_offset = kNoFault;
+  unsigned char flip_mask = 0x01;
+  // Hard I/O error (badbit) on the byte at offset >= fail_at.
+  std::size_t fail_at = kNoFault;
+};
+
+// streambuf filter applying a FailPlan to the bytes flowing through it.
+// Unbuffered (byte-at-a-time) — built for tests, not throughput.
+class FaultyStreamBuf final : public std::streambuf {
+ public:
+  FaultyStreamBuf(std::streambuf* inner, FailPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  [[nodiscard]] std::size_t BytesSeen() const { return offset_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  int_type underflow() override;
+  int sync() override { return inner_->pubsync(); }
+
+ private:
+  std::streambuf* inner_;
+  FailPlan plan_;
+  std::size_t offset_ = 0;
+  char byte_ = 0;  // single-char get area
+};
+
+namespace detail {
+struct FaultyBufHolder {
+  FaultyStreamBuf buf;
+};
+}  // namespace detail
+
+// Output stream whose bytes pass through a FailPlan before reaching the
+// wrapped stream. Stream state goes bad at the planned failure offset.
+class FaultyOStream : private detail::FaultyBufHolder, public std::ostream {
+ public:
+  FaultyOStream(std::ostream& inner, FailPlan plan)
+      : detail::FaultyBufHolder{FaultyStreamBuf(inner.rdbuf(), plan)},
+        std::ostream(&buf) {}
+  [[nodiscard]] std::size_t BytesSeen() const { return buf.BytesSeen(); }
+};
+
+// Input stream reading through a FailPlan (early EOF, flipped bytes).
+class FaultyIStream : private detail::FaultyBufHolder, public std::istream {
+ public:
+  FaultyIStream(std::istream& inner, FailPlan plan)
+      : detail::FaultyBufHolder{FaultyStreamBuf(inner.rdbuf(), plan)},
+        std::istream(&buf) {}
+  [[nodiscard]] std::size_t BytesSeen() const { return buf.BytesSeen(); }
+};
+
+// Applies a plan to a file in place (truncation and/or bit flip;
+// fail_at is meaningless for at-rest corruption and is ignored).
+// Throws CheckError if the file can't be read or rewritten, or when a
+// requested offset lies beyond the end of the file.
+void CorruptFile(const std::string& path, const FailPlan& plan);
+
+}  // namespace pelican::common

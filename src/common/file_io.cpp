@@ -1,0 +1,64 @@
+#include "common/file_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace pelican {
+
+namespace {
+
+// Flushes a file (or directory) to stable storage. Best-effort on
+// platforms without fsync; on POSIX a failure is a real write error.
+void SyncPath(const std::string& path, bool required) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    PELICAN_CHECK(!required, "cannot open for fsync: " + path);
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  PELICAN_CHECK(rc == 0 || !required, "fsync failed: " + path);
+#else
+  (void)path;
+  (void)required;
+#endif
+}
+
+}  // namespace
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PELICAN_CHECK(in.is_open(), "cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  PELICAN_CHECK(!in.bad(), "read failed: " + path);
+  return std::move(buffer).str();
+}
+
+void AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PELICAN_CHECK(out.is_open(), "cannot open for writing: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    PELICAN_CHECK(out.good(), "write failed: " + tmp);
+  }
+  SyncPath(tmp, /*required=*/true);
+  PELICAN_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "rename failed: " + tmp + " -> " + path);
+  const auto slash = path.rfind('/');
+  SyncPath(slash == std::string::npos ? "." : path.substr(0, slash + 1),
+           /*required=*/false);
+}
+
+}  // namespace pelican

@@ -1,0 +1,23 @@
+// Whole-file byte I/O with crash-safe writes.
+//
+// AtomicWriteFile is the single write path for every durable artifact
+// (weights, checkpoints): serialize to memory, write to `<path>.tmp`,
+// fsync, rename over the target. A crash at any point leaves either the
+// old file or the new file — never a half-written one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pelican {
+
+// Reads an entire file. Throws CheckError when the file can't be opened.
+[[nodiscard]] std::string ReadFileBytes(const std::string& path);
+
+// Writes `bytes` to `path` atomically: temp file + fsync + rename (the
+// containing directory is fsynced too so the rename itself is durable).
+// Throws CheckError on any I/O failure; the target is never left
+// half-written.
+void AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+}  // namespace pelican

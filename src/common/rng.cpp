@@ -40,6 +40,21 @@ Rng::result_type Rng::operator()() {
   return result;
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 Rng Rng::Fork() {
   // A fresh stream seeded from two draws of this one.
   std::uint64_t seed = (*this)() ^ Rotl((*this)(), 31);

@@ -29,6 +29,17 @@ class Rng {
   // Derive an independent child stream (for per-worker or per-layer RNG).
   [[nodiscard]] Rng Fork();
 
+  // Complete generator state, for checkpoint/resume: restoring a saved
+  // State reproduces the exact draw sequence (including the cached
+  // Box–Muller second normal).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  [[nodiscard]] State GetState() const;
+  void SetState(const State& state);
+
   // Uniform real in [lo, hi).
   double Uniform(double lo = 0.0, double hi = 1.0);
   float UniformF(float lo = 0.0F, float hi = 1.0F);

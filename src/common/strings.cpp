@@ -43,13 +43,22 @@ std::string ToLower(std::string_view text) {
 }
 
 bool ParseDouble(std::string_view text, double* value) {
+  double parsed = 0.0;
+  if (!ParseDoubleLenient(text, &parsed) || !std::isfinite(parsed)) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool ParseDoubleLenient(std::string_view text, double* value) {
   text = Trim(text);
   if (text.empty()) return false;
   const char* first = text.data();
   const char* last = text.data() + text.size();
   double parsed = 0.0;
   auto [ptr, ec] = std::from_chars(first, last, parsed);
-  if (ec != std::errc{} || ptr != last || !std::isfinite(parsed)) return false;
+  if (ec != std::errc{} || ptr != last) return false;
   *value = parsed;
   return true;
 }

@@ -22,6 +22,11 @@ std::string ToLower(std::string_view text);
 // True if `text` parses fully as a finite double; writes it to *value.
 bool ParseDouble(std::string_view text, double* value);
 
+// Like ParseDouble but also accepts non-finite values ("inf", "nan").
+// Lets callers distinguish a non-finite field from unparseable text
+// when crafting error messages.
+bool ParseDoubleLenient(std::string_view text, double* value);
+
 // Fixed-width cell for ASCII tables (left-padded).
 std::string PadLeft(std::string_view text, std::size_t width);
 std::string PadRight(std::string_view text, std::size_t width);

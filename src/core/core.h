@@ -1,6 +1,7 @@
 // Umbrella header: the public API of the Pelican library.
 #pragma once
 
+#include "core/checkpoint.h"         // IWYU pragma: export
 #include "core/cross_validation.h"   // IWYU pragma: export
 #include "core/experiment_config.h"  // IWYU pragma: export
 #include "core/model_io.h"           // IWYU pragma: export

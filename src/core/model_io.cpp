@@ -1,9 +1,13 @@
 #include "core/model_io.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <fstream>
+#include <cstring>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/crc32.h"
+#include "common/file_io.h"
 
 namespace pelican::core {
 
@@ -11,8 +15,11 @@ namespace {
 
 constexpr char kMagic[4] = {'P', 'L', 'C', 'N'};
 // v2 appends non-trainable buffers (batch-norm running statistics)
-// after the trainable parameters.
-constexpr std::uint32_t kVersion = 2;
+// after the trainable parameters; v3 appends a CRC32 footer over the
+// whole file so truncation and bit-flips are rejected at load time.
+constexpr std::uint32_t kLegacyVersion = 2;
+constexpr std::uint32_t kVersion = 3;
+constexpr std::size_t kFooterSize = sizeof(std::uint32_t);
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -29,7 +36,7 @@ T ReadPod(std::istream& in) {
 
 }  // namespace
 
-namespace {
+namespace io {
 
 void WriteTensorEntry(std::ostream& out, const std::string& name,
                       const Tensor& value) {
@@ -61,11 +68,10 @@ void ReadTensorEntry(std::istream& in, const std::string& expected_name,
   PELICAN_CHECK(in.good(), "truncated data for " + expected_name);
 }
 
-}  // namespace
+}  // namespace io
 
 void SaveWeights(nn::Sequential& network, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
+  std::ostringstream out(std::ios::binary);
   const auto params = network.Params();
   const auto buffers = network.Buffers();
 
@@ -73,21 +79,43 @@ void SaveWeights(nn::Sequential& network, const std::string& path) {
   WritePod(out, kVersion);
   WritePod(out, static_cast<std::uint64_t>(params.size()));
   WritePod(out, static_cast<std::uint64_t>(buffers.size()));
-  for (const auto& p : params) WriteTensorEntry(out, p.name, *p.value);
-  for (const auto& b : buffers) WriteTensorEntry(out, b.name, *b.value);
-  PELICAN_CHECK(out.good(), "weight write failed: " + path);
+  for (const auto& p : params) io::WriteTensorEntry(out, p.name, *p.value);
+  for (const auto& b : buffers) io::WriteTensorEntry(out, b.name, *b.value);
+  PELICAN_CHECK(out.good(), "weight serialization failed: " + path);
+
+  std::string bytes = std::move(out).str();
+  const std::uint32_t crc = Crc32Of(bytes);
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  AtomicWriteFile(path, bytes);
 }
 
 void LoadWeights(nn::Sequential& network, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PELICAN_CHECK(in.is_open(), "cannot open for reading: " + path);
-
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  PELICAN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+  const std::string bytes = ReadFileBytes(path);
+  PELICAN_CHECK(bytes.size() >= sizeof(kMagic) + sizeof(std::uint32_t),
+                "not a Pelican weight file (too short): " + path);
+  PELICAN_CHECK(std::equal(bytes.begin(), bytes.begin() + sizeof(kMagic),
+                           kMagic),
                 "not a Pelican weight file: " + path);
+
+  std::istringstream in(bytes, std::ios::binary);
+  in.ignore(sizeof(kMagic));
   const auto version = ReadPod<std::uint32_t>(in);
-  PELICAN_CHECK(version == kVersion, "unsupported weight file version");
+  PELICAN_CHECK(version == kVersion || version == kLegacyVersion,
+                "unsupported weight file version");
+  if (version == kVersion) {
+    // Verify the CRC32 footer before trusting a single tensor byte.
+    PELICAN_CHECK(bytes.size() > sizeof(kMagic) + sizeof(std::uint32_t) +
+                                     kFooterSize,
+                  "truncated weight file: " + path);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - kFooterSize,
+                kFooterSize);
+    const std::uint32_t actual =
+        Crc32Of(bytes.data(), bytes.size() - kFooterSize);
+    PELICAN_CHECK(stored == actual,
+                  "weight file checksum mismatch (corrupt or truncated): " +
+                      path);
+  }
 
   auto params = network.Params();
   auto buffers = network.Buffers();
@@ -102,8 +130,8 @@ void LoadWeights(nn::Sequential& network, const std::string& path) {
                     std::to_string(buffer_count) + ", network has " +
                     std::to_string(buffers.size()));
 
-  for (auto& p : params) ReadTensorEntry(in, p.name, *p.value);
-  for (auto& b : buffers) ReadTensorEntry(in, b.name, *b.value);
+  for (auto& p : params) io::ReadTensorEntry(in, p.name, *p.value);
+  for (auto& b : buffers) io::ReadTensorEntry(in, b.name, *b.value);
 }
 
 }  // namespace pelican::core

@@ -1,5 +1,7 @@
 #include "core/stream.h"
 
+#include <cmath>
+
 namespace pelican::core {
 
 StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
@@ -16,6 +18,20 @@ StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
 
 std::optional<Alert> StreamDetector::Ingest(
     std::span<const double> raw_record) {
+  if (config_.quarantine_malformed) {
+    bool malformed =
+        raw_record.size() != ids_->schema().ColumnCount();
+    for (std::size_t i = 0; !malformed && i < raw_record.size(); ++i) {
+      malformed = !std::isfinite(raw_record[i]);
+    }
+    if (malformed) {
+      // Count it against the stream position but keep the detector on
+      // the wire: no verdict, no window entry.
+      ++processed_;
+      ++quarantined_;
+      return std::nullopt;
+    }
+  }
   const auto verdict = ids_->Inspect(raw_record);
   const std::uint64_t sequence = processed_++;
   per_class_[static_cast<std::size_t>(verdict.label)]++;
@@ -62,6 +78,7 @@ StreamStats StreamDetector::Stats() const {
   stats.processed = processed_;
   stats.alerts = alerts_;
   stats.suppressed = suppressed_;
+  stats.quarantined = quarantined_;
   stats.per_class = per_class_;
   if (!window_.empty()) {
     std::size_t attacks = 0, low = 0;

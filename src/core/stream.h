@@ -25,6 +25,7 @@ struct StreamStats {
   std::uint64_t processed = 0;
   std::uint64_t alerts = 0;           // attack verdicts (incl. suppressed)
   std::uint64_t suppressed = 0;       // held back by the flood limiter
+  std::uint64_t quarantined = 0;      // malformed records counted + skipped
   double window_alert_rate = 0.0;     // attack fraction of current window
   double window_low_confidence = 0.0; // verdicts under the threshold
   std::vector<std::uint64_t> per_class;  // verdict counts by class
@@ -37,6 +38,11 @@ struct StreamConfig {
   // alerts are marked suppressed (delivered but flagged, so a DoS can't
   // bury the console). 1.0 disables.
   double max_window_alert_rate = 1.0;
+  // Quarantine: malformed records (wrong width, non-finite values) are
+  // counted in StreamStats::quarantined and skipped, so one bad record
+  // can't take the detector off the wire mid-stream. Set false for the
+  // strict behaviour (Ingest throws CheckError instead).
+  bool quarantine_malformed = true;
 };
 
 class StreamDetector {
@@ -45,6 +51,8 @@ class StreamDetector {
   StreamDetector(const PelicanIds& ids, StreamConfig config = {});
 
   // Classifies one record; returns an Alert for attack verdicts.
+  // Malformed records are quarantined (counted + skipped) rather than
+  // aborting the stream — see StreamConfig::quarantine_malformed.
   std::optional<Alert> Ingest(std::span<const double> raw_record);
 
   // Convenience: ingest a whole dataset, invoking `on_alert` per alert.
@@ -62,6 +70,7 @@ class StreamDetector {
   std::uint64_t processed_ = 0;
   std::uint64_t alerts_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::uint64_t quarantined_ = 0;
   std::vector<std::uint64_t> per_class_;
   struct WindowEntry {
     bool attack;

@@ -1,10 +1,13 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
+#include <memory>
 
 #include "common/logging.h"
+#include "core/checkpoint.h"
 #include "data/batcher.h"
 #include "tensor/ops.h"
 
@@ -13,13 +16,14 @@ namespace pelican::core {
 void WriteHistoryCsv(const TrainHistory& history, const std::string& path) {
   std::ofstream out(path);
   PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
-  out << "epoch,train_loss,train_accuracy,test_loss,test_accuracy\n";
+  out << "epoch,train_loss,train_accuracy,test_loss,test_accuracy,"
+         "recoveries\n";
   for (const auto& e : history) {
     out << e.epoch << ',' << e.train_loss << ',' << e.train_accuracy << ',';
     if (e.test_loss) out << *e.test_loss;
     out << ',';
     if (e.test_accuracy) out << *e.test_accuracy;
-    out << '\n';
+    out << ',' << e.recoveries << '\n';
   }
   PELICAN_CHECK(out.good(), "history write failed: " + path);
 }
@@ -70,46 +74,165 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
   int epochs_without_improvement = 0;
   std::vector<Tensor> best_weights;  // snapshot for restore_best_weights
 
-  data::Batch batch;
-  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
-    if (config_.lr_schedule != nullptr) {
-      optimizer_->SetLearningRate(
-          config_.lr_schedule->LearningRate(epoch, config_.learning_rate));
+  float lr_scale = 1.0F;  // divergence-guard learning-rate backoff
+  int start_epoch = 1;
+
+  std::unique_ptr<Checkpointer> checkpointer;
+  if (!config_.checkpoint_dir.empty()) {
+    checkpointer = std::make_unique<Checkpointer>(
+        CheckpointConfig{config_.checkpoint_dir, config_.checkpoint_every,
+                         config_.checkpoint_keep});
+    if (config_.resume) {
+      CheckpointState restored;
+      if (checkpointer->LoadLatest(*network_, *optimizer_, &restored)) {
+        // The restored RNG state replays the exact shuffle/dropout
+        // sequence the uninterrupted run would have drawn (the
+        // batcher's construction-time shuffle above is discarded by
+        // the next StartEpoch).
+        rng_.SetState(restored.rng);
+        lr_scale = restored.lr_scale;
+        best_test_loss = restored.best_test_loss;
+        epochs_without_improvement = restored.epochs_without_improvement;
+        history = std::move(restored.history);
+        start_epoch = restored.epoch + 1;
+        if (config_.verbose) {
+          PELICAN_LOG(Info) << "resumed from checkpoint at epoch "
+                            << restored.epoch;
+        }
+      }
     }
-    batcher.StartEpoch();
+  }
+
+  // Divergence guard: in-memory snapshot of the last state known good
+  // (end of the previous epoch), to roll back to when a batch loss goes
+  // non-finite or explodes.
+  const bool guard = config_.max_divergence_retries > 0;
+  struct GoodState {
+    std::vector<Tensor> params;
+    std::vector<Tensor> buffers;
+    std::vector<Tensor> opt_state;
+    std::vector<std::int64_t> opt_scalars;
+    Rng::State rng{};
+  };
+  GoodState last_good;
+  auto take_snapshot = [&] {
+    last_good.params.clear();
+    for (const auto& p : network_->Params()) last_good.params.push_back(*p.value);
+    last_good.buffers.clear();
+    for (const auto& b : network_->Buffers()) {
+      last_good.buffers.push_back(*b.value);
+    }
+    last_good.opt_state.clear();
+    for (const Tensor* t : optimizer_->StateTensors()) {
+      last_good.opt_state.push_back(*t);
+    }
+    last_good.opt_scalars = optimizer_->ScalarState();
+    last_good.rng = rng_.GetState();
+  };
+  auto restore_snapshot = [&] {
+    auto params = network_->Params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      *params[i].value = last_good.params[i];
+    }
+    auto buffers = network_->Buffers();
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      *buffers[i].value = last_good.buffers[i];
+    }
+    auto opt_state = optimizer_->StateTensors();
+    for (std::size_t i = 0; i < opt_state.size(); ++i) {
+      *opt_state[i] = last_good.opt_state[i];
+    }
+    optimizer_->SetScalarState(last_good.opt_scalars);
+    rng_.SetState(last_good.rng);
+  };
+  if (guard) take_snapshot();
+  int retries_used = 0;
+
+  data::Batch batch;
+  for (int epoch = start_epoch; epoch <= config_.epochs; ++epoch) {
+    int epoch_recoveries = 0;
+    bool stop_training = false;
     double loss_sum = 0.0;
     std::int64_t correct = 0;
     std::int64_t seen = 0;
-    while (batcher.Next(batch)) {
-      // Zero every gradient in the network (not just the trainable
-      // subset) so frozen parameters' grads don't accumulate across
-      // steps during fine-tunes.
-      network_->ZeroGrad();
-      Tensor logits = network_->Forward(batch.x, /*training=*/true);
-      auto result =
-          class_weights.empty()
-              ? nn::SoftmaxCrossEntropy(logits, batch.labels)
-              : nn::SoftmaxCrossEntropyWeighted(logits, batch.labels,
-                                                class_weights);
-      network_->Backward(result.dlogits);
-      optimizer_->Step();
 
-      const auto b = static_cast<std::int64_t>(batch.labels.size());
-      loss_sum += static_cast<double>(result.loss) * static_cast<double>(b);
-      for (std::int64_t i = 0; i < b; ++i) {
-        if (result.probs.ArgMaxRow(i) ==
-            batch.labels[static_cast<std::size_t>(i)]) {
-          ++correct;
+    for (;;) {  // divergence-guard retry loop (runs once when healthy)
+      const float base_lr =
+          config_.lr_schedule != nullptr
+              ? config_.lr_schedule->LearningRate(epoch,
+                                                  config_.learning_rate)
+              : config_.learning_rate;
+      optimizer_->SetLearningRate(base_lr * lr_scale);
+      batcher.StartEpoch();
+      loss_sum = 0.0;
+      correct = 0;
+      seen = 0;
+      bool diverged = false;
+      std::size_t batch_index = 0;
+      while (batcher.Next(batch)) {
+        // Zero every gradient in the network (not just the trainable
+        // subset) so frozen parameters' grads don't accumulate across
+        // steps during fine-tunes.
+        network_->ZeroGrad();
+        Tensor logits = network_->Forward(batch.x, /*training=*/true);
+        auto result =
+            class_weights.empty()
+                ? nn::SoftmaxCrossEntropy(logits, batch.labels)
+                : nn::SoftmaxCrossEntropyWeighted(logits, batch.labels,
+                                                  class_weights);
+        float batch_loss = result.loss;
+        if (config_.loss_fault_hook &&
+            config_.loss_fault_hook(epoch, batch_index)) {
+          batch_loss = std::numeric_limits<float>::quiet_NaN();
         }
+        if (guard && (!std::isfinite(batch_loss) ||
+                      batch_loss > config_.divergence_loss_threshold)) {
+          // Bail before the bad gradients touch the weights.
+          diverged = true;
+          break;
+        }
+        network_->Backward(result.dlogits);
+        optimizer_->Step();
+
+        const auto b = static_cast<std::int64_t>(batch.labels.size());
+        loss_sum +=
+            static_cast<double>(batch_loss) * static_cast<double>(b);
+        for (std::int64_t i = 0; i < b; ++i) {
+          if (result.probs.ArgMaxRow(i) ==
+              batch.labels[static_cast<std::size_t>(i)]) {
+            ++correct;
+          }
+        }
+        seen += b;
+        ++batch_index;
       }
-      seen += b;
+      if (!diverged) break;
+
+      restore_snapshot();
+      if (retries_used >= config_.max_divergence_retries) {
+        PELICAN_LOG(Warn)
+            << "divergence guard: retry budget ("
+            << config_.max_divergence_retries << ") exhausted at epoch "
+            << epoch << "; stopping at the last good state";
+        stop_training = true;
+        break;
+      }
+      ++retries_used;
+      ++epoch_recoveries;
+      lr_scale *= config_.lr_backoff;
+      PELICAN_LOG(Warn) << "divergence at epoch " << epoch << " batch "
+                           << batch_index
+                           << ": rolled back to last good state, lr scale "
+                           << lr_scale;
     }
+    if (stop_training) break;
 
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = static_cast<float>(loss_sum / static_cast<double>(seen));
     stats.train_accuracy =
         static_cast<float>(correct) / static_cast<float>(seen);
+    stats.recoveries = epoch_recoveries;
     if (x_test != nullptr) {
       const Evaluation eval = Evaluate(*x_test, y_test);
       stats.test_loss = eval.loss;
@@ -128,6 +251,7 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
                                 : "");
     }
 
+    bool early_stop = false;
     if (stats.test_loss &&
         (config_.early_stopping_patience > 0 ||
          config_.restore_best_weights)) {
@@ -150,9 +274,24 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
                             << config_.early_stopping_patience
                             << " epochs)";
         }
-        break;
+        early_stop = true;
       }
     }
+
+    if (guard) take_snapshot();
+    if (checkpointer != nullptr &&
+        (checkpointer->ShouldSnapshot(epoch) || early_stop ||
+         epoch == config_.epochs)) {
+      CheckpointState snapshot;
+      snapshot.epoch = epoch;
+      snapshot.rng = rng_.GetState();
+      snapshot.lr_scale = lr_scale;
+      snapshot.best_test_loss = best_test_loss;
+      snapshot.epochs_without_improvement = epochs_without_improvement;
+      snapshot.history = history;
+      checkpointer->Save(*network_, *optimizer_, snapshot);
+    }
+    if (early_stop) break;
   }
 
   if (config_.restore_best_weights && !best_weights.empty()) {

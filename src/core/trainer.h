@@ -45,6 +45,37 @@ struct TrainConfig {
   // Fit returns (requires a test set; pairs naturally with early
   // stopping). Off by default — the paper reports last-epoch models.
   bool restore_best_weights = false;
+
+  // ---- fault tolerance -------------------------------------------------
+  // When non-empty, snapshot model + optimizer + RNG state to this
+  // directory every `checkpoint_every` completed epochs (atomic write,
+  // CRC32 footer; the newest `checkpoint_keep` snapshots are retained).
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_keep = 3;
+  // Resume from the newest valid checkpoint in checkpoint_dir instead
+  // of starting at epoch 1. Because the checkpoint carries the RNG
+  // state, a resumed run reproduces the uninterrupted run bit-for-bit
+  // (same shuffles, dropout masks and updates); work from a partially
+  // completed epoch is discarded and replayed.
+  bool resume = false;
+
+  // Divergence guard: when max_divergence_retries > 0, a non-finite or
+  // exploding (> divergence_loss_threshold) batch loss rolls the run
+  // back to the last completed epoch, scales the learning rate by
+  // lr_backoff, and retries the epoch instead of corrupting the
+  // weights. Exhausting the retry budget restores the last good state
+  // and ends training gracefully. Recoveries are recorded per epoch in
+  // the returned TrainHistory. Off by default — the paper's Plain-41
+  // exploding gradients are part of the phenomenon under study.
+  int max_divergence_retries = 0;
+  float divergence_loss_threshold = 1e6F;
+  float lr_backoff = 0.5F;
+
+  // Test hook for the fault-injection harness: when set, a `true`
+  // return replaces that batch's loss with NaN before the divergence
+  // guard sees it. Null in production.
+  std::function<bool(int epoch, std::size_t batch)> loss_fault_hook;
 };
 
 struct EpochStats {
@@ -54,13 +85,16 @@ struct EpochStats {
   // Present when a test set was supplied to Fit.
   std::optional<float> test_loss;
   std::optional<float> test_accuracy;
+  // Divergence-guard rollbacks it took to complete this epoch.
+  int recoveries = 0;
 };
 
 using TrainHistory = std::vector<EpochStats>;
 
 // Writes a history as CSV (epoch,train_loss,train_accuracy,test_loss,
-// test_accuracy; empty cells where no test set was supplied) — the raw
-// series behind the Fig. 5 plots, for external plotting tools.
+// test_accuracy,recoveries; empty cells where no test set was
+// supplied) — the raw series behind the Fig. 5 plots, for external
+// plotting tools.
 void WriteHistoryCsv(const TrainHistory& history, const std::string& path);
 
 class Trainer {

@@ -21,6 +21,10 @@ Batcher::Batcher(const Tensor& x, std::span<const int> labels,
 }
 
 void Batcher::StartEpoch() {
+  // Re-shuffle from the identity permutation so the epoch's batch order
+  // is a pure function of the RNG state — a checkpointed RNG state then
+  // reproduces the exact batch sequence on resume.
+  std::iota(order_.begin(), order_.end(), 0U);
   rng_->Shuffle(order_);
   cursor_ = 0;
 }

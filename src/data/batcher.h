@@ -22,7 +22,10 @@ class Batcher {
   Batcher(const Tensor& x, std::span<const int> labels,
           std::size_t batch_size, Rng& rng);
 
-  // Re-shuffles and rewinds. Call at the start of each epoch.
+  // Re-shuffles (from the identity permutation, so the order is a pure
+  // function of the RNG state — required for checkpoint resume to
+  // replay the same batches) and rewinds. Call at the start of each
+  // epoch.
   void StartEpoch();
 
   // Fills `out` with the next batch; returns false when the epoch ends.

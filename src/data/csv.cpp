@@ -74,8 +74,15 @@ RawDataset ReadCsv(const Schema& schema, std::istream& in) {
         cells[c] = idx;
       } else {
         double value = 0.0;
-        PELICAN_CHECK(ParseDouble(field, &value),
-                      "bad numeric cell at line " + std::to_string(line_no));
+        if (!ParseDouble(field, &value)) {
+          double lenient = 0.0;
+          const bool non_finite = ParseDoubleLenient(field, &lenient);
+          PELICAN_CHECK(false,
+                        std::string(non_finite ? "non-finite numeric value '"
+                                               : "bad numeric cell '") +
+                            field + "' in column " + col.name +
+                            " at line " + std::to_string(line_no));
+        }
         cells[c] = value;
       }
     }

@@ -16,7 +16,9 @@ void WriteCsv(const RawDataset& dataset, std::ostream& out);
 void WriteCsvFile(const RawDataset& dataset, const std::string& path);
 
 // Reads a CSV that matches `schema` (column order and names must agree;
-// unknown category strings or labels are an error).
+// unknown category strings or labels are an error). Non-finite numeric
+// fields ("inf"/"nan" text) are rejected with an error naming the row
+// and column rather than propagating NaN into training.
 RawDataset ReadCsv(const Schema& schema, std::istream& in);
 RawDataset ReadCsvFile(const Schema& schema, const std::string& path);
 

@@ -64,6 +64,13 @@ void Sgd::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
   }
 }
 
+std::vector<Tensor*> Sgd::StateTensors() {
+  std::vector<Tensor*> state;
+  state.reserve(velocity_.size());
+  for (auto& v : velocity_) state.push_back(&v);
+  return state;
+}
+
 // ---- RMSprop ------------------------------------------------------------
 
 RmsProp::RmsProp(float lr, float rho, float eps)
@@ -85,6 +92,13 @@ void RmsProp::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
     c[j] = rho_ * c[j] + (1.0F - rho_) * g * g;
     value[j] -= lr_ * g / (std::sqrt(c[j]) + eps_);
   }
+}
+
+std::vector<Tensor*> RmsProp::StateTensors() {
+  std::vector<Tensor*> state;
+  state.reserve(cache_.size());
+  for (auto& c : cache_) state.push_back(&c);
+  return state;
 }
 
 // ---- AdaDelta -----------------------------------------------------------
@@ -112,6 +126,14 @@ void AdaDelta::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
     eu[j] = rho_ * eu[j] + (1.0F - rho_) * update * update;
     value[j] += lr_ * update;
   }
+}
+
+std::vector<Tensor*> AdaDelta::StateTensors() {
+  std::vector<Tensor*> state;
+  state.reserve(accum_grad_.size() + accum_update_.size());
+  for (auto& t : accum_grad_) state.push_back(&t);
+  for (auto& t : accum_update_) state.push_back(&t);
+  return state;
 }
 
 // ---- Adam ---------------------------------------------------------------
@@ -143,6 +165,21 @@ void Adam::UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) {
     const float vhat = v[j] / bc2;
     value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
   }
+}
+
+std::vector<Tensor*> Adam::StateTensors() {
+  std::vector<Tensor*> state;
+  state.reserve(m_.size() + v_.size());
+  for (auto& t : m_) state.push_back(&t);
+  for (auto& t : v_) state.push_back(&t);
+  return state;
+}
+
+std::vector<std::int64_t> Adam::ScalarState() const { return {t_}; }
+
+void Adam::SetScalarState(std::span<const std::int64_t> scalars) {
+  PELICAN_CHECK(scalars.size() == 1, "Adam expects one scalar (step count)");
+  t_ = scalars[0];
 }
 
 std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, float lr) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,19 @@ class Optimizer {
 
   [[nodiscard]] virtual std::string Name() const = 0;
 
+  // Checkpointing hooks: mutable views of the per-parameter state
+  // tensors (RMSprop caches, momenta, …) in a stable order, plus any
+  // integer scalar state (e.g. Adam's step count). core::Checkpointer
+  // and the trainer's divergence guard snapshot/restore through these;
+  // the default (stateless optimizer) exposes nothing.
+  [[nodiscard]] virtual std::vector<Tensor*> StateTensors() { return {}; }
+  [[nodiscard]] virtual std::vector<std::int64_t> ScalarState() const {
+    return {};
+  }
+  virtual void SetScalarState(std::span<const std::int64_t> scalars) {
+    (void)scalars;
+  }
+
  protected:
   explicit Optimizer(float lr) : lr_(lr) {}
 
@@ -63,6 +77,7 @@ class Sgd final : public Optimizer {
  public:
   explicit Sgd(float lr, float momentum = 0.0F);
   [[nodiscard]] std::string Name() const override { return "SGD"; }
+  [[nodiscard]] std::vector<Tensor*> StateTensors() override;
 
  private:
   void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
@@ -76,6 +91,7 @@ class RmsProp final : public Optimizer {
  public:
   explicit RmsProp(float lr = 0.001F, float rho = 0.9F, float eps = 1e-7F);
   [[nodiscard]] std::string Name() const override { return "RMSprop"; }
+  [[nodiscard]] std::vector<Tensor*> StateTensors() override;
 
  private:
   void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
@@ -90,6 +106,7 @@ class AdaDelta final : public Optimizer {
  public:
   explicit AdaDelta(float lr = 1.0F, float rho = 0.95F, float eps = 1e-6F);
   [[nodiscard]] std::string Name() const override { return "AdaDelta"; }
+  [[nodiscard]] std::vector<Tensor*> StateTensors() override;
 
  private:
   void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;
@@ -106,6 +123,9 @@ class Adam final : public Optimizer {
   explicit Adam(float lr = 0.001F, float beta1 = 0.9F, float beta2 = 0.999F,
                 float eps = 1e-8F);
   [[nodiscard]] std::string Name() const override { return "Adam"; }
+  [[nodiscard]] std::vector<Tensor*> StateTensors() override;
+  [[nodiscard]] std::vector<std::int64_t> ScalarState() const override;
+  void SetScalarState(std::span<const std::int64_t> scalars) override;
 
  private:
   void UpdateParam(std::size_t i, Tensor& value, const Tensor& grad) override;

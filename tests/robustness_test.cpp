@@ -51,6 +51,32 @@ TEST(CsvRobustness, RejectsInfiniteCell) {
   EXPECT_THROW(data::ReadCsv(TinySchema(), in), CheckError);
 }
 
+TEST(CsvRobustness, NonFiniteErrorNamesRowAndColumn) {
+  std::stringstream in("a,p,label\n1.0,x,Normal\nnan,y,Attack\n");
+  try {
+    data::ReadCsv(TinySchema(), in);
+    FAIL() << "non-finite cell was accepted";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("column a"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+TEST(CsvRobustness, UnparseableErrorNamesRowAndColumn) {
+  std::stringstream in("a,p,label\nbogus,x,Normal\n");
+  try {
+    data::ReadCsv(TinySchema(), in);
+    FAIL() << "unparseable cell was accepted";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad numeric cell"), std::string::npos) << what;
+    EXPECT_NE(what.find("column a"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
 TEST(CsvRobustness, RejectsRaggedRow) {
   std::stringstream in("a,p,label\n1.0,x\n");
   EXPECT_THROW(data::ReadCsv(TinySchema(), in), CheckError);
@@ -204,6 +230,48 @@ TEST(StreamRobustness, WrongWidthRecordRejected) {
   ids.Train(train_set);
   const std::vector<double> short_record(5, 0.0);
   EXPECT_THROW(ids.Inspect(short_record), CheckError);
+}
+
+TEST(StreamRobustness, MalformedRecordsQuarantinedNotFatal) {
+  Rng rng(12);
+  auto train_set = data::GenerateNslKdd(200, rng);
+  core::IdsConfig config;
+  config.n_blocks = 1;
+  config.channels = 8;
+  config.train.epochs = 1;
+  core::PelicanIds ids(train_set.schema(), config);
+  ids.Train(train_set);
+
+  core::StreamDetector detector(ids);
+  // A healthy record flows through...
+  auto good = train_set.Row(0);
+  EXPECT_NO_THROW(
+      detector.Ingest(std::vector<double>(good.begin(), good.end())));
+  // ...a short record and a NaN-poisoned record are counted + skipped.
+  EXPECT_NO_THROW(detector.Ingest(std::vector<double>(5, 0.0)));
+  std::vector<double> poisoned(good.begin(), good.end());
+  poisoned[3] = std::nan("");
+  EXPECT_NO_THROW(detector.Ingest(poisoned));
+
+  const auto stats = detector.Stats();
+  EXPECT_EQ(stats.processed, 3u);
+  EXPECT_EQ(stats.quarantined, 2u);
+}
+
+TEST(StreamRobustness, StrictModeStillThrowsOnMalformedRecord) {
+  Rng rng(13);
+  auto train_set = data::GenerateNslKdd(200, rng);
+  core::IdsConfig config;
+  config.n_blocks = 1;
+  config.channels = 8;
+  config.train.epochs = 1;
+  core::PelicanIds ids(train_set.schema(), config);
+  ids.Train(train_set);
+
+  core::StreamConfig sc;
+  sc.quarantine_malformed = false;
+  core::StreamDetector detector(ids, sc);
+  EXPECT_THROW(detector.Ingest(std::vector<double>(5, 0.0)), CheckError);
 }
 
 TEST(GeneratorRobustness, ZeroRecordsGivesEmptyDataset) {

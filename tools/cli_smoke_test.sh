@@ -19,6 +19,18 @@ test -s "$WORK_DIR/model.bin.pre"
 
 "$PELICAN_BIN" info --model "$WORK_DIR/model.bin" | grep -q "residual"
 
+# Checkpointed training + resume: the first run snapshots each epoch;
+# the second picks up from the newest checkpoint and trains onward.
+"$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+    --blocks 2 --channels 8 --epochs 2 \
+    --checkpoint-dir "$WORK_DIR/ckpt" --out "$WORK_DIR/model_ck.bin"
+ls "$WORK_DIR/ckpt" | grep -q "checkpoint-.*\.ckpt"
+"$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+    --blocks 2 --channels 8 --epochs 3 \
+    --checkpoint-dir "$WORK_DIR/ckpt" --resume \
+    --out "$WORK_DIR/model_resumed.bin" | grep -q "resuming"
+test -s "$WORK_DIR/model_resumed.bin"
+
 "$PELICAN_BIN" eval --model "$WORK_DIR/model.bin" \
     --csv "$WORK_DIR/flows.csv" | grep -q "ACC"
 

@@ -5,6 +5,8 @@
 //                    --out model.bin
 //   pelican train    --dataset nsl --csv flows.csv --out model.bin
 //   pelican train    --dataset nsl --official KDDTrain+.txt --out model.bin
+//   pelican train    --dataset nsl --csv flows.csv --checkpoint-dir ckpt \
+//                    --resume --out model.bin
 //   pelican eval     --model model.bin --csv flows.csv
 //   pelican classify --model model.bin --csv flows.csv --limit 20
 //   pelican info     --model model.bin
@@ -146,6 +148,14 @@ core::IdsConfig ConfigFrom(const ModelMeta& meta, const Flags& flags) {
   config.train.learning_rate = 0.01F;
   config.train.seed = static_cast<std::uint64_t>(flags.GetLong("seed", 2020));
   config.train.verbose = flags.Has("verbose");
+  config.train.checkpoint_dir = flags.Get("checkpoint-dir");
+  config.train.checkpoint_every =
+      static_cast<int>(flags.GetLong("checkpoint-every", 1));
+  config.train.checkpoint_keep =
+      static_cast<int>(flags.GetLong("checkpoint-keep", 3));
+  config.train.resume = flags.Has("resume");
+  config.train.max_divergence_retries =
+      static_cast<int>(flags.GetLong("divergence-retries", 0));
   return config;
 }
 
@@ -174,12 +184,20 @@ int CmdTrain(const Flags& flags) {
 
   const auto ds = LoadData(dataset_name, flags);
   const auto config = ConfigFrom(meta, flags);
+  PELICAN_CHECK(!config.train.resume || !config.train.checkpoint_dir.empty(),
+                "--resume requires --checkpoint-dir");
   core::PelicanIds ids(ds.schema(), config);
   std::printf("training %s-%d (channels=%lld) for %d epochs on %zu "
               "records...\n",
               meta.residual ? "Residual" : "Plain", 4 * meta.blocks + 1,
               static_cast<long long>(meta.channels), config.train.epochs,
               ds.Size());
+  if (!config.train.checkpoint_dir.empty()) {
+    std::printf("checkpointing to %s every %d epoch(s)%s\n",
+                config.train.checkpoint_dir.c_str(),
+                config.train.checkpoint_every,
+                config.train.resume ? ", resuming from latest" : "");
+  }
   const auto history = ids.Train(ds);
   std::printf("final train loss %.4f, accuracy %.2f%%\n",
               history.back().train_loss,
@@ -278,7 +296,9 @@ int Usage() {
       "  generate  --dataset nsl|unsw --records N [--seed S] --out f.csv\n"
       "  train     --dataset nsl|unsw [--csv f|--official f|--records N]\n"
       "            [--blocks 10] [--plain] [--channels 24] [--epochs 16]\n"
-      "            --out model.bin\n"
+      "            [--checkpoint-dir d] [--checkpoint-every N]\n"
+      "            [--checkpoint-keep N] [--resume]\n"
+      "            [--divergence-retries N] --out model.bin\n"
       "  eval      --model model.bin [--csv f|--official f|--records N]\n"
       "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
       "  info      --model model.bin\n");
