@@ -3,6 +3,7 @@
 // preprocessing, and the end-to-end per-batch training step.
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/core.h"
 #include "data/data.h"
 #include "models/pelican.h"
@@ -115,6 +116,97 @@ void BM_PelicanTrainingStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_PelicanTrainingStep);
+
+// ---- thread scaling --------------------------------------------------------
+// Serial-vs-parallel throughput of the training hot path. Arg = worker
+// threads (1 = the serial path); compare items_per_second across Args to
+// read the speedup. Sized so each batch item carries real work.
+
+// RAII: pin the pool width for one benchmark run, then restore.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) : previous_(Threads()) { SetThreads(n); }
+  ~ThreadGuard() { SetThreads(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+void BM_Conv1DForwardThreads(benchmark::State& state) {
+  ThreadGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(10);
+  nn::Conv1D conv(64, 64, 10, rng);
+  auto x = Tensor::RandomNormal({64, 16, 64}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Conv1DForwardThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_Conv1DBackwardThreads(benchmark::State& state) {
+  ThreadGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(10);
+  nn::Conv1D conv(64, 64, 10, rng);
+  auto x = Tensor::RandomNormal({64, 16, 64}, rng, 0, 1);
+  auto dy = Tensor::RandomNormal({64, 16, 64}, rng, 0, 1);
+  conv.Forward(x, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(dy));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Conv1DBackwardThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_GruForwardThreads(benchmark::State& state) {
+  ThreadGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  nn::Gru gru(128, 128, rng);
+  auto x = Tensor::RandomNormal({64, 8, 128}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.Forward(x, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GruForwardThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_GruBackwardThreads(benchmark::State& state) {
+  ThreadGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  nn::Gru gru(128, 128, rng);
+  auto x = Tensor::RandomNormal({64, 8, 128}, rng, 0, 1);
+  auto dy = Tensor::RandomNormal({64, 8, 128}, rng, 0, 1);
+  gru.Forward(x, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.Backward(dy));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GruBackwardThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_PelicanTrainingStepThreads(benchmark::State& state) {
+  // Full mini-batch step (fwd + bwd + update) of the scaled Residual-41
+  // at each pool width; the end-to-end view of the same scaling.
+  ThreadGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng rng(12);
+  auto net = models::BuildPelican(121, 5, rng, 24);
+  optim::RmsProp opt(0.01F);
+  opt.Attach(net->Params());
+  auto x = Tensor::RandomNormal({64, 121}, rng, 0, 1);
+  std::vector<int> labels(64);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 5);
+  }
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    auto logits = net->Forward(x, true);
+    auto loss = nn::SoftmaxCrossEntropy(logits, labels);
+    net->Backward(loss.dlogits);
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PelicanTrainingStepThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_OneHotEncode(benchmark::State& state) {
   Rng rng(7);

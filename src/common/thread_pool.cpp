@@ -1,15 +1,56 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.h"
 
 namespace pelican {
 
-ThreadPool::ThreadPool(std::size_t n_threads) {
-  if (n_threads == 0) {
-    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace {
+
+thread_local bool t_in_worker = false;
+
+std::atomic<std::size_t>& ThreadsVar() {
+  // Seeded once from the environment; SetThreads overrides.
+  static std::atomic<std::size_t> threads{
+      ParseThreadsEnv(std::getenv("PELICAN_THREADS"))};
+  return threads;
+}
+
+}  // namespace
+
+std::size_t ParseThreadsEnv(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return 0;
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t Threads() { return ThreadsVar().load(std::memory_order_relaxed); }
+
+std::size_t EffectiveThreads() {
+  const std::size_t configured = Threads();
+  if (configured != 0) return configured;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void SetThreads(std::size_t n) {
+  ThreadsVar().store(n, std::memory_order_relaxed);
+  ThreadPool::Global().Resize(EffectiveThreads());
+}
+
+ThreadPool::ThreadPool(std::size_t n_threads) { StartWorkers(n_threads); }
+
+void ThreadPool::StartWorkers(std::size_t n) {
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  workers_.reserve(n_threads);
-  for (std::size_t i = 0; i < n_threads; ++i) {
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -21,6 +62,26 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Resize(std::size_t n_threads) {
+  PELICAN_CHECK(!InWorker(), "ThreadPool::Resize from a pool worker");
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (n_threads == workers_.size()) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = false;
+  }
+  StartWorkers(n_threads);
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -35,6 +96,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -48,23 +110,52 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool ThreadPool::InWorker() { return t_in_worker; }
+
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
+  static ThreadPool pool(EffectiveThreads());
   return pool;
 }
+
+namespace {
+
+// Joins every future, then rethrows the first stored exception (in shard
+// order). Joining first is what keeps the caller's `fn` alive until no
+// shard can touch it.
+void JoinAll(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
 
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain) {
   if (begin >= end) return;
-  auto& pool = ThreadPool::Global();
   const std::size_t n = end - begin;
-  const std::size_t workers = pool.size();
-  if (workers <= 1 || n <= grain) {
+  if (grain == 0) grain = 1;
+  const std::size_t workers = EffectiveThreads();
+  // Nested calls from a pool worker run serially: their shards would
+  // queue behind the blocked parent task and deadlock the pool.
+  if (workers <= 1 || n <= grain || ThreadPool::InWorker()) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const std::size_t shards = std::min(workers, (n + grain - 1) / grain);
+  auto& pool = ThreadPool::Global();
+  const std::size_t shards =
+      std::min(std::min(workers, pool.size()), (n + grain - 1) / grain);
+  if (shards <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t per_shard = (n + shards - 1) / shards;
   std::vector<std::future<void>> futures;
   futures.reserve(shards);
@@ -76,7 +167,44 @@ void ParallelFor(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  JoinAll(futures);
+}
+
+std::size_t ShardCount(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return std::min(kMaxShards, (n + grain - 1) / grain);
+}
+
+void ParallelForShards(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t shard, std::size_t lo,
+                             std::size_t hi)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t shards = ShardCount(n, grain);
+  const std::size_t per_shard = (n + shards - 1) / shards;
+  // Shard boundaries above depend only on (n, grain); the execution
+  // strategy below must not change them.
+  if (shards <= 1 || EffectiveThreads() <= 1 || ThreadPool::InWorker()) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t lo = begin + s * per_shard;
+      const std::size_t hi = std::min(end, lo + per_shard);
+      if (lo >= hi) break;
+      fn(s, lo, hi);
+    }
+    return;
+  }
+  auto& pool = ThreadPool::Global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t lo = begin + s * per_shard;
+    const std::size_t hi = std::min(end, lo + per_shard);
+    if (lo >= hi) break;
+    futures.push_back(pool.Submit([s, lo, hi, &fn] { fn(s, lo, hi); }));
+  }
+  JoinAll(futures);
 }
 
 }  // namespace pelican

@@ -1,8 +1,20 @@
-// Minimal work-stealing-free thread pool with a parallel_for helper.
+// Thread pool + deterministic batch-sharding helpers.
 //
-// Training inner loops (conv, GRU) are data-parallel across the batch
-// dimension; ParallelFor shards an index range across the pool. On a
-// single-core host the pool degrades gracefully to serial execution.
+// ParallelFor runs `fn(i)` over [begin, end), sharding contiguous index
+// ranges across the process-wide pool. ParallelForShards exposes the
+// shard structure itself for reductions: the decomposition depends only
+// on the range length and grain — never on the thread count — so callers
+// that accumulate into per-shard buffers and reduce them in shard order
+// produce bit-identical results for any PELICAN_THREADS setting
+// (including 1, which executes the same shards serially). This is what
+// keeps training losses and saved weights independent of parallelism and
+// preserves the exact checkpoint/resume guarantee.
+//
+// Concurrency contract:
+//  - A ParallelFor issued from inside a pool worker runs serially on the
+//    calling thread (nested parallelism would deadlock a fixed pool).
+//  - If `fn` throws, every shard is joined before the first exception
+//    (in shard order) is rethrown; no shard outlives the call.
 #pragma once
 
 #include <condition_variable>
@@ -30,10 +42,20 @@ class ThreadPool {
   // Enqueue a task; the future resolves when it completes.
   std::future<void> Submit(std::function<void()> task);
 
-  // Process-wide pool (lazily constructed, sized to the machine).
+  // Joins all workers and restarts with `n_threads` (0 → hardware
+  // concurrency). Must not be called from a pool worker or while tasks
+  // are in flight.
+  void Resize(std::size_t n_threads);
+
+  // True on threads owned by any ThreadPool (used for the nested-call
+  // serial fallback).
+  [[nodiscard]] static bool InWorker();
+
+  // Process-wide pool, lazily constructed with EffectiveThreads() workers.
   static ThreadPool& Global();
 
  private:
+  void StartWorkers(std::size_t n);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
@@ -43,10 +65,51 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-// Splits [begin, end) into contiguous shards and runs `fn(i)` for every i.
-// Runs serially when the range is small or the pool has a single worker.
+// ---- threading configuration ---------------------------------------------
+// Thread count resolution: SetThreads() overrides the PELICAN_THREADS
+// environment variable; 0 (the default) means hardware concurrency,
+// 1 forces the serial path.
+
+// Overrides the configured thread count and resizes the global pool if
+// it already exists. Not safe to call concurrently with ParallelFor.
+void SetThreads(std::size_t n);
+
+// The configured thread count (0 = auto).
+std::size_t Threads();
+
+// The resolved worker count (>= 1).
+std::size_t EffectiveThreads();
+
+// Parses a PELICAN_THREADS-style value; nullptr/empty/garbage/negative → 0.
+std::size_t ParseThreadsEnv(const char* text);
+
+// ---- parallel loops -------------------------------------------------------
+
+// Runs fn(i) for every i in [begin, end); shards of at least `grain`
+// indices are distributed across the pool. Safe only for bodies whose
+// iterations are independent (disjoint writes); such loops are
+// deterministic for any thread count because each iteration's arithmetic
+// is self-contained.
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain = 1);
+
+// Upper bound on the number of shards ParallelForShards creates; fixed
+// (not hardware-derived) so reduction trees are machine-independent.
+inline constexpr std::size_t kMaxShards = 16;
+
+// Number of shards ParallelForShards uses for a range of length n:
+// min(kMaxShards, ceil(n / grain)). Pure function of (n, grain).
+std::size_t ShardCount(std::size_t n, std::size_t grain);
+
+// Partitions [begin, end) into ShardCount contiguous shards and runs
+// fn(shard, lo, hi) for each. Shard boundaries are identical whether the
+// shards execute serially or on the pool; reductions that accumulate
+// per-shard partials and combine them in shard order are therefore
+// bit-identical for any thread count.
+void ParallelForShards(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t shard, std::size_t lo,
+                             std::size_t hi)>& fn);
 
 }  // namespace pelican

@@ -30,6 +30,10 @@ int NeuralClassifier::Predict(std::span<const float> row) const {
 
 std::vector<int> NeuralClassifier::PredictAll(const Tensor& x) const {
   PELICAN_CHECK(trainer_ != nullptr, "PredictAll before Fit");
+  // Batched path: the trainer forwards full mini-batches, and the layer
+  // kernels shard each batch across the thread pool. This must NOT use
+  // the row-parallel ml::Classifier default — concurrent Forward calls
+  // would race on the network's layer caches.
   return trainer_->Predict(x);
 }
 

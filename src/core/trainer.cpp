@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "data/batcher.h"
 #include "tensor/ops.h"
@@ -306,9 +307,8 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
 
 std::vector<int> Trainer::Predict(const Tensor& x) const {
   PELICAN_CHECK(x.rank() == 2, "Predict expects (N, D)");
-  std::vector<int> predictions;
   const std::int64_t n = x.dim(0);
-  predictions.reserve(static_cast<std::size_t>(n));
+  std::vector<int> predictions(static_cast<std::size_t>(n));
   const auto bs = static_cast<std::int64_t>(config_.batch_size);
   for (std::int64_t start = 0; start < n; start += bs) {
     const std::int64_t len = std::min(bs, n - start);
@@ -316,10 +316,16 @@ std::vector<int> Trainer::Predict(const Tensor& x) const {
     std::copy(x.data().begin() + start * x.dim(1),
               x.data().begin() + (start + len) * x.dim(1),
               slice.data().begin());
+    // The forward pass parallelizes inside the layers; rows of the
+    // resulting logits argmax independently.
     Tensor logits = network_->Forward(slice, /*training=*/false);
-    for (std::int64_t i = 0; i < len; ++i) {
-      predictions.push_back(static_cast<int>(logits.ArgMaxRow(i)));
-    }
+    ParallelFor(
+        0, static_cast<std::size_t>(len),
+        [&](std::size_t i) {
+          predictions[static_cast<std::size_t>(start) + i] =
+              static_cast<int>(logits.ArgMaxRow(static_cast<std::int64_t>(i)));
+        },
+        64);
   }
   return predictions;
 }

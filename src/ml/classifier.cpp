@@ -1,14 +1,21 @@
 #include "ml/classifier.h"
 
+#include "common/thread_pool.h"
+
 namespace pelican::ml {
 
 std::vector<int> Classifier::PredictAll(const Tensor& x) const {
   PELICAN_CHECK(x.rank() == 2, "PredictAll expects (N, D)");
-  std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(x.dim(0)));
-  for (std::int64_t i = 0; i < x.dim(0); ++i) {
-    out.push_back(Predict(x.Row(i)));
-  }
+  std::vector<int> out(static_cast<std::size_t>(x.dim(0)));
+  // Rows predict independently against immutable fitted state, so the
+  // batch shards across the pool (classical baselines only; deep models
+  // override this with a batched forward pass).
+  ParallelFor(
+      0, out.size(),
+      [&](std::size_t i) {
+        out[i] = Predict(x.Row(static_cast<std::int64_t>(i)));
+      },
+      8);
   return out;
 }
 

@@ -1,6 +1,9 @@
 #include "nn/batchnorm.h"
 
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace pelican::nn {
 
@@ -22,6 +25,39 @@ BatchNorm::BatchNorm(std::int64_t channels, float momentum, float epsilon)
 namespace {
 // Channel index of flat element i given row width c (last-axis channels).
 inline std::int64_t ChannelOf(std::int64_t i, std::int64_t c) { return i % c; }
+
+// Rows per shard so one task touches at least ~16k elements.
+std::size_t RowGrain(std::int64_t channels) {
+  constexpr std::int64_t kMinShardWork = 1 << 14;
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kMinShardWork / std::max<std::int64_t>(1, channels)));
+}
+
+// Per-channel Σ per_element(flat_index, channel) over all rows, sharded
+// with per-shard partials combined in shard order — bit-identical for
+// any thread count because the shard layout ignores the pool size.
+template <typename PerElement>
+Tensor ShardedChannelSum(std::int64_t rows, std::int64_t c,
+                         PerElement&& per_element) {
+  const std::size_t grain = RowGrain(c);
+  const std::size_t shards =
+      pelican::ShardCount(static_cast<std::size_t>(rows), grain);
+  std::vector<Tensor> parts(shards, Tensor({c}));
+  ParallelForShards(
+      0, static_cast<std::size_t>(rows), grain,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        float* sums = parts[shard].data().data();
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::int64_t base = static_cast<std::int64_t>(r) * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            sums[j] += per_element(base + j, j);
+          }
+        }
+      });
+  Tensor total({c});
+  for (std::size_t s = 0; s < shards; ++s) total.Add(parts[s]);
+  return total;
+}
 }  // namespace
 
 Tensor BatchNorm::Forward(const Tensor& x, bool training) {
@@ -35,14 +71,15 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   Tensor mean({c});
   Tensor var({c});
   if (training) {
-    for (std::int64_t i = 0; i < x.size(); ++i) {
-      mean[ChannelOf(i, c)] += xp[i];
-    }
+    mean = ShardedChannelSum(
+        rows_, c, [xp](std::int64_t i, std::int64_t) { return xp[i]; });
     mean.Scale(1.0F / static_cast<float>(rows_));
-    for (std::int64_t i = 0; i < x.size(); ++i) {
-      const float d = xp[i] - mean[ChannelOf(i, c)];
-      var[ChannelOf(i, c)] += d * d;
-    }
+    const float* mp = mean.data().data();
+    var = ShardedChannelSum(rows_, c,
+                            [xp, mp](std::int64_t i, std::int64_t j) {
+                              const float d = xp[i] - mp[j];
+                              return d * d;
+                            });
     var.Scale(1.0F / static_cast<float>(rows_));
     // Update running averages.
     for (std::int64_t j = 0; j < c; ++j) {
@@ -64,11 +101,20 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   Tensor y(in_shape_);
   float* hp = xhat_.data().data();
   float* yp = y.data().data();
-  for (std::int64_t i = 0; i < x.size(); ++i) {
-    const std::int64_t j = ChannelOf(i, c);
-    hp[i] = (xp[i] - mean[j]) * inv_std_[j];
-    yp[i] = gamma_[j] * hp[i] + beta_[j];
-  }
+  const float* mp = mean.data().data();
+  const float* sp = inv_std_.data().data();
+  const float* gp = gamma_.data().data();
+  const float* betap = beta_.data().data();
+  ParallelFor(
+      0, static_cast<std::size_t>(rows_),
+      [&](std::size_t r) {
+        const std::int64_t base = static_cast<std::int64_t>(r) * c;
+        for (std::int64_t j = 0; j < c; ++j) {
+          hp[base + j] = (xp[base + j] - mp[j]) * sp[j];
+          yp[base + j] = gp[j] * hp[base + j] + betap[j];
+        }
+      },
+      RowGrain(c));
   trained_forward_ = training;
   return y;
 }
@@ -80,32 +126,45 @@ Tensor BatchNorm::Backward(const Tensor& dy) {
   const float* dyp = dy.data().data();
   const float* hp = xhat_.data().data();
 
-  // Per-channel reductions.
-  Tensor sum_dy({c});
-  Tensor sum_dy_xhat({c});
-  for (std::int64_t i = 0; i < dy.size(); ++i) {
-    const std::int64_t j = ChannelOf(i, c);
-    sum_dy[j] += dyp[i];
-    sum_dy_xhat[j] += dyp[i] * hp[i];
-  }
+  // Per-channel reductions over the batch, sharded deterministically.
+  Tensor sum_dy = ShardedChannelSum(
+      rows_, c, [dyp](std::int64_t i, std::int64_t) { return dyp[i]; });
+  Tensor sum_dy_xhat = ShardedChannelSum(
+      rows_, c,
+      [dyp, hp](std::int64_t i, std::int64_t) { return dyp[i] * hp[i]; });
   dgamma_.Add(sum_dy_xhat);
   dbeta_.Add(sum_dy);
 
   Tensor dx(in_shape_);
   float* dxp = dx.data().data();
+  const float* gp = gamma_.data().data();
+  const float* sp = inv_std_.data().data();
+  const float* sdy = sum_dy.data().data();
+  const float* sdyh = sum_dy_xhat.data().data();
   if (trained_forward_) {
     // Full BN gradient (batch statistics participate).
-    for (std::int64_t i = 0; i < dy.size(); ++i) {
-      const std::int64_t j = ChannelOf(i, c);
-      dxp[i] = gamma_[j] * inv_std_[j] *
-               (dyp[i] - sum_dy[j] / m - hp[i] * sum_dy_xhat[j] / m);
-    }
+    ParallelFor(
+        0, static_cast<std::size_t>(rows_),
+        [&](std::size_t r) {
+          const std::int64_t base = static_cast<std::int64_t>(r) * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            dxp[base + j] =
+                gp[j] * sp[j] *
+                (dyp[base + j] - sdy[j] / m - hp[base + j] * sdyh[j] / m);
+          }
+        },
+        RowGrain(c));
   } else {
     // Inference-mode normalization is an affine map.
-    for (std::int64_t i = 0; i < dy.size(); ++i) {
-      const std::int64_t j = ChannelOf(i, c);
-      dxp[i] = dyp[i] * gamma_[j] * inv_std_[j];
-    }
+    ParallelFor(
+        0, static_cast<std::size_t>(rows_),
+        [&](std::size_t r) {
+          const std::int64_t base = static_cast<std::int64_t>(r) * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            dxp[base + j] = dyp[base + j] * gp[j] * sp[j];
+          }
+        },
+        RowGrain(c));
   }
   return dx;
 }

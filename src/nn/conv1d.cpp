@@ -1,8 +1,20 @@
 #include "nn/conv1d.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "nn/initializers.h"
 
 namespace pelican::nn {
+
+namespace {
+// Batch items per shard so one task carries ~32k multiply-adds.
+std::size_t BatchGrain(std::int64_t per_item_work) {
+  constexpr std::int64_t kMinShardWork = 1 << 15;
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kMinShardWork / std::max<std::int64_t>(1, per_item_work)));
+}
+}  // namespace
 
 Conv1D::Conv1D(std::int64_t in_channels, std::int64_t filters,
                std::int64_t kernel_size, Rng& rng)
@@ -29,26 +41,32 @@ Tensor Conv1D::Forward(const Tensor& x, bool /*training*/) {
   const float* wp = w_.data().data();
   const float* bp = b_.data().data();
   float* yp = y.data().data();
-  for (std::int64_t in = 0; in < n; ++in) {
-    const float* xs = xp + in * len * cin;
-    float* ys = yp + in * len * f;
-    for (std::int64_t t = 0; t < len; ++t) {
-      float* yrow = ys + t * f;
-      for (std::int64_t j = 0; j < f; ++j) yrow[j] = bp[j];
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const std::int64_t s = t + kk - pad_left_;
-        if (s < 0 || s >= len) continue;
-        const float* xrow = xs + s * cin;
-        const float* wk = wp + kk * cin * f;
-        for (std::int64_t c = 0; c < cin; ++c) {
-          const float xv = xrow[c];
-          if (xv == 0.0F) continue;
-          const float* wrow = wk + c * f;
-          for (std::int64_t j = 0; j < f; ++j) yrow[j] += xv * wrow[j];
+  // Batch items write disjoint output rows, so the batch dimension
+  // shards freely across the pool.
+  ParallelFor(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t uin) {
+        const auto in = static_cast<std::int64_t>(uin);
+        const float* xs = xp + in * len * cin;
+        float* ys = yp + in * len * f;
+        for (std::int64_t t = 0; t < len; ++t) {
+          float* yrow = ys + t * f;
+          for (std::int64_t j = 0; j < f; ++j) yrow[j] = bp[j];
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const std::int64_t s = t + kk - pad_left_;
+            if (s < 0 || s >= len) continue;
+            const float* xrow = xs + s * cin;
+            const float* wk = wp + kk * cin * f;
+            for (std::int64_t c = 0; c < cin; ++c) {
+              const float xv = xrow[c];
+              if (xv == 0.0F) continue;
+              const float* wrow = wk + c * f;
+              for (std::int64_t j = 0; j < f; ++j) yrow[j] += xv * wrow[j];
+            }
+          }
         }
-      }
-    }
-  }
+      },
+      BatchGrain(len * k * cin * f));
   return y;
 }
 
@@ -63,36 +81,53 @@ Tensor Conv1D::Backward(const Tensor& dy) {
   const float* wp = w_.data().data();
   const float* dyp = dy.data().data();
   float* dxp = dx.data().data();
-  float* dwp = dw_.data().data();
-  float* dbp = db_.data().data();
-  for (std::int64_t in = 0; in < n; ++in) {
-    const float* xs = xp + in * len * cin;
-    const float* dys = dyp + in * len * f;
-    float* dxs = dxp + in * len * cin;
-    for (std::int64_t t = 0; t < len; ++t) {
-      const float* dyrow = dys + t * f;
-      for (std::int64_t j = 0; j < f; ++j) dbp[j] += dyrow[j];
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const std::int64_t s = t + kk - pad_left_;
-        if (s < 0 || s >= len) continue;
-        const float* xrow = xs + s * cin;
-        float* dxrow = dxs + s * cin;
-        const float* wk = wp + kk * cin * f;
-        float* dwk = dwp + kk * cin * f;
-        for (std::int64_t c = 0; c < cin; ++c) {
-          const float xv = xrow[c];
-          const float* wrow = wk + c * f;
-          float* dwrow = dwk + c * f;
-          float acc = 0.0F;
-          for (std::int64_t j = 0; j < f; ++j) {
-            const float g = dyrow[j];
-            acc += g * wrow[j];
-            dwrow[j] += g * xv;
+  // dx rows are disjoint per batch item, but dw/db reduce over the
+  // batch: each shard accumulates into a private buffer and the partials
+  // combine in shard order. The shard layout is a pure function of
+  // (n, grain), so the result is bit-identical for any thread count.
+  const std::size_t grain = BatchGrain(len * k * cin * f);
+  const std::size_t shards = ShardCount(static_cast<std::size_t>(n), grain);
+  std::vector<Tensor> dw_parts(shards, Tensor({k, cin, f}));
+  std::vector<Tensor> db_parts(shards, Tensor({f}));
+  ParallelForShards(
+      0, static_cast<std::size_t>(n), grain,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        float* dwp = dw_parts[shard].data().data();
+        float* dbp = db_parts[shard].data().data();
+        for (std::size_t uin = lo; uin < hi; ++uin) {
+          const auto in = static_cast<std::int64_t>(uin);
+          const float* xs = xp + in * len * cin;
+          const float* dys = dyp + in * len * f;
+          float* dxs = dxp + in * len * cin;
+          for (std::int64_t t = 0; t < len; ++t) {
+            const float* dyrow = dys + t * f;
+            for (std::int64_t j = 0; j < f; ++j) dbp[j] += dyrow[j];
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              const std::int64_t s = t + kk - pad_left_;
+              if (s < 0 || s >= len) continue;
+              const float* xrow = xs + s * cin;
+              float* dxrow = dxs + s * cin;
+              const float* wk = wp + kk * cin * f;
+              float* dwk = dwp + kk * cin * f;
+              for (std::int64_t c = 0; c < cin; ++c) {
+                const float xv = xrow[c];
+                const float* wrow = wk + c * f;
+                float* dwrow = dwk + c * f;
+                float acc = 0.0F;
+                for (std::int64_t j = 0; j < f; ++j) {
+                  const float g = dyrow[j];
+                  acc += g * wrow[j];
+                  dwrow[j] += g * xv;
+                }
+                dxrow[c] += acc;
+              }
+            }
           }
-          dxrow[c] += acc;
         }
-      }
-    }
+      });
+  for (std::size_t s = 0; s < shards; ++s) {
+    dw_.Add(dw_parts[s]);
+    db_.Add(db_parts[s]);
   }
   return dx;
 }

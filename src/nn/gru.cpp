@@ -1,10 +1,25 @@
 #include "nn/gru.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "nn/activations.h"
 #include "nn/initializers.h"
 #include "tensor/ops.h"
 
 namespace pelican::nn {
+
+namespace {
+// Flat elementwise map over a tensor; iterations are independent, so the
+// shard layout cannot change the arithmetic. Small tensors stay serial.
+template <typename Fn>
+void ParallelApply(Tensor& t, Fn&& fn) {
+  float* p = t.data().data();
+  ParallelFor(
+      0, static_cast<std::size_t>(t.size()),
+      [&](std::size_t i) { p[i] = fn(p[i]); }, 1U << 14U);
+}
+}  // namespace
 
 Gru::Gru(std::int64_t input_size, std::int64_t units, Rng& rng,
          bool return_sequences)
@@ -68,22 +83,31 @@ Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
     Tensor z = MatMul(xt, wz_);
     MatMulAccum(hprev, uz_, z);
     AddRowBias(z, bz_);
-    for (auto& v : z.data()) v = HardSigmoidF(v);
+    ParallelApply(z, [](float v) { return HardSigmoidF(v); });
 
     Tensor r = MatMul(xt, wr_);
     MatMulAccum(hprev, ur_, r);
     AddRowBias(r, br_);
-    for (auto& v : r.data()) v = HardSigmoidF(v);
+    ParallelApply(r, [](float v) { return HardSigmoidF(v); });
 
     Tensor rh = Mul(r, hprev);
     Tensor hc = MatMul(xt, wh_);
     MatMulAccum(rh, uh_, hc);
     AddRowBias(hc, bh_);
-    for (auto& v : hc.data()) v = TanhF(v);
+    ParallelApply(hc, [](float v) { return TanhF(v); });
 
     Tensor hnew({n, h});
-    for (std::int64_t i = 0; i < hnew.size(); ++i) {
-      hnew[i] = z[i] * hprev[i] + (1.0F - z[i]) * hc[i];
+    {
+      float* hn = hnew.data().data();
+      const float* zp = z.data().data();
+      const float* hp = hprev.data().data();
+      const float* cp = hc.data().data();
+      ParallelFor(
+          0, static_cast<std::size_t>(hnew.size()),
+          [&](std::size_t i) {
+            hn[i] = zp[i] * hp[i] + (1.0F - zp[i]) * cp[i];
+          },
+          1U << 14U);
     }
 
     xs_.push_back(std::move(xt));
@@ -98,12 +122,19 @@ Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
 
   Tensor y({n, len, h});
   float* yp = y.data().data();
-  for (std::int64_t t = 0; t < len; ++t) {
-    const float* hp = hs_[static_cast<std::size_t>(t + 1)].data().data();
-    for (std::int64_t i = 0; i < n; ++i) {
-      std::copy(hp + i * h, hp + (i + 1) * h, yp + (i * len + t) * h);
-    }
-  }
+  ParallelFor(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t ui) {
+        const auto i = static_cast<std::int64_t>(ui);
+        for (std::int64_t t = 0; t < len; ++t) {
+          const float* hp =
+              hs_[static_cast<std::size_t>(t + 1)].data().data();
+          std::copy(hp + i * h, hp + (i + 1) * h, yp + (i * len + t) * h);
+        }
+      },
+      static_cast<std::size_t>(
+          std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(
+                                        1, len * h))));
   return y;
 }
 
@@ -147,35 +178,72 @@ Tensor Gru::Backward(const Tensor& dy) {
 
     // Gate-local gradients.
     Tensor dz({n, h}), dhc({n, h}), dh_prev({n, h});
-    for (std::int64_t i = 0; i < dh.size(); ++i) {
-      dz[i] = dh[i] * (hprev[i] - hc[i]);
-      dhc[i] = dh[i] * (1.0F - z[i]);
-      dh_prev[i] = dh[i] * z[i];
+    {
+      float* dzp = dz.data().data();
+      float* dhcp = dhc.data().data();
+      float* dhpp = dh_prev.data().data();
+      const float* dhp = dh.data().data();
+      const float* hpv = hprev.data().data();
+      const float* hcp = hc.data().data();
+      const float* zp = z.data().data();
+      ParallelFor(
+          0, static_cast<std::size_t>(dh.size()),
+          [&](std::size_t i) {
+            dzp[i] = dhp[i] * (hpv[i] - hcp[i]);
+            dhcp[i] = dhp[i] * (1.0F - zp[i]);
+            dhpp[i] = dhp[i] * zp[i];
+          },
+          1U << 14U);
     }
 
     // Candidate pre-activation.
     Tensor da_h = dhc;
-    for (std::int64_t i = 0; i < da_h.size(); ++i) {
-      da_h[i] *= TanhGradFromY(hc[i]);
+    {
+      float* dap = da_h.data().data();
+      const float* hcp = hc.data().data();
+      ParallelFor(
+          0, static_cast<std::size_t>(da_h.size()),
+          [&](std::size_t i) { dap[i] *= TanhGradFromY(hcp[i]); },
+          1U << 14U);
     }
     MatMulTransAAccum(xt, da_h, dwh_);
     MatMulTransAAccum(rh, da_h, duh_);
     SumRowsInto(da_h, dbh_);
     Tensor drh = MatMulTransB(da_h, uh_);
     Tensor dr({n, h});
-    for (std::int64_t i = 0; i < drh.size(); ++i) {
-      dr[i] = drh[i] * hprev[i];
-      dh_prev[i] += drh[i] * r[i];
+    {
+      float* drp = dr.data().data();
+      float* dhpp = dh_prev.data().data();
+      const float* drhp = drh.data().data();
+      const float* hpv = hprev.data().data();
+      const float* rp = r.data().data();
+      ParallelFor(
+          0, static_cast<std::size_t>(drh.size()),
+          [&](std::size_t i) {
+            drp[i] = drhp[i] * hpv[i];
+            dhpp[i] += drhp[i] * rp[i];
+          },
+          1U << 14U);
     }
 
     // Update and reset gate pre-activations.
     Tensor da_z = dz;
-    for (std::int64_t i = 0; i < da_z.size(); ++i) {
-      da_z[i] *= HardSigmoidGradFromY(z[i]);
+    {
+      float* dap = da_z.data().data();
+      const float* zp = z.data().data();
+      ParallelFor(
+          0, static_cast<std::size_t>(da_z.size()),
+          [&](std::size_t i) { dap[i] *= HardSigmoidGradFromY(zp[i]); },
+          1U << 14U);
     }
     Tensor da_r = dr;
-    for (std::int64_t i = 0; i < da_r.size(); ++i) {
-      da_r[i] *= HardSigmoidGradFromY(r[i]);
+    {
+      float* dap = da_r.data().data();
+      const float* rp = r.data().data();
+      ParallelFor(
+          0, static_cast<std::size_t>(da_r.size()),
+          [&](std::size_t i) { dap[i] *= HardSigmoidGradFromY(rp[i]); },
+          1U << 14U);
     }
     MatMulTransAAccum(xt, da_z, dwz_);
     MatMulTransAAccum(hprev, da_z, duz_);
@@ -193,11 +261,16 @@ Tensor Gru::Backward(const Tensor& dy) {
     dxt.Add(MatMulTransB(da_h, wh_));
     float* dxp = dx.data().data();
     const float* sp = dxt.data().data();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* src = sp + i * input_size_;
-      float* dst = dxp + (i * len + t) * input_size_;
-      for (std::int64_t j = 0; j < input_size_; ++j) dst[j] += src[j];
-    }
+    ParallelFor(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t ui) {
+          const auto i = static_cast<std::int64_t>(ui);
+          const float* src = sp + i * input_size_;
+          float* dst = dxp + (i * len + t) * input_size_;
+          for (std::int64_t j = 0; j < input_size_; ++j) dst[j] += src[j];
+        },
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, (1 << 14) / std::max<std::int64_t>(1, input_size_))));
 
     dh = std::move(dh_prev);
   }

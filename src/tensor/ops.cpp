@@ -1,12 +1,23 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace pelican {
 
 namespace {
 void CheckRank2(const Tensor& t, const char* what) {
   PELICAN_CHECK(t.rank() == 2, what);
+}
+
+// Rows per ParallelFor shard, sized so one task carries ~32k
+// multiply-adds; small matrices stay on the calling thread.
+std::size_t RowGrain(std::int64_t per_row_work) {
+  constexpr std::int64_t kMinShardWork = 1 << 15;
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      1, kMinShardWork / std::max<std::int64_t>(1, per_row_work)));
 }
 }  // namespace
 
@@ -28,17 +39,23 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
-  // ikj loop order: unit-stride access to B and C rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = cp + i * n;
-    const float* arow = ap + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0F) continue;
-      const float* brow = bp + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // ikj loop order: unit-stride access to B and C rows. Rows of C are
+  // independent, so the batch dimension shards across the pool; each
+  // element still accumulates over k in ascending order regardless of
+  // the thread count.
+  ParallelFor(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        float* crow = cp + static_cast<std::int64_t>(i) * n;
+        const float* arow = ap + static_cast<std::int64_t>(i) * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0F) continue;
+          const float* brow = bp + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      RowGrain(k * n));
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
@@ -50,15 +67,19 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = bp + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      cp[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  ParallelFor(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t ui) {
+        const auto i = static_cast<std::int64_t>(ui);
+        const float* arow = ap + i * k;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float* brow = bp + j * k;
+          double acc = 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          cp[i * n + j] = static_cast<float>(acc);
+        }
+      },
+      RowGrain(k * n));
   return c;
 }
 
@@ -78,16 +99,22 @@ void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = ap + kk * m;
-    const float* brow = bp + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) continue;
-      float* crow = cp + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // i-outer so rows of C shard across the pool with disjoint writes;
+  // each c[i][j] accumulates over k in ascending order exactly as the
+  // k-outer serial ordering did.
+  ParallelFor(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t ui) {
+        const auto i = static_cast<std::int64_t>(ui);
+        float* crow = cp + i * n;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av = ap[kk * m + i];
+          if (av == 0.0F) continue;
+          const float* brow = bp + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      RowGrain(k * n));
 }
 
 Tensor Transpose2D(const Tensor& x) {
@@ -164,19 +191,23 @@ Tensor SoftmaxRows(const Tensor& logits) {
   CheckRank2(logits, "SoftmaxRows: rank-2 required");
   const std::int64_t n = logits.dim(0), d = logits.dim(1);
   Tensor out({n, d});
-  for (std::int64_t i = 0; i < n; ++i) {
-    auto row = logits.Row(i);
-    float mx = row[0];
-    for (float v : row) mx = std::max(mx, v);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < d; ++j) {
-      const float e = std::exp(row[static_cast<std::size_t>(j)] - mx);
-      out.At(i, j) = e;
-      denom += e;
-    }
-    const auto inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < d; ++j) out.At(i, j) *= inv;
-  }
+  ParallelFor(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t ui) {
+        const auto i = static_cast<std::int64_t>(ui);
+        auto row = logits.Row(i);
+        float mx = row[0];
+        for (float v : row) mx = std::max(mx, v);
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < d; ++j) {
+          const float e = std::exp(row[static_cast<std::size_t>(j)] - mx);
+          out.At(i, j) = e;
+          denom += e;
+        }
+        const auto inv = static_cast<float>(1.0 / denom);
+        for (std::int64_t j = 0; j < d; ++j) out.At(i, j) *= inv;
+      },
+      RowGrain(4 * d));
   return out;
 }
 

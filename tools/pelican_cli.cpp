@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/core.h"
 #include "data/data.h"
 #include "metrics/metrics.h"
@@ -301,7 +302,11 @@ int Usage() {
       "            [--divergence-retries N] --out model.bin\n"
       "  eval      --model model.bin [--csv f|--official f|--records N]\n"
       "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
-      "  info      --model model.bin\n");
+      "  info      --model model.bin\n\n"
+      "global flags:\n"
+      "  --threads N   worker threads for training/inference\n"
+      "                (0 = hardware concurrency, 1 = serial;\n"
+      "                 default from PELICAN_THREADS, else 0)\n");
   return 2;
 }
 
@@ -312,6 +317,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     Flags flags(argc, argv, 2);
+    if (flags.Has("threads")) {
+      const long threads = flags.GetLong("threads", 0);
+      PELICAN_CHECK(threads >= 0, "--threads must be >= 0");
+      SetThreads(static_cast<std::size_t>(threads));
+    }
     if (command == "generate") return CmdGenerate(flags);
     if (command == "train") return CmdTrain(flags);
     if (command == "eval") return CmdEval(flags);
