@@ -169,6 +169,39 @@ inline TrackedRun RunTracked(const data::RawDataset& dataset,
   return run;
 }
 
+// ---- machine-readable kernel benchmarks ----------------------------------
+// Rows of BENCH_kernels.json, the perf-trajectory artifact emitted by
+// bench/kernels_bench from this PR onward: one entry per (op, shape,
+// threads) with ns/iter and achieved GFLOP/s.
+
+struct BenchRow {
+  std::string op;     // "gemm_kernel", "gemm_naive", "conv1d_forward", …
+  std::string shape;  // "m64_k196_n192", "n32_l1_c24_f24_k10", …
+  std::size_t threads = 1;
+  double ns_per_iter = 0.0;
+  double gflops = 0.0;
+};
+
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %zu, "
+                 "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
+                 r.op.c_str(), r.shape.c_str(), r.threads, r.ns_per_iter,
+                 r.gflops, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 // Fixed-width table row printer (paper-style ASCII tables).
 inline void PrintRow(const std::vector<std::string>& cells,
                      const std::vector<int>& widths) {

@@ -8,10 +8,37 @@
 #include "data/data.h"
 #include "models/pelican.h"
 #include "nn/nn.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
 
 namespace {
 
 using namespace pelican;
+
+void BM_GemmKernel(benchmark::State& state) {
+  // The blocked SGEMM at the ISSUE-3 acceptance shape and the paper's
+  // encoded widths; kernels_bench writes the same numbers to
+  // BENCH_kernels.json for trend tracking.
+  const std::int64_t m = state.range(0), k = state.range(1),
+                     n = state.range(2);
+  Rng rng(0);
+  auto a = Tensor::RandomNormal({m, k}, rng, 0, 1);
+  auto b = Tensor::RandomNormal({k, n}, rng, 0, 1);
+  Tensor c({m, n});
+  for (auto _ : state) {
+    kernels::Gemm(false, false, m, n, k, a.data().data(), k, b.data().data(),
+                  n, c.data().data(), n, true);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(m * k * n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmKernel)
+    ->Args({64, 196, 192})
+    ->Args({64, 121, 363})
+    ->Args({256, 256, 256});
 
 void BM_Conv1DForward(benchmark::State& state) {
   const std::int64_t channels = state.range(0);

@@ -1,0 +1,85 @@
+#include "common/workspace.h"
+
+#include <algorithm>
+#include <new>
+
+#include "common/check.h"
+
+namespace pelican {
+
+namespace {
+// Alignment of every returned pointer, in floats (64 bytes = one cache
+// line, wide enough for any vector ISA the kernels are compiled for).
+constexpr std::size_t kAlignFloats = 16;
+constexpr std::size_t kMinBlockFloats = 1U << 16U;  // 256 KB
+
+std::size_t AlignUp(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+}  // namespace
+
+Workspace::Block::Block(std::size_t cap)
+    : data(static_cast<float*>(
+          ::operator new(cap * sizeof(float), std::align_val_t{64}))),
+      capacity(cap) {}
+
+Workspace::Block::~Block() {
+  if (data != nullptr) {
+    ::operator delete(data, std::align_val_t{64});
+  }
+}
+
+Workspace::Block::Block(Block&& other) noexcept
+    : data(other.data), capacity(other.capacity), used(other.used) {
+  other.data = nullptr;
+  other.capacity = 0;
+  other.used = 0;
+}
+
+Workspace& Workspace::Tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::Scope::Scope()
+    : ws_(Tls()),
+      block_(ws_.active_),
+      used_(ws_.blocks_.empty() ? 0 : ws_.blocks_[ws_.active_].used) {}
+
+Workspace::Scope::~Scope() {
+  ws_.active_ = block_;
+  if (block_ < ws_.blocks_.size()) ws_.blocks_[block_].used = used_;
+}
+
+float* Workspace::Alloc(std::size_t n) {
+  const std::size_t need = AlignUp(std::max<std::size_t>(n, 1));
+  for (;;) {
+    if (active_ < blocks_.size()) {
+      Block& b = blocks_[active_];
+      if (b.capacity - b.used >= need) {
+        float* p = b.data + b.used;
+        b.used += need;
+        return p;
+      }
+      // This block is full (its tail is wasted until the enclosing
+      // scope closes). Blocks past `active_` only hold data from
+      // already-closed scopes, so they restart empty.
+      ++active_;
+      if (active_ < blocks_.size()) {
+        blocks_[active_].used = 0;
+        continue;
+      }
+    }
+    const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().capacity;
+    blocks_.emplace_back(std::max({kMinBlockFloats, need, 2 * last_cap}));
+    active_ = blocks_.size() - 1;
+  }
+}
+
+std::size_t Workspace::reserved() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+}  // namespace pelican

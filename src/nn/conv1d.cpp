@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "common/workspace.h"
 #include "nn/initializers.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
 
 namespace pelican::nn {
 
@@ -13,6 +16,40 @@ std::size_t BatchGrain(std::int64_t per_item_work) {
   constexpr std::int64_t kMinShardWork = 1 << 15;
   return static_cast<std::size_t>(std::max<std::int64_t>(
       1, kMinShardWork / std::max<std::int64_t>(1, per_item_work)));
+}
+
+// Lowers x (N, L, C_in) to the im2col matrix (N·L, K_eff·C_in): row
+// (i, t) is the receptive field [x(i, t-pad+kk_lo, :), …] for the
+// kernel taps [kk_lo, kk_lo+k), with zeros outside the sequence. Taps
+// that fall outside the sequence for *every* t (short sequences, e.g.
+// L=1 under the paper's K=10) are clipped by the caller — their im2col
+// columns would be all-zero, matching the seed's padding semantics
+// while skipping the dead FLOPs. Batch items write disjoint rows.
+void Im2Col(const float* x, std::int64_t n, std::int64_t len,
+            std::int64_t cin, std::int64_t k, std::int64_t kk_lo,
+            std::int64_t pad_left, float* col) {
+  const std::int64_t kc = k * cin;
+  ParallelFor(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t uin) {
+        const auto in = static_cast<std::int64_t>(uin);
+        const float* xs = x + in * len * cin;
+        float* cs = col + in * len * kc;
+        for (std::int64_t t = 0; t < len; ++t) {
+          float* crow = cs + t * kc;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const std::int64_t s = t + kk_lo + kk - pad_left;
+            float* dst = crow + kk * cin;
+            if (s < 0 || s >= len) {
+              std::fill(dst, dst + cin, 0.0F);
+            } else {
+              const float* src = xs + s * cin;
+              std::copy(src, src + cin, dst);
+            }
+          }
+        }
+      },
+      BatchGrain(len * kc));
 }
 }  // namespace
 
@@ -30,105 +67,102 @@ Conv1D::Conv1D(std::int64_t in_channels, std::int64_t filters,
   PELICAN_CHECK(in_channels > 0 && filters > 0 && kernel_size > 0);
 }
 
+// The kernel taps that can land inside the sequence for at least one
+// output position t. Taps outside [lo, hi] only ever multiply padding
+// zeros (e.g. 9 of the paper's K=10 taps when L=1), so the GEMM
+// lowering drops them — exact, and a pure function of shapes.
+struct TapRange {
+  std::int64_t lo;
+  std::int64_t count;
+};
+TapRange ValidTaps(std::int64_t k, std::int64_t len, std::int64_t pad_left) {
+  const std::int64_t lo = std::max<std::int64_t>(0, pad_left - (len - 1));
+  const std::int64_t hi = std::min<std::int64_t>(k - 1, pad_left + len - 1);
+  return {lo, hi - lo + 1};
+}
+
+// Forward lowers to one wide GEMM over the valid taps:
+//   y(N·L, F) = im2col(x)(N·L, K_eff·C_in) · W[kk_lo:](K_eff·C_in, F)
+// — the weight tensor (K, C_in, F) is already the GEMM operand in
+// row-major, and a tap sub-range is a contiguous row block of it. The
+// im2col scratch lives in the thread-local workspace, so steady-state
+// training reallocates nothing.
 Tensor Conv1D::Forward(const Tensor& x, bool /*training*/) {
   PELICAN_CHECK(x.rank() == 3 && x.dim(2) == in_channels_,
                 "Conv1D expects (N, L, C_in)");
   x_ = x;
   const std::int64_t n = x.dim(0), len = x.dim(1);
-  const std::int64_t cin = in_channels_, f = filters_, k = kernel_;
+  const std::int64_t cin = in_channels_, f = filters_;
+  const auto [kk_lo, keff] = ValidTaps(kernel_, len, pad_left_);
+  const std::int64_t rows = n * len, kc = keff * cin;
   Tensor y({n, len, f});
-  const float* xp = x.data().data();
-  const float* wp = w_.data().data();
-  const float* bp = b_.data().data();
-  float* yp = y.data().data();
-  // Batch items write disjoint output rows, so the batch dimension
-  // shards freely across the pool.
+
+  Workspace::Scope scope;
+  float* col = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
+  Im2Col(x.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
+  kernels::Gemm(false, false, rows, f, kc, col, kc,
+                w_.data().data() + kk_lo * cin * f, f, y.data().data(), f,
+                /*accumulate=*/false);
+  AddRowBias(y.data().data(), rows, f, b_.data().data());
+  return y;
+}
+
+// Backward is three GEMMs over the same im2col lowering:
+//   dW(K·C_in, F) += colᵀ · dy      db += Σ rows(dy)
+//   dcol(N·L, K·C_in) = dy · Wᵀ     dx = col2im(dcol)
+// The old per-shard dW/db partial buffers are gone: the reduction over
+// the batch now happens inside the GEMM k-loop, whose accumulation
+// order is fixed by shapes and block sizes — still bit-identical for
+// any thread count.
+Tensor Conv1D::Backward(const Tensor& dy) {
+  const std::int64_t n = x_.dim(0), len = x_.dim(1);
+  const std::int64_t cin = in_channels_, f = filters_;
+  PELICAN_CHECK(dy.rank() == 3 && dy.dim(0) == n && dy.dim(1) == len &&
+                    dy.dim(2) == f,
+                "Conv1D backward shape mismatch");
+  const auto [kk_lo, keff] = ValidTaps(kernel_, len, pad_left_);
+  const std::int64_t rows = n * len, kc = keff * cin;
+  Tensor dx({n, len, cin});
+  const float* dyp = dy.data().data();
+  // Taps outside the valid range only ever saw padding zeros, so their
+  // weight gradient is exactly zero; the GEMMs address the valid row
+  // block of W / dW and leave the rest of dW untouched.
+  float* dwp = dw_.data().data() + kk_lo * cin * f;
+  const float* wp = w_.data().data() + kk_lo * cin * f;
+
+  Workspace::Scope scope;
+  float* col = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
+  Im2Col(x_.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
+
+  SumRowsInto(dyp, rows, f, db_.data().data());
+  kernels::Gemm(true, false, kc, f, rows, col, kc, dyp, f, dwp, f,
+                /*accumulate=*/true);
+
+  float* dcol = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
+  kernels::Gemm(false, true, rows, kc, f, dyp, f, wp, f, dcol, kc,
+                /*accumulate=*/false);
+
+  // col2im: batch items touch disjoint dx rows; within an item the
+  // (t, kk) scatter order is fixed, so threading cannot reorder it.
+  float* dxp = dx.data().data();
   ParallelFor(
       0, static_cast<std::size_t>(n),
       [&](std::size_t uin) {
         const auto in = static_cast<std::int64_t>(uin);
-        const float* xs = xp + in * len * cin;
-        float* ys = yp + in * len * f;
+        const float* cs = dcol + in * len * kc;
+        float* dxs = dxp + in * len * cin;
         for (std::int64_t t = 0; t < len; ++t) {
-          float* yrow = ys + t * f;
-          for (std::int64_t j = 0; j < f; ++j) yrow[j] = bp[j];
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const std::int64_t s = t + kk - pad_left_;
+          const float* crow = cs + t * kc;
+          for (std::int64_t kk = 0; kk < keff; ++kk) {
+            const std::int64_t s = t + kk_lo + kk - pad_left_;
             if (s < 0 || s >= len) continue;
-            const float* xrow = xs + s * cin;
-            const float* wk = wp + kk * cin * f;
-            for (std::int64_t c = 0; c < cin; ++c) {
-              const float xv = xrow[c];
-              if (xv == 0.0F) continue;
-              const float* wrow = wk + c * f;
-              for (std::int64_t j = 0; j < f; ++j) yrow[j] += xv * wrow[j];
-            }
+            float* dst = dxs + s * cin;
+            const float* src = crow + kk * cin;
+            for (std::int64_t c = 0; c < cin; ++c) dst[c] += src[c];
           }
         }
       },
-      BatchGrain(len * k * cin * f));
-  return y;
-}
-
-Tensor Conv1D::Backward(const Tensor& dy) {
-  const std::int64_t n = x_.dim(0), len = x_.dim(1);
-  const std::int64_t cin = in_channels_, f = filters_, k = kernel_;
-  PELICAN_CHECK(dy.rank() == 3 && dy.dim(0) == n && dy.dim(1) == len &&
-                    dy.dim(2) == f,
-                "Conv1D backward shape mismatch");
-  Tensor dx({n, len, cin});
-  const float* xp = x_.data().data();
-  const float* wp = w_.data().data();
-  const float* dyp = dy.data().data();
-  float* dxp = dx.data().data();
-  // dx rows are disjoint per batch item, but dw/db reduce over the
-  // batch: each shard accumulates into a private buffer and the partials
-  // combine in shard order. The shard layout is a pure function of
-  // (n, grain), so the result is bit-identical for any thread count.
-  const std::size_t grain = BatchGrain(len * k * cin * f);
-  const std::size_t shards = ShardCount(static_cast<std::size_t>(n), grain);
-  std::vector<Tensor> dw_parts(shards, Tensor({k, cin, f}));
-  std::vector<Tensor> db_parts(shards, Tensor({f}));
-  ParallelForShards(
-      0, static_cast<std::size_t>(n), grain,
-      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
-        float* dwp = dw_parts[shard].data().data();
-        float* dbp = db_parts[shard].data().data();
-        for (std::size_t uin = lo; uin < hi; ++uin) {
-          const auto in = static_cast<std::int64_t>(uin);
-          const float* xs = xp + in * len * cin;
-          const float* dys = dyp + in * len * f;
-          float* dxs = dxp + in * len * cin;
-          for (std::int64_t t = 0; t < len; ++t) {
-            const float* dyrow = dys + t * f;
-            for (std::int64_t j = 0; j < f; ++j) dbp[j] += dyrow[j];
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              const std::int64_t s = t + kk - pad_left_;
-              if (s < 0 || s >= len) continue;
-              const float* xrow = xs + s * cin;
-              float* dxrow = dxs + s * cin;
-              const float* wk = wp + kk * cin * f;
-              float* dwk = dwp + kk * cin * f;
-              for (std::int64_t c = 0; c < cin; ++c) {
-                const float xv = xrow[c];
-                const float* wrow = wk + c * f;
-                float* dwrow = dwk + c * f;
-                float acc = 0.0F;
-                for (std::int64_t j = 0; j < f; ++j) {
-                  const float g = dyrow[j];
-                  acc += g * wrow[j];
-                  dwrow[j] += g * xv;
-                }
-                dxrow[c] += acc;
-              }
-            }
-          }
-        }
-      });
-  for (std::size_t s = 0; s < shards; ++s) {
-    dw_.Add(dw_parts[s]);
-    db_.Add(db_parts[s]);
-  }
+      BatchGrain(len * kc));
   return dx;
 }
 

@@ -3,21 +3,20 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "common/workspace.h"
 #include "nn/activations.h"
 #include "nn/initializers.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace pelican::nn {
 
 namespace {
-// Flat elementwise map over a tensor; iterations are independent, so the
-// shard layout cannot change the arithmetic. Small tensors stay serial.
+// Flat elementwise map over [0, size); iterations are independent, so
+// the shard layout cannot change the arithmetic.
 template <typename Fn>
-void ParallelApply(Tensor& t, Fn&& fn) {
-  float* p = t.data().data();
-  ParallelFor(
-      0, static_cast<std::size_t>(t.size()),
-      [&](std::size_t i) { p[i] = fn(p[i]); }, 1U << 14U);
+void ParallelApplyFlat(std::size_t size, Fn&& fn) {
+  ParallelFor(0, size, fn, 1U << 14U);
 }
 }  // namespace
 
@@ -43,32 +42,49 @@ Gru::Gru(std::int64_t input_size, std::int64_t units, Rng& rng,
       duh_({units, units}),
       dbz_({units}),
       dbr_({units}),
-      dbh_({units}) {
+      dbh_({units}),
+      w_zrh_({input_size, 3 * units}),
+      u_zr_({units, 2 * units}),
+      b_zrh_({3 * units}) {
   PELICAN_CHECK(input_size > 0 && units > 0);
 }
 
-namespace {
-// Extracts time step t of (N, L, C) as a dense (N, C) matrix.
-Tensor SliceStep(const Tensor& x, std::int64_t t) {
-  const std::int64_t n = x.dim(0), len = x.dim(1), c = x.dim(2);
-  Tensor out({n, c});
-  const float* xp = x.data().data();
-  float* op = out.data().data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* src = xp + (i * len + t) * c;
-    std::copy(src, src + c, op + i * c);
+void Gru::RefreshFusedPanels() {
+  const std::int64_t c = input_size_, h = units_;
+  float* wp = w_zrh_.data().data();
+  for (std::int64_t i = 0; i < c; ++i) {
+    float* dst = wp + i * 3 * h;
+    std::copy_n(wz_.data().data() + i * h, h, dst);
+    std::copy_n(wr_.data().data() + i * h, h, dst + h);
+    std::copy_n(wh_.data().data() + i * h, h, dst + 2 * h);
   }
-  return out;
+  float* up = u_zr_.data().data();
+  for (std::int64_t i = 0; i < h; ++i) {
+    float* dst = up + i * 2 * h;
+    std::copy_n(uz_.data().data() + i * h, h, dst);
+    std::copy_n(ur_.data().data() + i * h, h, dst + h);
+  }
+  float* bp = b_zrh_.data().data();
+  std::copy_n(bz_.data().data(), h, bp);
+  std::copy_n(br_.data().data(), h, bp + h);
+  std::copy_n(bh_.data().data(), h, bp + 2 * h);
 }
-}  // namespace
 
+// Forward runs two fused GEMMs per call plus two skinny ones per step:
+// the z/r/h input projections for *all* timesteps go through a single
+// (N·L, C)·(C, 3H) GEMM against the packed [Wz|Wr|Wh] panel, and per
+// step the z/r recurrent terms use the packed [Uz|Ur] panel. The
+// per-step projections live as a strided sub-view of the workspace
+// `proj` buffer (leading dimension L·3H), which the GEMM addresses
+// directly — no per-step gate copies.
 Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
   PELICAN_CHECK(x.rank() == 3 && x.dim(2) == input_size_,
                 "GRU expects (N, L, C_in)");
   const std::int64_t n = x.dim(0), len = x.dim(1);
-  const std::int64_t h = units_;
+  const std::int64_t h = units_, h3 = 3 * units_;
+  x_ = x;
+  RefreshFusedPanels();
 
-  xs_.clear();
   hs_.clear();
   zs_.clear();
   rs_.clear();
@@ -76,41 +92,57 @@ Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
   rhs_.clear();
   hs_.push_back(Tensor({n, h}));  // h_0 = 0
 
+  Workspace::Scope scope;
+  float* proj = Workspace::Tls().Alloc(static_cast<std::size_t>(n * len * h3));
+  kernels::Gemm(false, false, n * len, h3, input_size_, x.data().data(),
+                input_size_, w_zrh_.data().data(), h3, proj, h3,
+                /*accumulate=*/false);
+  AddRowBias(proj, n * len, h3, b_zrh_.data().data());
+
+  const std::int64_t ld = len * h3;  // row stride of one step's sub-view
   for (std::int64_t t = 0; t < len; ++t) {
-    Tensor xt = SliceStep(x, t);
     const Tensor& hprev = hs_.back();
+    const float* hpv = hprev.data().data();
+    float* pt = proj + t * h3;
 
-    Tensor z = MatMul(xt, wz_);
-    MatMulAccum(hprev, uz_, z);
-    AddRowBias(z, bz_);
-    ParallelApply(z, [](float v) { return HardSigmoidF(v); });
+    // pre_z/pre_r += h_{t-1} · [Uz|Ur] in one GEMM.
+    kernels::Gemm(false, false, n, 2 * h, h, hpv, h, u_zr_.data().data(),
+                  2 * h, pt, ld, /*accumulate=*/true);
 
-    Tensor r = MatMul(xt, wr_);
-    MatMulAccum(hprev, ur_, r);
-    AddRowBias(r, br_);
-    ParallelApply(r, [](float v) { return HardSigmoidF(v); });
-
-    Tensor rh = Mul(r, hprev);
-    Tensor hc = MatMul(xt, wh_);
-    MatMulAccum(rh, uh_, hc);
-    AddRowBias(hc, bh_);
-    ParallelApply(hc, [](float v) { return TanhF(v); });
-
-    Tensor hnew({n, h});
+    Tensor z({n, h}), r({n, h}), rh({n, h});
     {
-      float* hn = hnew.data().data();
-      const float* zp = z.data().data();
-      const float* hp = hprev.data().data();
-      const float* cp = hc.data().data();
-      ParallelFor(
-          0, static_cast<std::size_t>(hnew.size()),
-          [&](std::size_t i) {
-            hn[i] = zp[i] * hp[i] + (1.0F - zp[i]) * cp[i];
-          },
-          1U << 14U);
+      float* zp = z.data().data();
+      float* rp = r.data().data();
+      float* rhp = rh.data().data();
+      ParallelApplyFlat(static_cast<std::size_t>(n * h), [&](std::size_t ui) {
+        const auto idx = static_cast<std::int64_t>(ui);
+        const std::int64_t i = idx / h, j = idx % h;
+        const float* row = pt + i * ld;
+        zp[idx] = HardSigmoidF(row[j]);
+        const float rv = HardSigmoidF(row[h + j]);
+        rp[idx] = rv;
+        rhp[idx] = rv * hpv[idx];
+      });
     }
 
-    xs_.push_back(std::move(xt));
+    // pre_h += (r ⊙ h_{t-1}) · Uh, then tanh.
+    kernels::Gemm(false, false, n, h, h, rh.data().data(), h,
+                  uh_.data().data(), h, pt + 2 * h, ld, /*accumulate=*/true);
+
+    Tensor hc({n, h}), hnew({n, h});
+    {
+      float* hcp = hc.data().data();
+      float* hn = hnew.data().data();
+      const float* zp = z.data().data();
+      ParallelApplyFlat(static_cast<std::size_t>(n * h), [&](std::size_t ui) {
+        const auto idx = static_cast<std::int64_t>(ui);
+        const std::int64_t i = idx / h, j = idx % h;
+        const float cv = TanhF(pt[i * ld + 2 * h + j]);
+        hcp[idx] = cv;
+        hn[idx] = zp[idx] * hpv[idx] + (1.0F - zp[idx]) * cv;
+      });
+    }
+
     zs_.push_back(std::move(z));
     rs_.push_back(std::move(r));
     rhs_.push_back(std::move(rh));
@@ -138,11 +170,19 @@ Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+// Backward mirrors the fused forward: per step the three gate
+// pre-activation gradients are assembled into one (N, 3H) panel `g` =
+// [da_z | da_r | da_h], so the weight-gradient GEMMs against x/h_{t-1}
+// and the input/recurrent gradient GEMMs against the fused panels each
+// run once wide instead of three times skinny. Weight gradients
+// accumulate into fused scratch across all steps and scatter into the
+// per-gate masters once at the end.
 Tensor Gru::Backward(const Tensor& dy) {
-  PELICAN_CHECK(!xs_.empty(), "Backward before Forward");
-  const auto len = static_cast<std::int64_t>(xs_.size());
-  const std::int64_t n = xs_[0].dim(0);
-  const std::int64_t h = units_;
+  PELICAN_CHECK(!zs_.empty(), "Backward before Forward");
+  const auto len = static_cast<std::int64_t>(zs_.size());
+  const std::int64_t n = x_.dim(0);
+  const std::int64_t c = input_size_;
+  const std::int64_t h = units_, h2 = 2 * units_, h3 = 3 * units_;
   if (return_sequences_) {
     PELICAN_CHECK(dy.rank() == 3 && dy.dim(0) == n && dy.dim(1) == len &&
                       dy.dim(2) == h,
@@ -152,8 +192,18 @@ Tensor Gru::Backward(const Tensor& dy) {
                   "GRU backward shape mismatch");
   }
 
-  Tensor dx({n, len, input_size_});
+  Tensor dx({n, len, c});
   Tensor dh({n, h});  // gradient flowing into h_t across steps
+
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::Tls();
+  float* g = ws.Alloc(static_cast<std::size_t>(n * h3));
+  float* dw_zrh = ws.Alloc(static_cast<std::size_t>(c * h3));
+  float* du_zr = ws.Alloc(static_cast<std::size_t>(h * h2));
+  float* db_zrh = ws.Alloc(static_cast<std::size_t>(h3));
+  std::fill(dw_zrh, dw_zrh + c * h3, 0.0F);
+  std::fill(du_zr, du_zr + h * h2, 0.0F);
+  std::fill(db_zrh, db_zrh + h3, 0.0F);
 
   for (std::int64_t t = len - 1; t >= 0; --t) {
     const auto ut = static_cast<std::size_t>(t);
@@ -170,109 +220,95 @@ Tensor Gru::Backward(const Tensor& dy) {
     }
 
     const Tensor& hprev = hs_[ut];
-    const Tensor& z = zs_[ut];
-    const Tensor& r = rs_[ut];
-    const Tensor& hc = hcands_[ut];
+    const float* hpv = hprev.data().data();
+    const float* zp = zs_[ut].data().data();
+    const float* rp = rs_[ut].data().data();
+    const float* hcp = hcands_[ut].data().data();
     const Tensor& rh = rhs_[ut];
-    const Tensor& xt = xs_[ut];
 
-    // Gate-local gradients.
-    Tensor dz({n, h}), dhc({n, h}), dh_prev({n, h});
-    {
-      float* dzp = dz.data().data();
-      float* dhcp = dhc.data().data();
-      float* dhpp = dh_prev.data().data();
-      const float* dhp = dh.data().data();
-      const float* hpv = hprev.data().data();
-      const float* hcp = hc.data().data();
-      const float* zp = z.data().data();
-      ParallelFor(
-          0, static_cast<std::size_t>(dh.size()),
-          [&](std::size_t i) {
-            dzp[i] = dhp[i] * (hpv[i] - hcp[i]);
-            dhcp[i] = dhp[i] * (1.0F - zp[i]);
-            dhpp[i] = dhp[i] * zp[i];
-          },
-          1U << 14U);
-    }
+    Tensor dh_prev({n, h});
+    float* dhpp = dh_prev.data().data();
+    const float* dhp = dh.data().data();
 
-    // Candidate pre-activation.
-    Tensor da_h = dhc;
+    // Pass 1: dz into g[:,0:h) (scaled to da_z in pass 2), da_h into
+    // g[:,2h:3h), and the z-path contribution to dh_prev.
+    ParallelApplyFlat(static_cast<std::size_t>(n * h), [&](std::size_t ui) {
+      const auto idx = static_cast<std::int64_t>(ui);
+      const std::int64_t i = idx / h, j = idx % h;
+      float* grow = g + i * h3;
+      grow[j] = dhp[idx] * (hpv[idx] - hcp[idx]);
+      grow[2 * h + j] =
+          dhp[idx] * (1.0F - zp[idx]) * TanhGradFromY(hcp[idx]);
+      dhpp[idx] = dhp[idx] * zp[idx];
+    });
+
+    // drh = da_h · Uhᵀ.
+    Tensor drh({n, h});
+    kernels::Gemm(false, true, n, h, h, g + 2 * h, h3, uh_.data().data(), h,
+                  drh.data().data(), h, /*accumulate=*/false);
+
+    // Pass 2: da_r into g[:,h:2h), finish da_z, r-path into dh_prev.
     {
-      float* dap = da_h.data().data();
-      const float* hcp = hc.data().data();
-      ParallelFor(
-          0, static_cast<std::size_t>(da_h.size()),
-          [&](std::size_t i) { dap[i] *= TanhGradFromY(hcp[i]); },
-          1U << 14U);
-    }
-    MatMulTransAAccum(xt, da_h, dwh_);
-    MatMulTransAAccum(rh, da_h, duh_);
-    SumRowsInto(da_h, dbh_);
-    Tensor drh = MatMulTransB(da_h, uh_);
-    Tensor dr({n, h});
-    {
-      float* drp = dr.data().data();
-      float* dhpp = dh_prev.data().data();
       const float* drhp = drh.data().data();
-      const float* hpv = hprev.data().data();
-      const float* rp = r.data().data();
-      ParallelFor(
-          0, static_cast<std::size_t>(drh.size()),
-          [&](std::size_t i) {
-            drp[i] = drhp[i] * hpv[i];
-            dhpp[i] += drhp[i] * rp[i];
-          },
-          1U << 14U);
+      ParallelApplyFlat(static_cast<std::size_t>(n * h), [&](std::size_t ui) {
+        const auto idx = static_cast<std::int64_t>(ui);
+        const std::int64_t i = idx / h, j = idx % h;
+        float* grow = g + i * h3;
+        grow[h + j] =
+            drhp[idx] * hpv[idx] * HardSigmoidGradFromY(rp[idx]);
+        grow[j] *= HardSigmoidGradFromY(zp[idx]);
+        dhpp[idx] += drhp[idx] * rp[idx];
+      });
     }
 
-    // Update and reset gate pre-activations.
-    Tensor da_z = dz;
-    {
-      float* dap = da_z.data().data();
-      const float* zp = z.data().data();
-      ParallelFor(
-          0, static_cast<std::size_t>(da_z.size()),
-          [&](std::size_t i) { dap[i] *= HardSigmoidGradFromY(zp[i]); },
-          1U << 14U);
-    }
-    Tensor da_r = dr;
-    {
-      float* dap = da_r.data().data();
-      const float* rp = r.data().data();
-      ParallelFor(
-          0, static_cast<std::size_t>(da_r.size()),
-          [&](std::size_t i) { dap[i] *= HardSigmoidGradFromY(rp[i]); },
-          1U << 14U);
-    }
-    MatMulTransAAccum(xt, da_z, dwz_);
-    MatMulTransAAccum(hprev, da_z, duz_);
-    SumRowsInto(da_z, dbz_);
-    MatMulTransAAccum(xt, da_r, dwr_);
-    MatMulTransAAccum(hprev, da_r, dur_);
-    SumRowsInto(da_r, dbr_);
+    // Weight gradients, fused where the panel spans the gates:
+    //   dWzrh += x_tᵀ · g     (x_t is the strided step slice of x_)
+    //   dUzr  += h_{t-1}ᵀ · g[:, 0:2h)
+    //   dUh   += (r ⊙ h_{t-1})ᵀ · da_h   (already a single GEMM)
+    kernels::Gemm(true, false, c, h3, n, x_.data().data() + t * c, len * c,
+                  g, h3, dw_zrh, h3, /*accumulate=*/true);
+    kernels::Gemm(true, false, h, h2, n, hpv, h, g, h3, du_zr, h2,
+                  /*accumulate=*/true);
+    kernels::Gemm(true, false, h, h, n, rh.data().data(), h, g + 2 * h, h3,
+                  duh_.data().data(), h, /*accumulate=*/true);
+    SumRowsInto(g, n, h3, db_zrh);
 
-    dh_prev.Add(MatMulTransB(da_z, uz_));
-    dh_prev.Add(MatMulTransB(da_r, ur_));
+    // dh_prev += g[:, 0:2h) · [Uz|Ur]ᵀ.
+    kernels::Gemm(false, true, n, h, h2, g, h3, u_zr_.data().data(), h2,
+                  dhpp, h, /*accumulate=*/true);
 
-    // Input gradient for this step.
-    Tensor dxt = MatMulTransB(da_z, wz_);
-    dxt.Add(MatMulTransB(da_r, wr_));
-    dxt.Add(MatMulTransB(da_h, wh_));
-    float* dxp = dx.data().data();
-    const float* sp = dxt.data().data();
-    ParallelFor(
-        0, static_cast<std::size_t>(n),
-        [&](std::size_t ui) {
-          const auto i = static_cast<std::int64_t>(ui);
-          const float* src = sp + i * input_size_;
-          float* dst = dxp + (i * len + t) * input_size_;
-          for (std::int64_t j = 0; j < input_size_; ++j) dst[j] += src[j];
-        },
-        static_cast<std::size_t>(std::max<std::int64_t>(
-            1, (1 << 14) / std::max<std::int64_t>(1, input_size_))));
+    // Input gradient straight into the strided step slice of dx.
+    kernels::Gemm(false, true, n, c, h3, g, h3, w_zrh_.data().data(), h3,
+                  dx.data().data() + t * c, len * c, /*accumulate=*/false);
 
     dh = std::move(dh_prev);
+  }
+
+  // Scatter the fused gradient panels into the per-gate masters.
+  float* dwz = dwz_.data().data();
+  float* dwr = dwr_.data().data();
+  float* dwh = dwh_.data().data();
+  for (std::int64_t i = 0; i < c; ++i) {
+    const float* src = dw_zrh + i * h3;
+    for (std::int64_t j = 0; j < h; ++j) {
+      dwz[i * h + j] += src[j];
+      dwr[i * h + j] += src[h + j];
+      dwh[i * h + j] += src[2 * h + j];
+    }
+  }
+  float* duz = duz_.data().data();
+  float* dur = dur_.data().data();
+  for (std::int64_t i = 0; i < h; ++i) {
+    const float* src = du_zr + i * h2;
+    for (std::int64_t j = 0; j < h; ++j) {
+      duz[i * h + j] += src[j];
+      dur[i * h + j] += src[h + j];
+    }
+  }
+  for (std::int64_t j = 0; j < h; ++j) {
+    dbz_[j] += db_zrh[j];
+    dbr_[j] += db_zrh[h + j];
+    dbh_[j] += db_zrh[2 * h + j];
   }
   return dx;
 }

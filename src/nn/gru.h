@@ -30,6 +30,10 @@ class Gru final : public Layer {
   [[nodiscard]] bool return_sequences() const { return return_sequences_; }
 
  private:
+  // Rebuilds the fused panels below from the per-gate master weights
+  // (which the optimizer updates between steps).
+  void RefreshFusedPanels();
+
   std::int64_t input_size_;
   std::int64_t units_;
   bool return_sequences_;
@@ -42,10 +46,18 @@ class Gru final : public Layer {
   Tensor duz_, dur_, duh_;
   Tensor dbz_, dbr_, dbh_;
 
-  // Forward caches, one entry per time step.
-  std::vector<Tensor> xs_;      // (N, C_in)
+  // Fused copies for the GEMM-backed fast path: all three input
+  // projections (and the z/r recurrent ones) run as one wide GEMM per
+  // step instead of three skinny ones. The per-gate tensors above stay
+  // the masters so Params(), model I/O and checkpoints are unchanged.
+  Tensor w_zrh_;  // (C_in, 3H) = [Wz | Wr | Wh]
+  Tensor u_zr_;   // (H, 2H)   = [Uz | Ur]
+  Tensor b_zrh_;  // (3H)      = [bz | br | bh]
+
+  // Forward caches.
+  Tensor x_;                    // (N, L, C_in) input, for backward GEMMs
   std::vector<Tensor> hs_;      // (N, H), hs_[0] is the initial state
-  std::vector<Tensor> zs_, rs_, hcands_, rhs_;
+  std::vector<Tensor> zs_, rs_, hcands_, rhs_;  // one entry per step
 };
 
 }  // namespace pelican::nn

@@ -1,0 +1,151 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "common/workspace.h"
+
+namespace pelican::kernels {
+
+namespace {
+
+// Packs the kc×nc block of op(B) at (p0, j0) into sliver-major panels:
+// kNr consecutive columns per sliver, k ascending inside a sliver,
+// zero-padded to a full sliver at the right edge. Zero padding (rather
+// than tail branches in the micro-kernel) keeps the inner loop
+// branch-free; the pad lanes compute garbage that is never written back.
+void PackB(bool trans, const float* b, std::int64_t ldb, std::int64_t p0,
+           std::int64_t j0, std::int64_t kc, std::int64_t nc, float* dst) {
+  for (std::int64_t js = 0; js < nc; js += kNr) {
+    const std::int64_t w = std::min(kNr, nc - js);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      std::int64_t j = 0;
+      if (!trans) {
+        const float* src = b + (p0 + p) * ldb + j0 + js;
+        for (; j < w; ++j) dst[j] = src[j];
+      } else {
+        const float* src = b + (j0 + js) * ldb + p0 + p;
+        for (; j < w; ++j) dst[j] = src[j * ldb];
+      }
+      for (; j < kNr; ++j) dst[j] = 0.0F;
+      dst += kNr;
+    }
+  }
+}
+
+// Same for the mc×kc block of op(A) at (i0, p0): kMr consecutive rows
+// per sliver, k ascending, zero-padded at the bottom edge.
+void PackA(bool trans, const float* a, std::int64_t lda, std::int64_t i0,
+           std::int64_t p0, std::int64_t mc, std::int64_t kc, float* dst) {
+  for (std::int64_t is = 0; is < mc; is += kMr) {
+    const std::int64_t h = std::min(kMr, mc - is);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      std::int64_t r = 0;
+      if (!trans) {
+        const float* src = a + (i0 + is) * lda + p0 + p;
+        for (; r < h; ++r) dst[r] = src[r * lda];
+      } else {
+        const float* src = a + (p0 + p) * lda + i0 + is;
+        for (; r < h; ++r) dst[r] = src[r];
+      }
+      for (; r < kMr; ++r) dst[r] = 0.0F;
+      dst += kMr;
+    }
+  }
+}
+
+// One kMr×kNr register tile: acc += Apanel-sliver · Bpanel-sliver over
+// kc. Both operands are packed unit-stride, the loop bounds are
+// compile-time constants, and the pointers don't alias, so the j-loop
+// vectorizes and `acc` stays in registers.
+void MicroKernel(std::int64_t kc, const float* __restrict__ ap,
+                 const float* __restrict__ bp, float* __restrict__ acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* av = ap + p * kMr;
+    const float* bv = bp + p * kNr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float ar = av[r];
+      float* accrow = acc + r * kNr;
+      for (std::int64_t j = 0; j < kNr; ++j) accrow[j] += ar * bv[j];
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float* c, std::int64_t ldc, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0F);
+      }
+    }
+    return;
+  }
+  Workspace& caller_ws = Workspace::Tls();
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t n_slivers = (nc + kNr - 1) / kNr;
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min(kKc, k - pc);
+      // First k-panel of a non-accumulating call overwrites C; every
+      // later panel adds. Per element the accumulation order is k
+      // ascending grouped by panel — a function of shapes and block
+      // sizes only, so thread count cannot change the result.
+      const bool overwrite = (pc == 0) && !accumulate;
+      Workspace::Scope panel_scope;
+      float* bpanel = caller_ws.Alloc(
+          static_cast<std::size_t>(n_slivers * kNr * kc));
+      PackB(trans_b, b, ldb, pc, jc, kc, nc, bpanel);
+
+      // Row blocks of C are disjoint, so they shard freely; each block
+      // packs its A panel into its own thread-local workspace.
+      const auto row_blocks = static_cast<std::size_t>((m + kMc - 1) / kMc);
+      const std::int64_t per_block_work = kMc * kc * nc;
+      const auto grain = static_cast<std::size_t>(std::max<std::int64_t>(
+          1, (1 << 15) / std::max<std::int64_t>(1, per_block_work)));
+      ParallelFor(
+          0, row_blocks,
+          [&](std::size_t blk) {
+            const std::int64_t ic = static_cast<std::int64_t>(blk) * kMc;
+            const std::int64_t mc = std::min(kMc, m - ic);
+            const std::int64_t m_slivers = (mc + kMr - 1) / kMr;
+            Workspace::Scope block_scope;
+            float* apanel = Workspace::Tls().Alloc(
+                static_cast<std::size_t>(m_slivers * kMr * kc));
+            PackA(trans_a, a, lda, ic, pc, mc, kc, apanel);
+            alignas(64) float acc[kMr * kNr];
+            for (std::int64_t js = 0; js < nc; js += kNr) {
+              const float* bs = bpanel + (js / kNr) * kNr * kc;
+              const std::int64_t w = std::min(kNr, nc - js);
+              for (std::int64_t is = 0; is < mc; is += kMr) {
+                const float* as = apanel + (is / kMr) * kMr * kc;
+                const std::int64_t h = std::min(kMr, mc - is);
+                std::fill(acc, acc + kMr * kNr, 0.0F);
+                MicroKernel(kc, as, bs, acc);
+                float* cblk = c + (ic + is) * ldc + jc + js;
+                if (overwrite) {
+                  for (std::int64_t r = 0; r < h; ++r) {
+                    for (std::int64_t j = 0; j < w; ++j) {
+                      cblk[r * ldc + j] = acc[r * kNr + j];
+                    }
+                  }
+                } else {
+                  for (std::int64_t r = 0; r < h; ++r) {
+                    for (std::int64_t j = 0; j < w; ++j) {
+                      cblk[r * ldc + j] += acc[r * kNr + j];
+                    }
+                  }
+                }
+              }
+            }
+          },
+          grain);
+    }
+  }
+}
+
+}  // namespace pelican::kernels

@@ -1,0 +1,54 @@
+// pelican::kernels — the compute layer every hot matmul routes through.
+//
+// A register-blocked, cache-tiled SGEMM in the BLIS/GotoBLAS style,
+// written as portable C++ so GCC/Clang auto-vectorize the micro-kernel
+// (build with PELICAN_NATIVE=ON for -march=native codegen). Transposed
+// operands are handled in the packing routines, so callers can express
+// A·B, Aᵀ·B and A·Bᵀ — including strided sub-views via leading
+// dimensions — against one entry point.
+//
+// Determinism contract (inherited from the PR-2 training guarantee):
+// each output element is produced by exactly one ParallelFor shard, and
+// its k-accumulation order is a pure function of the shapes and the
+// compile-time block sizes — ascending within each kKc panel, panels
+// combined in ascending order. Nothing depends on the thread count, so
+// results are bit-identical for any PELICAN_THREADS. They may differ
+// from a naive ascending-k loop in last-bit rounding (panel sums are
+// formed in registers before being added to C), which the gradient
+// tests tolerate.
+#pragma once
+
+#include <cstdint>
+
+namespace pelican::kernels {
+
+// Register tile: kMr rows × kNr columns of C held in accumulators. The
+// tile must fit the target's vector register file or the accumulators
+// spill to the stack every iteration: 4×16 needs 8 of AVX's 16 ymm,
+// but would eat all 16 xmm on baseline SSE2 — so portable builds use
+// 4×8 and PELICAN_NATIVE (or any -mavx toolchain) widens to 4×16.
+inline constexpr std::int64_t kMr = 4;
+#if defined(__AVX__)
+inline constexpr std::int64_t kNr = 16;
+#else
+inline constexpr std::int64_t kNr = 8;
+#endif
+// Cache tiles: A panels are kMc×kKc (L1/L2-resident), B panels kKc×kNc.
+inline constexpr std::int64_t kMc = 32;
+inline constexpr std::int64_t kKc = 256;
+inline constexpr std::int64_t kNc = 512;
+
+// C(m,n) = op(A)(m,k) · op(B)(k,n), added into C when `accumulate`,
+// overwriting it otherwise.
+//
+// Storage (row-major everywhere):
+//   op(A) element (i,p) reads a[i*lda + p], or a[p*lda + i] if trans_a
+//   op(B) element (p,j) reads b[p*ldb + j], or b[j*ldb + p] if trans_b
+//   C element (i,j) is c[i*ldc + j]
+// Leading dimensions let callers address sub-blocks of larger buffers
+// (e.g. one gate's columns inside a fused GRU panel).
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float* c, std::int64_t ldc, bool accumulate);
+
+}  // namespace pelican::kernels

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace pelican {
 
@@ -21,12 +23,20 @@ std::size_t RowGrain(std::int64_t per_row_work) {
 }
 }  // namespace
 
+// The MatMul* family are thin wrappers over the blocked SGEMM in
+// pelican::kernels; only the shape checks and the trans/accumulate
+// routing live here. The kernel has no zero-skip branches, so a NaN/Inf
+// weight poisons the output even when the matching activation is zero —
+// the divergence guard sees corruption instead of having it masked.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CheckRank2(a, "MatMul: a must be rank-2");
   CheckRank2(b, "MatMul: b must be rank-2");
   PELICAN_CHECK(a.dim(1) == b.dim(0), "MatMul: inner dims differ");
-  Tensor c({a.dim(0), b.dim(1)});
-  MatMulAccum(a, b, c);
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  kernels::Gemm(false, false, m, n, k, a.data().data(), k, b.data().data(), n,
+                c.data().data(), n, /*accumulate=*/false);
   return c;
 }
 
@@ -36,26 +46,8 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PELICAN_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
                 "MatMulAccum: shape mismatch");
-  const float* ap = a.data().data();
-  const float* bp = b.data().data();
-  float* cp = c.data().data();
-  // ikj loop order: unit-stride access to B and C rows. Rows of C are
-  // independent, so the batch dimension shards across the pool; each
-  // element still accumulates over k in ascending order regardless of
-  // the thread count.
-  ParallelFor(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t i) {
-        float* crow = cp + static_cast<std::int64_t>(i) * n;
-        const float* arow = ap + static_cast<std::int64_t>(i) * k;
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0F) continue;
-          const float* brow = bp + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      },
-      RowGrain(k * n));
+  kernels::Gemm(false, false, m, n, k, a.data().data(), k, b.data().data(), n,
+                c.data().data(), n, /*accumulate=*/true);
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
@@ -64,22 +56,8 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   PELICAN_CHECK(b.dim(1) == k, "MatMulTransB: inner dims differ");
   Tensor c({m, n});
-  const float* ap = a.data().data();
-  const float* bp = b.data().data();
-  float* cp = c.data().data();
-  ParallelFor(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t ui) {
-        const auto i = static_cast<std::int64_t>(ui);
-        const float* arow = ap + i * k;
-        for (std::int64_t j = 0; j < n; ++j) {
-          const float* brow = bp + j * k;
-          double acc = 0.0;
-          for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          cp[i * n + j] = static_cast<float>(acc);
-        }
-      },
-      RowGrain(k * n));
+  kernels::Gemm(false, true, m, n, k, a.data().data(), k, b.data().data(), k,
+                c.data().data(), n, /*accumulate=*/false);
   return c;
 }
 
@@ -96,34 +74,35 @@ void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   PELICAN_CHECK(b.dim(0) == k, "MatMulTransA: inner dims differ");
   PELICAN_CHECK(c.dim(0) == m && c.dim(1) == n, "MatMulTransA: bad out shape");
-  const float* ap = a.data().data();
-  const float* bp = b.data().data();
-  float* cp = c.data().data();
-  // i-outer so rows of C shard across the pool with disjoint writes;
-  // each c[i][j] accumulates over k in ascending order exactly as the
-  // k-outer serial ordering did.
-  ParallelFor(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t ui) {
-        const auto i = static_cast<std::int64_t>(ui);
-        float* crow = cp + i * n;
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const float av = ap[kk * m + i];
-          if (av == 0.0F) continue;
-          const float* brow = bp + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      },
-      RowGrain(k * n));
+  kernels::Gemm(true, false, m, n, k, a.data().data(), m, b.data().data(), n,
+                c.data().data(), n, /*accumulate=*/true);
 }
 
 Tensor Transpose2D(const Tensor& x) {
   CheckRank2(x, "Transpose2D: rank-2 required");
   const std::int64_t m = x.dim(0), n = x.dim(1);
   Tensor y({n, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) y.At(j, i) = x.At(i, j);
-  }
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+  // 32×32 tiles keep both the read rows and the write columns inside
+  // cache lines that stay resident for the whole tile. Row-tiles of the
+  // *output* shard across the pool (disjoint writes).
+  constexpr std::int64_t kTile = 32;
+  const std::int64_t out_tiles = (n + kTile - 1) / kTile;
+  ParallelFor(
+      0, static_cast<std::size_t>(out_tiles),
+      [&](std::size_t ut) {
+        const std::int64_t j0 = static_cast<std::int64_t>(ut) * kTile;
+        const std::int64_t j1 = std::min(n, j0 + kTile);
+        for (std::int64_t i0 = 0; i0 < m; i0 += kTile) {
+          const std::int64_t i1 = std::min(m, i0 + kTile);
+          for (std::int64_t j = j0; j < j1; ++j) {
+            float* yrow = yp + j * m;
+            for (std::int64_t i = i0; i < i1; ++i) yrow[i] = xp[i * n + j];
+          }
+        }
+      },
+      RowGrain(kTile * m));
   return y;
 }
 
@@ -134,25 +113,69 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   Tensor y({m});
   const float* ap = a.data().data();
   const float* xp = x.data().data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    const float* arow = ap + i * n;
-    for (std::int64_t j = 0; j < n; ++j) acc += arow[j] * xp[j];
-    y[i] = static_cast<float>(acc);
-  }
+  float* yp = y.data().data();
+  // Each output element reduces its own row, so rows shard freely and
+  // the per-element accumulation order never changes.
+  ParallelFor(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t ui) {
+        const auto i = static_cast<std::int64_t>(ui);
+        double acc = 0.0;
+        const float* arow = ap + i * n;
+        for (std::int64_t j = 0; j < n; ++j) acc += arow[j] * xp[j];
+        yp[i] = static_cast<float>(acc);
+      },
+      RowGrain(n));
   return y;
+}
+
+void AddRowBias(float* x, std::int64_t rows, std::int64_t d,
+                const float* bias) {
+  ParallelFor(
+      0, static_cast<std::size_t>(rows),
+      [&](std::size_t ui) {
+        float* row = x + static_cast<std::int64_t>(ui) * d;
+        for (std::int64_t j = 0; j < d; ++j) row[j] += bias[j];
+      },
+      RowGrain(d));
 }
 
 void AddRowBias(Tensor& x, const Tensor& bias) {
   CheckRank2(x, "AddRowBias: x must be rank-2");
   PELICAN_CHECK(bias.rank() == 1 && bias.dim(0) == x.dim(1),
                 "AddRowBias: bias shape");
-  const std::int64_t n = x.dim(0), d = x.dim(1);
-  float* xp = x.data().data();
-  const float* bp = bias.data().data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float* row = xp + i * d;
-    for (std::int64_t j = 0; j < d; ++j) row[j] += bp[j];
+  AddRowBias(x.data().data(), x.dim(0), x.dim(1), bias.data().data());
+}
+
+void SumRowsInto(const float* dy, std::int64_t rows, std::int64_t d,
+                 float* grad_bias) {
+  // Rows reduce into one vector, so shards accumulate private partials
+  // that combine in shard order; the shard layout is a pure function of
+  // (rows, grain), keeping the sum bit-identical for any thread count.
+  const std::size_t grain = RowGrain(d);
+  const std::size_t shards =
+      ShardCount(static_cast<std::size_t>(rows), grain);
+  if (shards <= 1) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const float* row = dy + i * d;
+      for (std::int64_t j = 0; j < d; ++j) grad_bias[j] += row[j];
+    }
+    return;
+  }
+  std::vector<std::vector<float>> partials(
+      shards, std::vector<float>(static_cast<std::size_t>(d), 0.0F));
+  ParallelForShards(
+      0, static_cast<std::size_t>(rows), grain,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        float* part = partials[shard].data();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* row = dy + static_cast<std::int64_t>(i) * d;
+          for (std::int64_t j = 0; j < d; ++j) part[j] += row[j];
+        }
+      });
+  for (std::size_t s = 0; s < shards; ++s) {
+    const float* part = partials[s].data();
+    for (std::int64_t j = 0; j < d; ++j) grad_bias[j] += part[j];
   }
 }
 
@@ -160,13 +183,8 @@ void SumRowsInto(const Tensor& dy, Tensor& grad_bias) {
   CheckRank2(dy, "SumRowsInto: dy must be rank-2");
   PELICAN_CHECK(grad_bias.rank() == 1 && grad_bias.dim(0) == dy.dim(1),
                 "SumRowsInto: bias shape");
-  const std::int64_t n = dy.dim(0), d = dy.dim(1);
-  const float* dp = dy.data().data();
-  float* gp = grad_bias.data().data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = dp + i * d;
-    for (std::int64_t j = 0; j < d; ++j) gp[j] += row[j];
-  }
+  SumRowsInto(dy.data().data(), dy.dim(0), dy.dim(1),
+              grad_bias.data().data());
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {

@@ -20,17 +20,24 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 // C += Aᵀ · B accumulated into an existing (M,N) tensor (A:(K,M), B:(K,N)).
 void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor& c);
 
-// y = x(M,N)ᵀ → (N,M).
+// y = x(M,N)ᵀ → (N,M). Cache-blocked and row-parallel.
 Tensor Transpose2D(const Tensor& x);
 
-// GEMV: y(M) = A(M,N) · x(N).
+// GEMV: y(M) = A(M,N) · x(N). Row-parallel.
 Tensor MatVec(const Tensor& a, const Tensor& x);
 
 // Row-wise ops on (N,D):
 // out[i][j] = x[i][j] + bias[j].
 void AddRowBias(Tensor& x, const Tensor& bias);
-// grad_bias[j] += Σ_i dy[i][j].
+// grad_bias[j] += Σ_i dy[i][j]. Accumulates per-shard partials combined
+// in shard order, so the result is bit-identical for any thread count.
 void SumRowsInto(const Tensor& dy, Tensor& grad_bias);
+// Raw variants for callers that view higher-rank storage as (rows, d)
+// — e.g. Conv1D treating (N, L, F) as (N·L, F).
+void AddRowBias(float* x, std::int64_t rows, std::int64_t d,
+                const float* bias);
+void SumRowsInto(const float* dy, std::int64_t rows, std::int64_t d,
+                 float* grad_bias);
 
 // Elementwise binary with fresh result.
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -1,0 +1,300 @@
+// Tests for the pelican::kernels compute layer: randomized equivalence
+// of the blocked GEMM against a naive reference (odd tails, transposed
+// variants, accumulate vs overwrite), the NaN-poisoning regression for
+// the removed zero-skip branches, bit-identical results across thread
+// counts through the GEMM-backed Conv1D/GRU layers, and the
+// thread-local Workspace arena.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/workspace.h"
+#include "nn/conv1d.h"
+#include "nn/gru.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace pelican {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+// Serial ascending-k reference with the plain semantics of
+// kernels::Gemm. The blocked kernel forms per-panel partial sums in
+// registers, so results may differ from this in last-bit rounding —
+// comparisons use a relative tolerance.
+void NaiveGemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float* c, std::int64_t ldc,
+               bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = accumulate ? static_cast<double>(c[i * ldc + j]) : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * ldc + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<float> RandomVec(std::size_t n, Rng& rng) {
+  Tensor t = Tensor::RandomNormal({static_cast<std::int64_t>(n)}, rng, 0, 1);
+  return {t.data().begin(), t.data().end()};
+}
+
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& want,
+                 const std::string& what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float tol =
+        1e-4F * (1.0F + std::fabs(want[i]));
+    ASSERT_NEAR(got[i], want[i], tol) << what << " at flat index " << i;
+  }
+}
+
+TEST(Kernels, GemmMatchesNaiveAcrossShapesAndVariants) {
+  Rng rng(1234);
+  // Exercise every tail case of the blocking scheme: sub-sliver,
+  // sliver±1, block boundaries ±1, and shapes spanning several cache
+  // panels.
+  const std::int64_t dims[] = {1, 3,  kernels::kMr + 1, kernels::kNr - 1,
+                               kernels::kNr + 1, kernels::kMc + 1, 70};
+  const std::int64_t ks[] = {1, 3, kernels::kKc - 1, kernels::kKc + 1, 70};
+  for (std::int64_t m : dims) {
+    for (std::int64_t n : dims) {
+      for (std::int64_t k : ks) {
+        for (int variant = 0; variant < 4; ++variant) {
+          const bool ta = (variant & 1) != 0;
+          const bool tb = (variant & 2) != 0;
+          for (bool accumulate : {false, true}) {
+            const std::int64_t lda = ta ? m : k;
+            const std::int64_t ldb = tb ? k : n;
+            auto a = RandomVec(static_cast<std::size_t>(m * k), rng);
+            auto b = RandomVec(static_cast<std::size_t>(k * n), rng);
+            auto c = RandomVec(static_cast<std::size_t>(m * n), rng);
+            auto want = c;
+            NaiveGemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                      want.data(), n, accumulate);
+            kernels::Gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                          c.data(), n, accumulate);
+            ExpectClose(c, want,
+                        "m=" + std::to_string(m) + " n=" + std::to_string(n) +
+                            " k=" + std::to_string(k) +
+                            " ta=" + std::to_string(ta) +
+                            " tb=" + std::to_string(tb) +
+                            " acc=" + std::to_string(accumulate));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, GemmHandlesLeadingDimensionSubViews) {
+  // Multiply into / read from sub-blocks of wider buffers, the way the
+  // fused GRU panels address one gate's columns.
+  Rng rng(7);
+  const std::int64_t m = 9, n = 5, k = 11;
+  const std::int64_t lda = k + 4, ldb = n + 3, ldc = n + 6;
+  auto a = RandomVec(static_cast<std::size_t>(m * lda), rng);
+  auto b = RandomVec(static_cast<std::size_t>(k * ldb), rng);
+  auto c = RandomVec(static_cast<std::size_t>(m * ldc), rng);
+  auto want = c;
+  NaiveGemm(false, false, m, n, k, a.data(), lda, b.data(), ldb, want.data(),
+            ldc, false);
+  kernels::Gemm(false, false, m, n, k, a.data(), lda, b.data(), ldb, c.data(),
+                ldc, false);
+  // Untouched gutter columns must be bit-identical; computed columns
+  // match to tolerance.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < ldc; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i * ldc + j);
+      if (j < n) {
+        EXPECT_NEAR(c[idx], want[idx], 1e-4F * (1.0F + std::fabs(want[idx])));
+      } else {
+        EXPECT_EQ(std::memcmp(&c[idx], &want[idx], sizeof(float)), 0)
+            << "gutter column " << j << " was written";
+      }
+    }
+  }
+}
+
+TEST(Kernels, GemmZeroKZeroFillsOrPreserves) {
+  std::vector<float> c = {1.0F, 2.0F, 3.0F, 4.0F};
+  kernels::Gemm(false, false, 2, 2, 0, nullptr, 1, nullptr, 2, c.data(), 2,
+                /*accumulate=*/true);
+  EXPECT_EQ(c[0], 1.0F);
+  kernels::Gemm(false, false, 2, 2, 0, nullptr, 1, nullptr, 2, c.data(), 2,
+                /*accumulate=*/false);
+  for (float v : c) EXPECT_EQ(v, 0.0F);
+}
+
+// Regression for the removed `if (av == 0.0F) continue;` fast paths: a
+// NaN anywhere in the weights must poison the output even when the
+// matching activation is exactly zero (0 · NaN = NaN, not 0). The old
+// zero-skip silently masked non-finite parameters from the divergence
+// guard.
+TEST(Kernels, NaNWeightPoisonsMatMulFamilyDespiteZeroActivation) {
+  Tensor zero({2, 3});                 // activations, all exactly 0
+  Tensor w({3, 2});
+  w.At(1, 0) = kNaN;
+
+  Tensor y = MatMul(zero, w);
+  EXPECT_TRUE(std::isnan(y.At(0, 0)));
+  EXPECT_TRUE(std::isnan(y.At(1, 0)));
+
+  Tensor acc({2, 2});
+  MatMulAccum(zero, w, acc);
+  EXPECT_TRUE(std::isnan(acc.At(0, 0)));
+
+  // Aᵀ·B with the NaN in A and zeros in B.
+  Tensor a_t({3, 2});
+  a_t.At(2, 1) = kNaN;
+  Tensor zero_b({3, 2});
+  Tensor acc_t({2, 2});
+  MatMulTransAAccum(a_t, zero_b, acc_t);
+  EXPECT_TRUE(std::isnan(acc_t.At(1, 0)));
+  EXPECT_TRUE(std::isnan(acc_t.At(1, 1)));
+}
+
+TEST(Kernels, NaNWeightPoisonsConv1DForwardDespiteZeroInput) {
+  Rng rng(3);
+  nn::Conv1D conv(4, 2, 3, rng);
+  // Corrupt one weight at the center tap (valid for every t), then feed
+  // an all-zero input: every output position must read NaN.
+  for (auto& p : conv.Params()) {
+    if (p.name == "conv1d.w") p.value->At(1, 2, 0) = kNaN;
+  }
+  Tensor x({2, 5, 4});                 // zeros
+  Tensor y = conv.Forward(x, true);
+  for (std::int64_t i = 0; i < y.dim(0); ++i) {
+    for (std::int64_t t = 0; t < y.dim(1); ++t) {
+      EXPECT_TRUE(std::isnan(y.At(i, t, 0))) << "i=" << i << " t=" << t;
+      EXPECT_FALSE(std::isnan(y.At(i, t, 1))) << "untouched filter";
+    }
+  }
+}
+
+// The PR-2 contract, driven through the new GEMM-backed layers: one
+// forward+backward pass must be byte-identical whether the pool runs 1
+// or 4 threads.
+template <typename MakeLayer>
+void ExpectLayerBitIdenticalAcrossThreads(MakeLayer make, const Tensor& x) {
+  std::vector<std::vector<float>> ys, dxs, grads;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SetThreads(threads);
+    auto layer = make();
+    Tensor y = layer->Forward(x, true);
+    Tensor dy = y;                     // any deterministic upstream grad
+    Tensor dx = layer->Backward(dy);
+    ys.push_back({y.data().begin(), y.data().end()});
+    dxs.push_back({dx.data().begin(), dx.data().end()});
+    std::vector<float> g;
+    for (auto& p : layer->Params()) {
+      g.insert(g.end(), p.grad->data().begin(), p.grad->data().end());
+    }
+    grads.push_back(std::move(g));
+  }
+  SetThreads(0);
+  ASSERT_EQ(ys[0].size(), ys[1].size());
+  EXPECT_EQ(std::memcmp(ys[0].data(), ys[1].data(),
+                        ys[0].size() * sizeof(float)),
+            0)
+      << "forward differs across thread counts";
+  EXPECT_EQ(std::memcmp(dxs[0].data(), dxs[1].data(),
+                        dxs[0].size() * sizeof(float)),
+            0)
+      << "input gradient differs across thread counts";
+  ASSERT_EQ(grads[0].size(), grads[1].size());
+  EXPECT_EQ(std::memcmp(grads[0].data(), grads[1].data(),
+                        grads[0].size() * sizeof(float)),
+            0)
+      << "parameter gradients differ across thread counts";
+}
+
+TEST(Kernels, Conv1DBitIdenticalForOneVsFourThreads) {
+  Rng data_rng(11);
+  const Tensor x = Tensor::RandomNormal({6, 9, 5}, data_rng, 0, 1);
+  ExpectLayerBitIdenticalAcrossThreads(
+      [] {
+        Rng rng(21);
+        return std::make_unique<nn::Conv1D>(5, 7, 4, rng);
+      },
+      x);
+}
+
+TEST(Kernels, GruBitIdenticalForOneVsFourThreads) {
+  Rng data_rng(13);
+  const Tensor x = Tensor::RandomNormal({5, 6, 8}, data_rng, 0, 1);
+  ExpectLayerBitIdenticalAcrossThreads(
+      [] {
+        Rng rng(23);
+        return std::make_unique<nn::Gru>(8, 10, rng);
+      },
+      x);
+}
+
+TEST(Workspace, AllocationsAre64ByteAligned) {
+  Workspace::Scope scope;
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    float* p = Workspace::Tls().Alloc(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    p[0] = 1.0F;
+    p[n - 1] = 2.0F;                   // touch both ends
+  }
+}
+
+TEST(Workspace, ScopeReleaseReusesMemory) {
+  float* first = nullptr;
+  {
+    Workspace::Scope scope;
+    first = Workspace::Tls().Alloc(256);
+  }
+  Workspace::Scope scope;
+  float* again = Workspace::Tls().Alloc(256);
+  // Same arena position after release — steady state allocates nothing.
+  EXPECT_EQ(first, again);
+}
+
+TEST(Workspace, PointersStableWhileArenaGrows) {
+  Workspace::Scope scope;
+  float* small = Workspace::Tls().Alloc(32);
+  small[0] = 42.0F;
+  // Force new backing blocks; the old allocation must not move.
+  for (int i = 0; i < 4; ++i) {
+    float* big = Workspace::Tls().Alloc(1u << 18);
+    big[0] = static_cast<float>(i);
+  }
+  EXPECT_EQ(small[0], 42.0F);
+}
+
+TEST(Workspace, NestedScopesReleaseInOrder) {
+  Workspace::Scope outer;
+  float* a = Workspace::Tls().Alloc(64);
+  a[0] = 1.0F;
+  float* b = nullptr;
+  {
+    Workspace::Scope inner;
+    b = Workspace::Tls().Alloc(64);
+    EXPECT_NE(a, b);
+  }
+  // Inner scope released; its slot is reusable, the outer one is not.
+  float* c = Workspace::Tls().Alloc(64);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a[0], 1.0F);
+}
+
+}  // namespace
+}  // namespace pelican
