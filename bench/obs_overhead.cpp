@@ -1,0 +1,205 @@
+// Observability overhead tracker — emits BENCH_obs.json.
+//
+// Measures the wall-clock cost of running Trainer::Fit with the full
+// observability stack on (metrics + tracing + run log) against the
+// identical run with everything off, and verifies the two runs produce
+// bit-identical weights. Runs are alternated off/on and the minimum per
+// arm is compared, which cancels machine noise the way min-of-N does
+// for microbenchmarks.
+//
+//   obs_overhead [--smoke] [--json=BENCH_obs.json]
+//
+// --smoke (the ctest entry) uses a smaller workload and *asserts* the
+// overhead stays under PELICAN_OBS_OVERHEAD_PCT (default 2%), retrying
+// the whole measurement once before failing so one scheduler hiccup
+// doesn't fail CI.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "harness.h"
+#include "obs/obs.h"
+
+namespace pelican::bench {
+namespace {
+
+struct Workload {
+  Tensor x;
+  std::vector<int> y;
+  std::int64_t features = 0;
+  std::int64_t classes = 0;
+};
+
+Workload MakeWorkload(std::size_t records, std::uint64_t seed) {
+  Rng rng(seed);
+  auto dataset = data::GenerateNslKdd(records, rng);
+  const data::OneHotEncoder encoder(dataset.schema());
+  Workload w;
+  w.x = encoder.Transform(dataset);
+  data::StandardScaler scaler;
+  scaler.Fit(w.x);
+  scaler.Transform(w.x);
+  const auto labels = dataset.Labels();
+  w.y.assign(labels.begin(), labels.end());
+  w.features = encoder.EncodedWidth();
+  w.classes = static_cast<std::int64_t>(dataset.schema().LabelCount());
+  return w;
+}
+
+struct FitResult {
+  double seconds = 0.0;
+  std::vector<float> weights;
+};
+
+// One full training run from a fixed seed. Identical inputs + seeds on
+// both arms, so any weight difference is an observability bug.
+FitResult FitOnce(const Workload& w, int epochs, bool obs_on,
+                  const std::string& run_log_path) {
+  obs::EnableMetrics(obs_on);
+  obs::EnableTracing(obs_on);
+  models::NetworkConfig net_config;
+  net_config.features = w.features;
+  net_config.n_classes = w.classes;
+  net_config.n_blocks = 2;
+  net_config.residual = true;
+  net_config.channels = 32;
+  net_config.dropout = 0.3F;
+  Rng net_rng(0x6e7ULL);
+  auto network = models::BuildNetwork(net_config, net_rng);
+
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 256;
+  tc.seed = 2020;
+  if (obs_on) tc.run_log_path = run_log_path;
+  core::Trainer trainer(*network, tc);
+
+  Stopwatch timer;
+  trainer.Fit(w.x, w.y);
+  FitResult result;
+  result.seconds = timer.Seconds();
+  for (const auto& p : network->Params()) {
+    result.weights.insert(result.weights.end(), p.value->data().begin(),
+                          p.value->data().end());
+  }
+  obs::EnableMetrics(false);
+  obs::EnableTracing(false);
+  return result;
+}
+
+struct Measurement {
+  double off_seconds = 0.0;  // min over reps
+  double on_seconds = 0.0;
+  double overhead_pct = 0.0;
+  bool weights_identical = true;
+  std::size_t trace_events = 0;
+  std::size_t metric_series = 0;
+};
+
+Measurement Measure(const Workload& w, int epochs, int reps,
+                    const std::string& run_log_path) {
+  Measurement m;
+  m.off_seconds = 1e300;
+  m.on_seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    obs::ResetTrace();
+    const FitResult off = FitOnce(w, epochs, false, run_log_path);
+    const FitResult on = FitOnce(w, epochs, true, run_log_path);
+    m.off_seconds = std::min(m.off_seconds, off.seconds);
+    m.on_seconds = std::min(m.on_seconds, on.seconds);
+    m.weights_identical =
+        m.weights_identical &&
+        off.weights.size() == on.weights.size() &&
+        std::memcmp(off.weights.data(), on.weights.data(),
+                    off.weights.size() * sizeof(float)) == 0;
+    m.trace_events = obs::TraceEventCount();
+  }
+  m.metric_series = obs::Registry::Global().SeriesCount();
+  m.overhead_pct =
+      100.0 * (m.on_seconds - m.off_seconds) / m.off_seconds;
+  return m;
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
+  // Each Fit must be long enough that the comparison measures steady-
+  // state per-batch overhead, not fixed startup costs (file opens, lazy
+  // series registration) — those are real but amortize over any actual
+  // training run.
+  const std::size_t records = smoke ? 4096 : 8192;
+  const int epochs = smoke ? 2 : 4;
+  const int reps = smoke ? 3 : 5;
+  const double limit_pct =
+      static_cast<double>(EnvLong("PELICAN_OBS_OVERHEAD_PCT", 2));
+
+  const auto run_log_path =
+      (std::filesystem::temp_directory_path() / "obs_overhead_run.jsonl")
+          .string();
+  const Workload w = MakeWorkload(records, /*seed=*/2020);
+  std::printf("obs_overhead: %zu records, %d epochs, min of %d reps%s\n",
+              records, epochs, reps, smoke ? " (smoke)" : "");
+
+  Measurement m = Measure(w, epochs, reps, run_log_path);
+  // The assertion below compares two sub-second wall times; one noisy
+  // neighbour can push a single measurement past the limit, so retry
+  // the whole thing once before declaring a regression.
+  if (smoke && (m.overhead_pct >= limit_pct || !m.weights_identical)) {
+    std::printf("  first attempt: overhead %.2f%%, retrying once\n",
+                m.overhead_pct);
+    m = Measure(w, epochs, reps, run_log_path);
+  }
+
+  std::printf("  fit off: %.3fs   fit on: %.3fs   overhead: %.2f%%\n",
+              m.off_seconds, m.on_seconds, m.overhead_pct);
+  std::printf("  trace events: %zu   metric series: %zu   weights %s\n",
+              m.trace_events, m.metric_series,
+              m.weights_identical ? "bit-identical" : "DIVERGED");
+
+  obs::Json out;
+  out.Set("bench", "obs_overhead");
+  out.Set("records", static_cast<std::uint64_t>(records));
+  out.Set("epochs", epochs);
+  out.Set("reps", reps);
+  out.Set("threads", static_cast<std::uint64_t>(EffectiveThreads()));
+  out.Set("fit_seconds_off", m.off_seconds);
+  out.Set("fit_seconds_on", m.on_seconds);
+  out.Set("overhead_pct", m.overhead_pct);
+  out.Set("trace_events", static_cast<std::uint64_t>(m.trace_events));
+  out.Set("metric_series", static_cast<std::uint64_t>(m.metric_series));
+  out.Set("weights_identical", m.weights_identical);
+  {
+    std::ofstream f(json_path);
+    PELICAN_CHECK(f.is_open(), "cannot write " + json_path);
+    f << out.Str() << '\n';
+  }
+  std::printf("  wrote %s\n", json_path.c_str());
+
+  if (!m.weights_identical) {
+    std::fprintf(stderr, "FAIL: observability changed the weights\n");
+    return 1;
+  }
+  if (smoke && m.overhead_pct >= limit_pct) {
+    std::fprintf(stderr, "FAIL: overhead %.2f%% >= %.0f%% limit\n",
+                 m.overhead_pct, limit_pct);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pelican::bench
+
+int main(int argc, char** argv) {
+  return pelican::bench::Run(argc, argv);
+}

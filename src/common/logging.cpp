@@ -1,13 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+
+#include "common/check.h"
+#include "obs/run_log.h"  // Iso8601Now
+#include "obs/trace.h"    // CurrentThreadId
 
 namespace pelican {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_sink_mu;
+std::ofstream* g_file_sink = nullptr;  // guarded by g_sink_mu; leaked
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
@@ -24,24 +31,45 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
+void SetLogFile(const std::string& path) {
+  std::unique_ptr<std::ofstream> sink;
+  if (!path.empty()) {
+    sink = std::make_unique<std::ofstream>(path, std::ios::app);
+    PELICAN_CHECK(sink->is_open(), "cannot open log file: " + path);
+  }
+  std::lock_guard lock(g_sink_mu);
+  delete g_file_sink;
+  g_file_sink = sink.release();
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level.load()), level_(level) {
+    : enabled_(level >= g_level.load() && level != LogLevel::kOff) {
   if (enabled_) {
     std::string_view path{file};
     const auto slash = path.rfind('/');
     if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
-    stream_ << "[" << LogLevelName(level_) << " " << path << ":" << line
-            << "] ";
+    stream_ << "[" << obs::Iso8601Now() << " " << LogLevelName(level)
+            << " tid=" << obs::CurrentThreadId() << " " << path << ":"
+            << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  // One fwrite per sink: the full line lands contiguously even when
+  // several threads log at once (the mutex serializes sinks; the
+  // single write keeps the line whole even against foreign writers).
   std::lock_guard lock(g_sink_mu);
-  auto& out = (level_ >= LogLevel::kWarn) ? std::cerr : std::clog;
-  out << stream_.str() << '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  if (g_file_sink != nullptr) {
+    g_file_sink->write(line.data(),
+                       static_cast<std::streamsize>(line.size()));
+    g_file_sink->flush();
+  }
 }
 
 }  // namespace detail

@@ -2,7 +2,16 @@
 //
 //   PELICAN_LOG(Info) << "epoch " << e << " loss " << loss;
 //
-// The stream is flushed (with newline) when the temporary dies.
+// Each message is emitted as ONE atomic write (a single fwrite of the
+// fully-formatted line, under the sink mutex), so concurrent shards
+// can't interleave fragments. Lines carry an ISO-8601 UTC timestamp,
+// the level, a stable small thread id (shared with the tracer's tid,
+// so log lines cross-reference trace rows) and the source location:
+//
+//   [2026-08-05T12:00:00.123Z INFO tid=1 trainer.cpp:247] epoch 10 ...
+//
+// An optional file sink (SetLogFile, the CLI's --log-file) receives a
+// copy of every emitted line in addition to stderr.
 #pragma once
 
 #include <iostream>
@@ -18,6 +27,11 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 std::string_view LogLevelName(LogLevel level);
+
+// Mirrors every log line to `path` (append mode) in addition to
+// stderr; an empty path closes the sink. Throws CheckError when the
+// file can't be opened.
+void SetLogFile(const std::string& path);
 
 namespace detail {
 
@@ -36,7 +50,6 @@ class LogMessage {
 
  private:
   bool enabled_;
-  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -6,12 +6,23 @@
 #include <exception>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pelican {
 
 namespace {
 
 thread_local bool t_in_worker = false;
+
+// Registered lazily so a process that never enables metrics renders an
+// empty scrape.
+obs::Counter& PoolShardsCounter() {
+  static obs::Counter counter = obs::Registry::Global().GetCounter(
+      "pelican_pool_shards_total",
+      "ParallelForShards shard executions (serial fallback included)");
+  return counter;
+}
 
 std::atomic<std::size_t>& ThreadsVar() {
   // Seeded once from the environment; SetThreads overrides.
@@ -184,6 +195,15 @@ void ParallelForShards(
   const std::size_t n = end - begin;
   const std::size_t shards = ShardCount(n, grain);
   const std::size_t per_shard = (n + shards - 1) / shards;
+  // Observability wrapper around one shard's execution. Tracing and
+  // metrics only read clocks and bump thread-local cells, so the shard
+  // decomposition — and therefore the results — are untouched.
+  const auto run_shard = [&fn](std::size_t s, std::size_t lo,
+                               std::size_t hi) {
+    obs::TraceSpan span("pool_shard", "pool");
+    if (obs::MetricsEnabled()) PoolShardsCounter().Inc();
+    fn(s, lo, hi);
+  };
   // Shard boundaries above depend only on (n, grain); the execution
   // strategy below must not change them.
   if (shards <= 1 || EffectiveThreads() <= 1 || ThreadPool::InWorker()) {
@@ -191,7 +211,7 @@ void ParallelForShards(
       const std::size_t lo = begin + s * per_shard;
       const std::size_t hi = std::min(end, lo + per_shard);
       if (lo >= hi) break;
-      fn(s, lo, hi);
+      run_shard(s, lo, hi);
     }
     return;
   }
@@ -202,7 +222,8 @@ void ParallelForShards(
     const std::size_t lo = begin + s * per_shard;
     const std::size_t hi = std::min(end, lo + per_shard);
     if (lo >= hi) break;
-    futures.push_back(pool.Submit([s, lo, hi, &fn] { fn(s, lo, hi); }));
+    futures.push_back(
+        pool.Submit([s, lo, hi, &run_shard] { run_shard(s, lo, hi); }));
   }
   JoinAll(futures);
 }

@@ -12,6 +12,8 @@
 #include "common/file_io.h"
 #include "common/logging.h"
 #include "core/model_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pelican::core {
 
@@ -91,8 +93,10 @@ Checkpointer::Checkpointer(CheckpointConfig config)
                          ": " + ec.message());
 }
 
-void Checkpointer::Save(nn::Sequential& network, optim::Optimizer& optimizer,
-                        const CheckpointState& state) const {
+std::string Checkpointer::Save(nn::Sequential& network,
+                               optim::Optimizer& optimizer,
+                               const CheckpointState& state) const {
+  obs::TraceSpan span("checkpoint_save", "io");
   std::ostringstream out(std::ios::binary);
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
@@ -139,7 +143,16 @@ void Checkpointer::Save(nn::Sequential& network, optim::Optimizer& optimizer,
   const std::uint32_t crc = Crc32Of(bytes);
   bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
 
-  AtomicWriteFile(config_.dir + "/" + CheckpointName(state.epoch), bytes);
+  std::string path = config_.dir + "/" + CheckpointName(state.epoch);
+  AtomicWriteFile(path, bytes);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter writes = obs::Registry::Global().GetCounter(
+        "pelican_checkpoint_writes_total", "Checkpoint snapshots written");
+    static obs::Counter bytes_written = obs::Registry::Global().GetCounter(
+        "pelican_checkpoint_bytes_total", "Checkpoint bytes written");
+    writes.Inc();
+    bytes_written.Inc(bytes.size());
+  }
 
   if (config_.keep > 0) {
     auto existing = List();
@@ -149,6 +162,7 @@ void Checkpointer::Save(nn::Sequential& network, optim::Optimizer& optimizer,
       existing.erase(existing.begin());
     }
   }
+  return path;
 }
 
 std::vector<std::string> Checkpointer::List() const {

@@ -56,9 +56,9 @@ class Checkpointer {
   }
 
   // Atomically writes checkpoint-<epoch>.ckpt, then prunes snapshots
-  // beyond the `keep` newest.
-  void Save(nn::Sequential& network, optim::Optimizer& optimizer,
-            const CheckpointState& state) const;
+  // beyond the `keep` newest. Returns the written path.
+  std::string Save(nn::Sequential& network, optim::Optimizer& optimizer,
+                   const CheckpointState& state) const;
 
   // Checkpoint paths on disk, oldest → newest (by epoch).
   [[nodiscard]] std::vector<std::string> List() const;

@@ -1,8 +1,38 @@
 #include "core/stream.h"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pelican::core {
+
+namespace {
+
+// Lazily-registered stream metrics; never touched while metrics are off.
+struct StreamMetrics {
+  obs::Counter records;
+  obs::Counter alerts;
+  obs::Counter quarantined;
+  obs::Histogram latency_seconds;
+};
+StreamMetrics& StreamCounters() {
+  auto& reg = obs::Registry::Global();
+  static StreamMetrics m{
+      reg.GetCounter("pelican_stream_records_total",
+                     "Records ingested by StreamDetector"),
+      reg.GetCounter("pelican_stream_alerts_total",
+                     "Attack verdicts raised (incl. suppressed)"),
+      reg.GetCounter("pelican_stream_quarantined_total",
+                     "Malformed records quarantined"),
+      reg.GetHistogram("pelican_stream_record_seconds",
+                       "Per-record Ingest latency",
+                       obs::DefaultTimeBuckets())};
+  return m;
+}
+
+}  // namespace
 
 StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
     : ids_(&ids),
@@ -17,6 +47,28 @@ StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
 }
 
 std::optional<Alert> StreamDetector::Ingest(
+    std::span<const double> raw_record) {
+  if (!config_.observe ||
+      (!obs::MetricsEnabled() && !obs::TracingEnabled())) {
+    return IngestImpl(raw_record);
+  }
+  obs::TraceSpan span("stream_ingest", "stream");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t quarantined_before = quarantined_;
+  std::optional<Alert> alert = IngestImpl(raw_record);
+  if (obs::MetricsEnabled()) {
+    auto& m = StreamCounters();
+    m.records.Inc();
+    if (alert.has_value()) m.alerts.Inc();
+    if (quarantined_ != quarantined_before) m.quarantined.Inc();
+    m.latency_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  return alert;
+}
+
+std::optional<Alert> StreamDetector::IngestImpl(
     std::span<const double> raw_record) {
   if (config_.quarantine_malformed) {
     bool malformed =

@@ -43,6 +43,11 @@ struct StreamConfig {
   // can't take the detector off the wire mid-stream. Set false for the
   // strict behaviour (Ingest throws CheckError instead).
   bool quarantine_malformed = true;
+  // Per-record observability (ingest trace span, record/alert/
+  // quarantine counters, latency histogram). Only active when the
+  // process-wide obs switches are also on; set false to keep a hot
+  // detector out of the trace even then.
+  bool observe = true;
 };
 
 class StreamDetector {
@@ -65,6 +70,8 @@ class StreamDetector {
   void ResetWindow();
 
  private:
+  std::optional<Alert> IngestImpl(std::span<const double> raw_record);
+
   const PelicanIds* ids_;
   StreamConfig config_;
   std::uint64_t processed_ = 0;

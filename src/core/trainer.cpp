@@ -1,18 +1,72 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "data/batcher.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace pelican::core {
+
+namespace {
+
+// Shortest float form that parses back bit-identically (FLT_DECIMAL_DIG
+// significant digits), so WriteHistory*/ReadHistory* round-trip exactly.
+std::string FloatRepr(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(value));
+  return buf;
+}
+
+// One epoch's history row as run-log-schema JSON (shared between
+// WriteHistoryJsonl and the Trainer's per-epoch run-log events).
+obs::Json HistoryEventJson(const EpochStats& e) {
+  obs::Json ev;
+  ev.Set("epoch", static_cast<std::int64_t>(e.epoch));
+  ev.SetRaw("train_loss", FloatRepr(e.train_loss));
+  ev.SetRaw("train_accuracy", FloatRepr(e.train_accuracy));
+  if (e.test_loss) ev.SetRaw("test_loss", FloatRepr(*e.test_loss));
+  if (e.test_accuracy) {
+    ev.SetRaw("test_accuracy", FloatRepr(*e.test_accuracy));
+  }
+  ev.Set("recoveries", static_cast<std::int64_t>(e.recoveries));
+  return ev;
+}
+
+// Lazily-registered training metrics; a metrics-off run never touches
+// the registry.
+struct TrainMetrics {
+  obs::Counter epochs;
+  obs::Counter rows;
+  obs::Counter recoveries;
+  obs::Histogram epoch_seconds;
+  obs::Gauge last_train_loss;
+};
+TrainMetrics& TrainCounters() {
+  auto& reg = obs::Registry::Global();
+  static TrainMetrics m{
+      reg.GetCounter("pelican_train_epochs_total", "Completed epochs"),
+      reg.GetCounter("pelican_train_rows_total", "Training rows processed"),
+      reg.GetCounter("pelican_train_divergence_recoveries_total",
+                     "Divergence-guard rollbacks"),
+      reg.GetHistogram("pelican_train_epoch_seconds", "Epoch wall time",
+                       obs::DefaultTimeBuckets()),
+      reg.GetGauge("pelican_train_last_loss", "Most recent epoch train loss")};
+  return m;
+}
+
+}  // namespace
 
 void WriteHistoryCsv(const TrainHistory& history, const std::string& path) {
   std::ofstream out(path);
@@ -20,13 +74,87 @@ void WriteHistoryCsv(const TrainHistory& history, const std::string& path) {
   out << "epoch,train_loss,train_accuracy,test_loss,test_accuracy,"
          "recoveries\n";
   for (const auto& e : history) {
-    out << e.epoch << ',' << e.train_loss << ',' << e.train_accuracy << ',';
-    if (e.test_loss) out << *e.test_loss;
+    out << e.epoch << ',' << FloatRepr(e.train_loss) << ','
+        << FloatRepr(e.train_accuracy) << ',';
+    if (e.test_loss) out << FloatRepr(*e.test_loss);
     out << ',';
-    if (e.test_accuracy) out << *e.test_accuracy;
+    if (e.test_accuracy) out << FloatRepr(*e.test_accuracy);
     out << ',' << e.recoveries << '\n';
   }
   PELICAN_CHECK(out.good(), "history write failed: " + path);
+}
+
+void WriteHistoryJsonl(const TrainHistory& history, const std::string& path) {
+  std::ofstream out(path);
+  PELICAN_CHECK(out.is_open(), "cannot open for writing: " + path);
+  for (const auto& e : history) out << HistoryEventJson(e).Str() << '\n';
+  PELICAN_CHECK(out.good(), "history write failed: " + path);
+}
+
+TrainHistory ReadHistoryCsv(const std::string& path) {
+  std::ifstream in(path);
+  PELICAN_CHECK(in.is_open(), "cannot open: " + path);
+  std::string line;
+  PELICAN_CHECK(static_cast<bool>(std::getline(in, line)),
+                "empty history CSV: " + path);
+  PELICAN_CHECK(line ==
+                    "epoch,train_loss,train_accuracy,test_loss,"
+                    "test_accuracy,recoveries",
+                "unexpected history CSV header: " + line);
+  TrainHistory history;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = Split(line, ',');
+    PELICAN_CHECK(cells.size() == 6, "malformed history CSV row: " + line);
+    EpochStats e;
+    e.epoch = std::stoi(cells[0]);
+    e.train_loss = std::stof(cells[1]);
+    e.train_accuracy = std::stof(cells[2]);
+    if (!cells[3].empty()) e.test_loss = std::stof(cells[3]);
+    if (!cells[4].empty()) e.test_accuracy = std::stof(cells[4]);
+    e.recoveries = std::stoi(cells[5]);
+    history.push_back(e);
+  }
+  return history;
+}
+
+TrainHistory ReadHistoryJsonl(const std::string& path) {
+  std::ifstream in(path);
+  PELICAN_CHECK(in.is_open(), "cannot open: " + path);
+  TrainHistory history;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parsed = obs::ParseJson(line);
+    PELICAN_CHECK(parsed.has_value(), "malformed history JSONL line: " + line);
+    const auto num = [&](const char* key) -> const obs::JsonValue* {
+      const obs::JsonValue* v = parsed->Find(key);
+      PELICAN_CHECK(v == nullptr || v->IsNumber(),
+                    std::string("non-numeric history field: ") + key);
+      return v;
+    };
+    const obs::JsonValue* epoch = num("epoch");
+    PELICAN_CHECK(epoch != nullptr, "history JSONL line missing epoch");
+    EpochStats e;
+    e.epoch = static_cast<int>(epoch->number);
+    if (const auto* v = num("train_loss")) {
+      e.train_loss = static_cast<float>(v->number);
+    }
+    if (const auto* v = num("train_accuracy")) {
+      e.train_accuracy = static_cast<float>(v->number);
+    }
+    if (const auto* v = num("test_loss")) {
+      e.test_loss = static_cast<float>(v->number);
+    }
+    if (const auto* v = num("test_accuracy")) {
+      e.test_accuracy = static_cast<float>(v->number);
+    }
+    if (const auto* v = num("recoveries")) {
+      e.recoveries = static_cast<int>(v->number);
+    }
+    history.push_back(e);
+  }
+  return history;
 }
 
 Trainer::Trainer(nn::Sequential& network, TrainConfig config)
@@ -61,6 +189,40 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
   data::Batcher batcher(x, y, config_.batch_size, rng_);
   TrainHistory history;
   history.reserve(static_cast<std::size_t>(config_.epochs));
+
+  // Structured run telemetry (off unless run_log_path is set). The log
+  // only *reads* training state, so it cannot perturb the math: a run
+  // with telemetry on produces bit-identical weights.
+  std::optional<obs::RunLog> run_log;
+  if (!config_.run_log_path.empty()) run_log.emplace(config_.run_log_path);
+  const auto fit_start = std::chrono::steady_clock::now();
+  if (run_log) {
+    obs::Json cfg;
+    cfg.Set("epochs", static_cast<std::int64_t>(config_.epochs));
+    cfg.Set("batch_size", static_cast<std::uint64_t>(config_.batch_size));
+    cfg.Set("learning_rate", config_.learning_rate);
+    cfg.Set("optimizer", config_.optimizer);
+    cfg.Set("clip_norm", config_.clip_norm);
+    cfg.Set("balanced_class_weights", config_.balanced_class_weights);
+    cfg.Set("early_stopping_patience",
+            static_cast<std::int64_t>(config_.early_stopping_patience));
+    cfg.Set("restore_best_weights", config_.restore_best_weights);
+    cfg.Set("max_divergence_retries",
+            static_cast<std::int64_t>(config_.max_divergence_retries));
+    cfg.Set("checkpoint_dir", config_.checkpoint_dir);
+    obs::Json ev;
+    ev.Set("event", "run_start");
+    ev.Set("time", obs::Iso8601Now());
+    ev.Set("seed", config_.seed);
+    ev.Set("threads", static_cast<std::uint64_t>(EffectiveThreads()));
+    ev.Set("train_rows", x.dim(0));
+    ev.Set("test_rows", x_test != nullptr ? x_test->dim(0) : 0);
+    ev.Set("git", obs::GitDescribe());
+    ev.Set("compiler", obs::BuildCompiler());
+    ev.Set("build_flags", obs::BuildFlags());
+    ev.Set("config", cfg);
+    run_log->Write(ev);
+  }
 
   std::vector<float> class_weights;
   if (config_.balanced_class_weights) {
@@ -150,12 +312,17 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
   int retries_used = 0;
 
   data::Batch batch;
+  bool stopped_early = false;
+  int last_epoch_completed = start_epoch - 1;
   for (int epoch = start_epoch; epoch <= config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch", "train");
+    const auto epoch_start = std::chrono::steady_clock::now();
     int epoch_recoveries = 0;
     bool stop_training = false;
     double loss_sum = 0.0;
     std::int64_t correct = 0;
     std::int64_t seen = 0;
+    float effective_lr = config_.learning_rate;
 
     for (;;) {  // divergence-guard retry loop (runs once when healthy)
       const float base_lr =
@@ -163,7 +330,8 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
               ? config_.lr_schedule->LearningRate(epoch,
                                                   config_.learning_rate)
               : config_.learning_rate;
-      optimizer_->SetLearningRate(base_lr * lr_scale);
+      effective_lr = base_lr * lr_scale;
+      optimizer_->SetLearningRate(effective_lr);
       batcher.StartEpoch();
       loss_sum = 0.0;
       correct = 0;
@@ -240,18 +408,28 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
       stats.test_accuracy = eval.accuracy;
     }
     history.push_back(stats);
+    last_epoch_completed = epoch;
 
-    if (config_.verbose &&
-        (epoch % std::max(1, config_.log_every) == 0 ||
-         epoch == config_.epochs)) {
-      PELICAN_LOG(Info) << "epoch " << epoch << "/" << config_.epochs
-                        << " train_loss=" << stats.train_loss
-                        << " train_acc=" << stats.train_accuracy
-                        << (stats.test_loss
-                                ? " test_loss=" + std::to_string(*stats.test_loss)
-                                : "");
+    const double epoch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
+    const double rows_per_sec =
+        epoch_seconds > 0.0 ? static_cast<double>(seen) / epoch_seconds : 0.0;
+
+    if (obs::MetricsEnabled()) {
+      auto& m = TrainCounters();
+      m.epochs.Inc();
+      m.rows.Inc(static_cast<std::uint64_t>(seen));
+      m.recoveries.Inc(static_cast<std::uint64_t>(epoch_recoveries));
+      m.epoch_seconds.Observe(epoch_seconds);
+      m.last_train_loss.Set(static_cast<double>(stats.train_loss));
     }
 
+    // The early-stop decision happens *before* the progress line so the
+    // run's final epoch is always logged, whether it ends by reaching
+    // config_.epochs, by early stopping, or by a mid-run stop — even
+    // when epochs % log_every != 0.
     bool early_stop = false;
     if (stats.test_loss &&
         (config_.early_stopping_patience > 0 ||
@@ -269,17 +447,29 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
       } else if (config_.early_stopping_patience > 0 &&
                  ++epochs_without_improvement >=
                      config_.early_stopping_patience) {
-        if (config_.verbose) {
-          PELICAN_LOG(Info) << "early stop at epoch " << epoch
-                            << " (no test-loss improvement for "
-                            << config_.early_stopping_patience
-                            << " epochs)";
-        }
         early_stop = true;
       }
     }
 
+    const bool final_epoch = early_stop || epoch == config_.epochs;
+    if (config_.verbose &&
+        (epoch % std::max(1, config_.log_every) == 0 || final_epoch)) {
+      PELICAN_LOG(Info) << "epoch " << epoch << "/" << config_.epochs
+                        << " train_loss=" << stats.train_loss
+                        << " train_acc=" << stats.train_accuracy
+                        << (stats.test_loss
+                                ? " test_loss=" + std::to_string(*stats.test_loss)
+                                : "")
+                        << " rows/s=" << static_cast<std::int64_t>(rows_per_sec);
+    }
+    if (early_stop && config_.verbose) {
+      PELICAN_LOG(Info) << "early stop at epoch " << epoch
+                        << " (no test-loss improvement for "
+                        << config_.early_stopping_patience << " epochs)";
+    }
+
     if (guard) take_snapshot();
+    std::string checkpoint_path;
     if (checkpointer != nullptr &&
         (checkpointer->ShouldSnapshot(epoch) || early_stop ||
          epoch == config_.epochs)) {
@@ -290,9 +480,48 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
       snapshot.best_test_loss = best_test_loss;
       snapshot.epochs_without_improvement = epochs_without_improvement;
       snapshot.history = history;
-      checkpointer->Save(*network_, *optimizer_, snapshot);
+      checkpoint_path = checkpointer->Save(*network_, *optimizer_, snapshot);
     }
-    if (early_stop) break;
+
+    if (run_log) {
+      // L2 norm over the trainable gradients of the epoch's last batch
+      // — read-only, and only computed when the run log is on.
+      double grad_sq = 0.0;
+      for (const auto& p : network_->Params()) {
+        for (const float g : p.grad->data()) {
+          grad_sq += static_cast<double>(g) * static_cast<double>(g);
+        }
+      }
+      obs::Json ev = HistoryEventJson(stats);
+      ev.Set("event", "epoch");
+      ev.Set("grad_norm", std::sqrt(grad_sq));
+      ev.Set("lr", effective_lr);
+      ev.Set("seconds", epoch_seconds);
+      ev.Set("rows_per_sec", rows_per_sec);
+      if (!checkpoint_path.empty()) ev.Set("checkpoint", checkpoint_path);
+      run_log->Write(ev);
+    }
+    if (early_stop) {
+      stopped_early = true;
+      break;
+    }
+  }
+
+  if (run_log) {
+    obs::Json ev;
+    ev.Set("event", "run_end");
+    ev.Set("time", obs::Iso8601Now());
+    ev.Set("epochs_completed", static_cast<std::int64_t>(last_epoch_completed));
+    ev.Set("stopped_early", stopped_early);
+    ev.Set("divergence_recoveries", static_cast<std::int64_t>(retries_used));
+    ev.Set("wall_seconds",
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         fit_start)
+               .count());
+    if (std::isfinite(best_test_loss)) {
+      ev.SetRaw("best_test_loss", FloatRepr(best_test_loss));
+    }
+    run_log->Write(ev);
   }
 
   if (config_.restore_best_weights && !best_weights.empty()) {

@@ -76,6 +76,15 @@ struct TrainConfig {
   // return replaces that batch's loss with NaN before the divergence
   // guard sees it. Null in production.
   std::function<bool(int epoch, std::size_t batch)> loss_fault_hook;
+
+  // ---- observability ---------------------------------------------------
+  // When non-empty, Fit writes structured run telemetry to this JSONL
+  // file (truncated at start): a run_start manifest (config, seed,
+  // thread count, build provenance), one event per completed epoch
+  // (losses, accuracies, grad norm, effective learning rate,
+  // recoveries, rows/s, checkpoint path), and a run_end summary. Off by
+  // default; adds nothing to the hot loops when empty.
+  std::string run_log_path;
 };
 
 struct EpochStats {
@@ -96,6 +105,18 @@ using TrainHistory = std::vector<EpochStats>;
 // supplied) — the raw series behind the Fig. 5 plots, for external
 // plotting tools.
 void WriteHistoryCsv(const TrainHistory& history, const std::string& path);
+
+// Same series as JSON Lines, one object per epoch, using the run-log
+// epoch-event field names (epoch, train_loss, train_accuracy,
+// test_loss, test_accuracy, recoveries; test fields omitted when no
+// test set was supplied).
+void WriteHistoryJsonl(const TrainHistory& history, const std::string& path);
+
+// Parse a history back from either format. Throw CheckError on
+// malformed input; round-trip with the writers above exactly (floats
+// travel as shortest-round-trip decimal).
+TrainHistory ReadHistoryCsv(const std::string& path);
+TrainHistory ReadHistoryJsonl(const std::string& path);
 
 class Trainer {
  public:

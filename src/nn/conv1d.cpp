@@ -5,6 +5,7 @@
 #include "common/thread_pool.h"
 #include "common/workspace.h"
 #include "nn/initializers.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -99,10 +100,16 @@ Tensor Conv1D::Forward(const Tensor& x, bool /*training*/) {
 
   Workspace::Scope scope;
   float* col = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
-  Im2Col(x.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
-  kernels::Gemm(false, false, rows, f, kc, col, kc,
-                w_.data().data() + kk_lo * cin * f, f, y.data().data(), f,
-                /*accumulate=*/false);
+  {
+    obs::TraceSpan span("conv1d_im2col", "kernel");
+    Im2Col(x.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
+  }
+  {
+    obs::TraceSpan span("conv1d_gemm_fwd", "kernel");
+    kernels::Gemm(false, false, rows, f, kc, col, kc,
+                  w_.data().data() + kk_lo * cin * f, f, y.data().data(), f,
+                  /*accumulate=*/false);
+  }
   AddRowBias(y.data().data(), rows, f, b_.data().data());
   return y;
 }
@@ -132,15 +139,22 @@ Tensor Conv1D::Backward(const Tensor& dy) {
 
   Workspace::Scope scope;
   float* col = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
-  Im2Col(x_.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
+  {
+    obs::TraceSpan span("conv1d_im2col", "kernel");
+    Im2Col(x_.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
+  }
 
   SumRowsInto(dyp, rows, f, db_.data().data());
-  kernels::Gemm(true, false, kc, f, rows, col, kc, dyp, f, dwp, f,
-                /*accumulate=*/true);
+  float* dcol = nullptr;
+  {
+    obs::TraceSpan span("conv1d_gemm_bwd", "kernel");
+    kernels::Gemm(true, false, kc, f, rows, col, kc, dyp, f, dwp, f,
+                  /*accumulate=*/true);
 
-  float* dcol = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
-  kernels::Gemm(false, true, rows, kc, f, dyp, f, wp, f, dcol, kc,
-                /*accumulate=*/false);
+    dcol = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
+    kernels::Gemm(false, true, rows, kc, f, dyp, f, wp, f, dcol, kc,
+                  /*accumulate=*/false);
+  }
 
   // col2im: batch items touch disjoint dx rows; within an item the
   // (t, kk) scatter order is fixed, so threading cannot reorder it.

@@ -29,7 +29,14 @@ class Sequential final : public Layer {
   [[nodiscard]] std::string Summary();
 
  private:
+  // Lazily-built per-layer instruments (trace span names + latency
+  // histograms); only materialized once observability is enabled, so a
+  // disabled process pays one relaxed load per Forward/Backward.
+  struct ObsState;
+  void EnsureObs();
+
   std::vector<LayerPtr> layers_;
+  std::shared_ptr<ObsState> obs_;
 };
 
 }  // namespace pelican::nn

@@ -1,0 +1,291 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pelican::obs {
+
+// ---- writer ---------------------------------------------------------------
+
+std::string Json::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::FormatDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+Json& Json::Emit(const std::string& key, const std::string& rendered) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += "\"" + Escape(key) + "\": " + rendered;
+  return *this;
+}
+
+Json& Json::Set(const std::string& key, double value) {
+  return Emit(key, FormatDouble(value));
+}
+Json& Json::Set(const std::string& key, std::int64_t value) {
+  return Emit(key, std::to_string(value));
+}
+Json& Json::Set(const std::string& key, std::uint64_t value) {
+  return Emit(key, std::to_string(value));
+}
+Json& Json::Set(const std::string& key, bool value) {
+  return Emit(key, value ? "true" : "false");
+}
+Json& Json::Set(const std::string& key, const std::string& value) {
+  return Emit(key, "\"" + Escape(value) + "\"");
+}
+Json& Json::Set(const std::string& key, const Json& object) {
+  return Emit(key, object.Str());
+}
+Json& Json::SetRaw(const std::string& key, const std::string& json) {
+  return Emit(key, json);
+}
+
+std::string Json::Str() const { return "{" + body_ + "}"; }
+
+// ---- parser ---------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] char Peek() const {
+    return pos < text.size() ? text[pos] : '\0';
+  }
+  bool Consume(char c) {
+    if (Peek() != c) {
+      ok = false;
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      ok = false;
+      return false;
+    }
+    pos += word.size();
+    return true;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    if (!Consume('"')) return out;
+    while (ok && pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) {
+        ok = false;
+        return out;
+      }
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            ok = false;
+            return out;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              ok = false;
+              return out;
+            }
+          }
+          // Minimal UTF-8 encode (surrogate pairs are not stitched —
+          // our writers never emit them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: ok = false; return out;
+      }
+    }
+    Consume('"');
+    return out;
+  }
+
+  JsonValue ParseValue(int depth) {
+    JsonValue v;
+    if (depth > 128) {
+      ok = false;
+      return v;
+    }
+    SkipWs();
+    const char c = Peek();
+    if (c == '{') {
+      ++pos;
+      v.type = JsonValue::Type::kObject;
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        SkipWs();
+        std::string key = ParseString();
+        if (!ok) return v;
+        SkipWs();
+        if (!Consume(':')) return v;
+        JsonValue child = ParseValue(depth + 1);
+        if (!ok) return v;
+        v.object.emplace_back(std::move(key), std::move(child));
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        Consume('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.type = JsonValue::Type::kArray;
+      SkipWs();
+      if (Peek() == ']') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        JsonValue child = ParseValue(depth + 1);
+        if (!ok) return v;
+        v.array.push_back(std::move(child));
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        Consume(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == 't') {
+      ConsumeWord("true");
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      ConsumeWord("false");
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      ConsumeWord("null");
+      return v;
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (Peek() == '-') ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+            text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      ok = false;
+      return v;
+    }
+    const std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    v.number = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      ok = false;
+      return v;
+    }
+    v.type = JsonValue::Type::kNumber;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  Parser parser{text};
+  JsonValue v = parser.ParseValue(0);
+  parser.SkipWs();
+  if (!parser.ok || parser.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace pelican::obs

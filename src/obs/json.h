@@ -1,0 +1,70 @@
+// Minimal JSON support for the observability subsystem: an ordered
+// object builder (one telemetry event = one line of JSONL) and a small
+// recursive-descent parser used by tests and artifact validators.
+// Deliberately tiny — not a general JSON library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pelican::obs {
+
+// Ordered JSON object builder. Keys render in insertion order; values
+// are escaped/formatted on insertion. Non-finite doubles render as
+// null (JSON has no NaN/Inf).
+class Json {
+ public:
+  Json& Set(const std::string& key, double value);
+  Json& Set(const std::string& key, float value) {
+    return Set(key, static_cast<double>(value));
+  }
+  Json& Set(const std::string& key, std::int64_t value);
+  Json& Set(const std::string& key, std::uint64_t value);
+  Json& Set(const std::string& key, int value) {
+    return Set(key, static_cast<std::int64_t>(value));
+  }
+  Json& Set(const std::string& key, bool value);
+  Json& Set(const std::string& key, const std::string& value);
+  Json& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  Json& Set(const std::string& key, const Json& object);
+  // Pre-rendered JSON fragment (arrays, nested structures).
+  Json& SetRaw(const std::string& key, const std::string& json);
+
+  // "{...}" — one line, no trailing newline.
+  [[nodiscard]] std::string Str() const;
+
+  static std::string Escape(std::string_view s);
+  static std::string FormatDouble(double v);
+
+ private:
+  Json& Emit(const std::string& key, const std::string& rendered);
+  std::string body_;
+};
+
+// Parsed JSON value. Objects preserve key order. `Find` returns null
+// when the key is absent (objects only).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* Find(const std::string& key) const;
+  [[nodiscard]] bool IsNumber() const { return type == Type::kNumber; }
+  [[nodiscard]] bool IsString() const { return type == Type::kString; }
+};
+
+// Strict parse of a complete JSON document (trailing whitespace
+// allowed, trailing garbage rejected). nullopt on any syntax error.
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace pelican::obs

@@ -1,0 +1,59 @@
+#include "obs/run_log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "common/check.h"
+
+#ifndef PELICAN_GIT_DESCRIBE
+#define PELICAN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PELICAN_BUILD_FLAGS
+#define PELICAN_BUILD_FLAGS "unknown"
+#endif
+
+namespace pelican::obs {
+
+RunLog::RunLog(const std::string& path)
+    : out_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
+  PELICAN_CHECK(out_->is_open(), "cannot open run log: " + path);
+}
+
+void RunLog::Write(const Json& event) {
+  if (out_ == nullptr) return;
+  *out_ << event.Str() << '\n';
+  out_->flush();
+  PELICAN_CHECK(out_->good(), "run log write failed");
+}
+
+std::string Iso8601Now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+std::string BuildCompiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("g++ ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string BuildFlags() { return PELICAN_BUILD_FLAGS; }
+
+std::string GitDescribe() { return PELICAN_GIT_DESCRIBE; }
+
+}  // namespace pelican::obs

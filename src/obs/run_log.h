@@ -1,0 +1,42 @@
+// pelican::obs — structured run telemetry.
+//
+// A RunLog is an append-only JSONL file: one self-describing JSON
+// object per line, flushed per event so a crashed run keeps every
+// completed line. core::Trainer::Fit writes a run_start manifest
+// (config, seed, thread count, build provenance), one "epoch" event
+// per epoch, and a run_end manifest — see DESIGN.md §9 for the schema.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/json.h"
+
+namespace pelican::obs {
+
+class RunLog {
+ public:
+  RunLog() = default;  // inactive: Write() is a no-op
+
+  // Opens (truncates) `path`. Throws CheckError when it can't.
+  explicit RunLog(const std::string& path);
+
+  [[nodiscard]] bool active() const { return out_ != nullptr; }
+
+  // Appends one event as a single line and flushes.
+  void Write(const Json& event);
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+};
+
+// Current UTC wall-clock time as "YYYY-MM-DDTHH:MM:SS.mmmZ".
+std::string Iso8601Now();
+
+// Build provenance baked in at compile time (obs/CMakeLists.txt).
+std::string BuildCompiler();   // e.g. "g++ 12.2.0"
+std::string BuildFlags();      // build type + sanitize/native knobs
+std::string GitDescribe();     // `git describe --always --dirty` or "unknown"
+
+}  // namespace pelican::obs

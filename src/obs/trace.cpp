@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pelican::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// All timestamps are nanoseconds since the first clock read in this
+// process, so ts values are small and positive in the JSON.
+std::int64_t NowNs() {
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              origin)
+      .count();
+}
+
+struct Event {
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  int tid = 0;
+  const char* category = nullptr;
+  char name[detail::kSpanNameCap];
+};
+
+struct Buffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  std::size_t capacity = 0;
+  int tid = 0;
+};
+
+struct Tracer {
+  std::mutex mu;
+  // shared_ptr: the registry keeps a buffer alive after its thread
+  // exits so the final WriteTraceJson still sees those events.
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  std::atomic<int> next_tid{1};
+  std::atomic<std::size_t> capacity{std::size_t{1} << 20};
+};
+
+Tracer& GlobalTracer() {
+  // Leaked for the same reason as Registry::Global().
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+thread_local std::shared_ptr<Buffer> t_buffer;
+thread_local int t_tid = 0;
+
+Buffer& LocalBuffer() {
+  if (t_buffer == nullptr) {
+    Tracer& tracer = GlobalTracer();
+    auto buffer = std::make_shared<Buffer>();
+    buffer->tid = CurrentThreadId();
+    buffer->capacity = tracer.capacity.load(std::memory_order_relaxed);
+    buffer->events.reserve(std::min<std::size_t>(1024, buffer->capacity));
+    std::lock_guard lock(tracer.mu);
+    tracer.buffers.push_back(buffer);
+    t_buffer = std::move(buffer);
+  }
+  return *t_buffer;
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control chars never appear in span names; sanitize
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int CurrentThreadId() {
+  if (t_tid == 0) {
+    t_tid = GlobalTracer().next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_tid;
+}
+
+void EnableTracing(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(std::string_view name, const char* category) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  category_ = category;
+  const std::size_t n =
+      std::min(name.size(), detail::kSpanNameCap - 1);
+  std::memcpy(name_, name.data(), n);
+  name_[n] = '\0';
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::int64_t end_ns = NowNs();
+  Buffer& buffer = LocalBuffer();
+  std::lock_guard lock(buffer.mu);  // uncontended except during a write
+  if (buffer.events.size() >= buffer.capacity) {
+    ++buffer.dropped;
+    return;
+  }
+  Event& e = buffer.events.emplace_back();
+  e.start_ns = start_ns_;
+  e.dur_ns = end_ns - start_ns_;
+  e.tid = buffer.tid;
+  e.category = category_;
+  std::memcpy(e.name, name_, detail::kSpanNameCap);
+}
+
+std::string TraceJson() {
+  Tracer& tracer = GlobalTracer();
+  std::vector<Event> events;
+  std::vector<int> tids;
+  {
+    std::lock_guard lock(tracer.mu);
+    for (const auto& buffer : tracer.buffers) {
+      std::lock_guard buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+      if (!buffer->events.empty()) tids.push_back(buffer->tid);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  char line[256];
+  for (int tid : tids) {
+    std::snprintf(line, sizeof line,
+                  "%s{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, "
+                  "\"name\": \"thread_name\", "
+                  "\"args\": {\"name\": \"pelican-%d\"}}",
+                  first ? "" : ",\n", tid, tid);
+    first = false;
+    out += line;
+  }
+  for (const Event& e : events) {
+    std::snprintf(line, sizeof line,
+                  "%s{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"cat\": \"%s\", "
+                  "\"name\": \"%s\"}",
+                  first ? "" : ",\n", e.tid,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3,
+                  e.category != nullptr ? e.category : "",
+                  JsonEscape(e.name).c_str());
+    first = false;
+    out += line;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteTraceJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << TraceJson();
+  out.flush();
+  return out.good();
+}
+
+std::size_t TraceEventCount() {
+  Tracer& tracer = GlobalTracer();
+  std::lock_guard lock(tracer.mu);
+  std::size_t n = 0;
+  for (const auto& buffer : tracer.buffers) {
+    std::lock_guard buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::uint64_t TraceDroppedCount() {
+  Tracer& tracer = GlobalTracer();
+  std::lock_guard lock(tracer.mu);
+  std::uint64_t n = 0;
+  for (const auto& buffer : tracer.buffers) {
+    std::lock_guard buffer_lock(buffer->mu);
+    n += buffer->dropped;
+  }
+  return n;
+}
+
+void ResetTrace() {
+  Tracer& tracer = GlobalTracer();
+  std::lock_guard lock(tracer.mu);
+  for (const auto& buffer : tracer.buffers) {
+    std::lock_guard buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+void SetTraceCapacity(std::size_t max_events_per_thread) {
+  GlobalTracer().capacity.store(max_events_per_thread,
+                                std::memory_order_relaxed);
+}
+
+}  // namespace pelican::obs

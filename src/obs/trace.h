@@ -1,0 +1,86 @@
+// pelican::obs — scoped tracing to Chrome trace_event JSON.
+//
+// TraceSpan is an RAII scope: construction stamps a start time,
+// destruction appends one complete ("ph":"X") event to the calling
+// thread's buffer. Spans on one thread therefore nest perfectly —
+// a child span's [ts, ts+dur] interval lies inside its parent's.
+// The resulting file loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+//   obs::EnableTracing(true);
+//   {
+//     obs::TraceSpan span("fwd Conv1D", "layer");
+//     ...work...
+//   }
+//   obs::WriteTraceJson("trace.json");
+//
+// Disabled (the default), a span costs one relaxed atomic load and
+// records nothing. Enabled, ending a span takes the buffer's own
+// (uncontended) mutex — never a global lock — and buffers are bounded
+// by a per-thread event cap; overflow increments a dropped counter
+// instead of growing without bound. Tracing only reads clocks and
+// writes side buffers, so traced computations are bit-identical to
+// untraced ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pelican::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+inline constexpr std::size_t kSpanNameCap = 48;
+}  // namespace detail
+
+// Process-wide switch; spans no-op while false (the default).
+void EnableTracing(bool on);
+inline bool TracingEnabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+// Stable small integer id for the calling thread (1-based, assigned on
+// first use). Shared by the tracer ("tid") and the logger ("tid=") so
+// log lines and trace rows cross-reference.
+int CurrentThreadId();
+
+class TraceSpan {
+ public:
+  // `category` must outlive the span (pass a string literal: "layer",
+  // "kernel", "pool", "train", "io", "detect"). `name` is copied (and
+  // truncated to 47 chars), so dynamic names are fine.
+  TraceSpan(std::string_view name, const char* category);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::int64_t start_ns_ = 0;
+  const char* category_ = nullptr;
+  bool active_ = false;
+  char name_[detail::kSpanNameCap];
+};
+
+// Serializes every recorded event (all threads, sorted by start time)
+// as a Chrome trace_event JSON object. Callers should be quiescent —
+// spans ending concurrently with the write land in the file only if
+// they beat the per-buffer lock.
+[[nodiscard]] std::string TraceJson();
+
+// TraceJson() to a file. Returns false (and logs nothing) on I/O error.
+bool WriteTraceJson(const std::string& path);
+
+// Recorded / dropped event counts across all threads.
+[[nodiscard]] std::size_t TraceEventCount();
+[[nodiscard]] std::uint64_t TraceDroppedCount();
+
+// Clears all buffers and the dropped counter (tests and benchmarks).
+void ResetTrace();
+
+// Per-thread buffer cap (default 1<<20 events); beyond it spans are
+// counted as dropped. Applies to buffers created after the call.
+void SetTraceCapacity(std::size_t max_events_per_thread);
+
+}  // namespace pelican::obs

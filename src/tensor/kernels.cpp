@@ -4,10 +4,25 @@
 
 #include "common/thread_pool.h"
 #include "common/workspace.h"
+#include "obs/metrics.h"
 
 namespace pelican::kernels {
 
 namespace {
+
+// Lazy so a metrics-disabled process registers no series.
+struct GemmMetrics {
+  obs::Counter calls;
+  obs::Counter flops;
+};
+GemmMetrics& GemmCounters() {
+  auto& reg = obs::Registry::Global();
+  static GemmMetrics m{
+      reg.GetCounter("pelican_gemm_calls_total", "SGEMM invocations"),
+      reg.GetCounter("pelican_gemm_flops_total",
+                     "Floating-point operations issued to SGEMM (2mnk)")};
+  return m;
+}
 
 // Packs the kc×nc block of op(B) at (p0, j0) into sliver-major panels:
 // kNr consecutive columns per sliver, k ascending inside a sliver,
@@ -77,6 +92,14 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, const float* a, std::int64_t lda, const float* b,
           std::int64_t ldb, float* c, std::int64_t ldc, bool accumulate) {
   if (m <= 0 || n <= 0) return;
+  if (obs::MetricsEnabled()) {
+    auto& counters = GemmCounters();
+    counters.calls.Inc();
+    counters.flops.Inc(static_cast<std::uint64_t>(2) *
+                       static_cast<std::uint64_t>(m) *
+                       static_cast<std::uint64_t>(n) *
+                       static_cast<std::uint64_t>(std::max<std::int64_t>(0, k)));
+  }
   if (k <= 0) {
     if (!accumulate) {
       for (std::int64_t i = 0; i < m; ++i) {

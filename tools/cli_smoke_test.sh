@@ -34,6 +34,42 @@ test -s "$WORK_DIR/model_resumed.bin"
 "$PELICAN_BIN" eval --model "$WORK_DIR/model.bin" \
     --csv "$WORK_DIR/flows.csv" | grep -q "ACC"
 
+# Observability: the same training run with metrics + tracing + run log
+# enabled must emit all three artifacts AND produce a bit-identical
+# model (instrumentation only reads clocks and writes side buffers).
+"$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+    --blocks 2 --channels 8 --epochs 3 --verbose \
+    --metrics-out "$WORK_DIR/metrics.prom" \
+    --trace-out "$WORK_DIR/trace.json" \
+    --run-log "$WORK_DIR/run.jsonl" \
+    --log-file "$WORK_DIR/pelican.log" \
+    --out "$WORK_DIR/model_obs.bin"
+cmp "$WORK_DIR/model.bin" "$WORK_DIR/model_obs.bin"
+
+# Prometheus text: at least 10 pelican_* series, each with HELP/TYPE.
+test "$(grep -c '^pelican_' "$WORK_DIR/metrics.prom")" -ge 10
+grep -q '^# HELP pelican_' "$WORK_DIR/metrics.prom"
+grep -q '^# TYPE pelican_' "$WORK_DIR/metrics.prom"
+
+# Chrome trace JSON: parseable, with complete ("X") span events.
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.traceEvents | map(select(.ph == "X")) | length > 0' \
+        "$WORK_DIR/trace.json" >/dev/null
+else
+    grep -q '"ph":"X"' "$WORK_DIR/trace.json"
+fi
+
+# Run log: one JSON object per line, run_start first, run_end last.
+if command -v jq >/dev/null 2>&1; then
+    jq -e . "$WORK_DIR/run.jsonl" >/dev/null
+fi
+head -n 1 "$WORK_DIR/run.jsonl" | grep -q '"event": "run_start"'
+tail -n 1 "$WORK_DIR/run.jsonl" | grep -q '"event": "run_end"'
+test "$(grep -c '"event": "epoch"' "$WORK_DIR/run.jsonl")" -eq 3
+
+# Log sink: timestamped lines mirrored to the file.
+grep -q 'Z INFO tid=' "$WORK_DIR/pelican.log"
+
 "$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \
     --records 40 --seed 9 --limit 3 | grep -q "records,"  || \
 "$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \

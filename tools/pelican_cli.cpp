@@ -20,11 +20,13 @@
 #include <map>
 #include <string>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/core.h"
 #include "data/data.h"
 #include "metrics/metrics.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -157,6 +159,7 @@ core::IdsConfig ConfigFrom(const ModelMeta& meta, const Flags& flags) {
   config.train.resume = flags.Has("resume");
   config.train.max_divergence_retries =
       static_cast<int>(flags.GetLong("divergence-retries", 0));
+  config.train.run_log_path = flags.Get("run-log");
   return config;
 }
 
@@ -304,9 +307,17 @@ int Usage() {
       "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
       "  info      --model model.bin\n\n"
       "global flags:\n"
-      "  --threads N   worker threads for training/inference\n"
-      "                (0 = hardware concurrency, 1 = serial;\n"
-      "                 default from PELICAN_THREADS, else 0)\n");
+      "  --threads N       worker threads for training/inference\n"
+      "                    (0 = hardware concurrency, 1 = serial;\n"
+      "                     default from PELICAN_THREADS, else 0)\n"
+      "  --log-file f      mirror log lines to f (append) as well as "
+      "stderr\n"
+      "  --metrics-out f   enable metrics; write Prometheus text to f "
+      "on exit\n"
+      "  --trace-out f     enable tracing; write Chrome trace JSON to f "
+      "on exit\n"
+      "                    (open in Perfetto / chrome://tracing)\n"
+      "  --run-log f       train only: structured JSONL run telemetry\n");
   return 2;
 }
 
@@ -322,12 +333,35 @@ int main(int argc, char** argv) {
       PELICAN_CHECK(threads >= 0, "--threads must be >= 0");
       SetThreads(static_cast<std::size_t>(threads));
     }
-    if (command == "generate") return CmdGenerate(flags);
-    if (command == "train") return CmdTrain(flags);
-    if (command == "eval") return CmdEval(flags);
-    if (command == "classify") return CmdClassify(flags);
-    if (command == "info") return CmdInfo(flags);
-    return Usage();
+    if (flags.Has("log-file")) SetLogFile(flags.Get("log-file"));
+    const std::string metrics_out = flags.Get("metrics-out");
+    const std::string trace_out = flags.Get("trace-out");
+    if (!metrics_out.empty()) obs::EnableMetrics(true);
+    if (!trace_out.empty()) obs::EnableTracing(true);
+
+    int rc = 2;
+    if (command == "generate") {
+      rc = CmdGenerate(flags);
+    } else if (command == "train") {
+      rc = CmdTrain(flags);
+    } else if (command == "eval") {
+      rc = CmdEval(flags);
+    } else if (command == "classify") {
+      rc = CmdClassify(flags);
+    } else if (command == "info") {
+      rc = CmdInfo(flags);
+    } else {
+      return Usage();
+    }
+
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      PELICAN_CHECK(out.is_open(), "cannot write " + metrics_out);
+      out << obs::Registry::Global().RenderPrometheus();
+      PELICAN_CHECK(out.good(), "metrics write failed: " + metrics_out);
+    }
+    if (!trace_out.empty()) obs::WriteTraceJson(trace_out);
+    return rc;
   } catch (const pelican::CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
