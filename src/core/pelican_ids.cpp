@@ -49,11 +49,17 @@ Tensor PelicanIds::EncodeAndScale(const data::RawDataset& records) const {
   return x;
 }
 
-PelicanIds::Verdict PelicanIds::Inspect(std::span<const double> raw_row) const {
+PelicanIds::Verdict PelicanIds::Inspect(
+    std::span<const double> raw_row,
+    std::vector<float>* scaled_features) const {
   PELICAN_CHECK(Trained(), "Inspect before Train/Load");
   Tensor x({1, encoder_.EncodedWidth()});
   encoder_.EncodeRow(raw_row, x.Row(0));
   scaler_.Transform(x);
+  if (scaled_features != nullptr) {
+    const auto row = x.Row(0);
+    scaled_features->assign(row.begin(), row.end());
+  }
   const Tensor probs = trainer_->PredictProbabilities(x);
   const auto label = static_cast<int>(probs.ArgMaxRow(0));
   Verdict verdict;

@@ -46,7 +46,13 @@ class PelicanIds {
   };
 
   // Classifies one raw record (same column layout as the schema).
-  [[nodiscard]] Verdict Inspect(std::span<const double> raw_row) const;
+  // When `scaled_features` is non-null it receives the encoded +
+  // standardized row the network saw (length EncodedWidth()) — the
+  // stream-side drift monitor reads its baseline-relative features
+  // from here instead of re-encoding.
+  [[nodiscard]] Verdict Inspect(
+      std::span<const double> raw_row,
+      std::vector<float>* scaled_features = nullptr) const;
 
   // Batch classification of a whole dataset.
   [[nodiscard]] std::vector<int> Classify(const data::RawDataset& records) const;
@@ -61,6 +67,7 @@ class PelicanIds {
 
   [[nodiscard]] const data::Schema& schema() const { return schema_; }
   [[nodiscard]] nn::Sequential& network() { return *network_; }
+  [[nodiscard]] int normal_label() const { return config_.normal_label; }
 
  private:
   [[nodiscard]] Tensor EncodeAndScale(const data::RawDataset& records) const;

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -10,12 +12,20 @@ namespace pelican::core {
 
 namespace {
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
 // Lazily-registered stream metrics; never touched while metrics are off.
 struct StreamMetrics {
   obs::Counter records;
   obs::Counter alerts;
   obs::Counter quarantined;
+  obs::Counter labeled;
   obs::Histogram latency_seconds;
+  obs::Gauge drift_score;
+  obs::Gauge drifted_features;
+  obs::Gauge detection_rate;
+  obs::Gauge accuracy;
+  obs::Gauge false_alarm_rate;
 };
 StreamMetrics& StreamCounters() {
   auto& reg = obs::Registry::Global();
@@ -26,18 +36,163 @@ StreamMetrics& StreamCounters() {
                      "Attack verdicts raised (incl. suppressed)"),
       reg.GetCounter("pelican_stream_quarantined_total",
                      "Malformed records quarantined"),
+      reg.GetCounter("pelican_stream_labeled_total",
+                     "Records ingested with ground-truth labels"),
       reg.GetHistogram("pelican_stream_record_seconds",
                        "Per-record Ingest latency",
-                       obs::DefaultTimeBuckets())};
+                       obs::DefaultTimeBuckets()),
+      reg.GetGauge("pelican_stream_drift_score",
+                   "Max per-feature z-score of the windowed mean vs the "
+                   "training baseline"),
+      reg.GetGauge("pelican_stream_drifted_features",
+                   "Features whose windowed-mean z-score exceeds the "
+                   "threshold"),
+      reg.GetGauge("pelican_stream_window_detection_rate",
+                   "Rolling DR (eq. 4) over the labeled window"),
+      reg.GetGauge("pelican_stream_window_accuracy",
+                   "Rolling ACC (eq. 3) over the labeled window"),
+      reg.GetGauge("pelican_stream_window_false_alarm_rate",
+                   "Rolling FAR (eq. 5) over the labeled window")};
   return m;
 }
 
 }  // namespace
 
+std::string StreamStatsJson(const StreamStats& stats) {
+  obs::Json json;
+  json.Set("active", true);
+  json.Set("processed", stats.processed);
+  json.Set("alerts", stats.alerts);
+  json.Set("suppressed", stats.suppressed);
+  json.Set("quarantined", stats.quarantined);
+  json.Set("labeled", stats.labeled);
+  json.Set("window_alert_rate", stats.window_alert_rate);
+  json.Set("window_low_confidence", stats.window_low_confidence);
+  // NaN (no labels yet) renders as null — see obs::Json.
+  json.Set("window_detection_rate", stats.window_detection_rate);
+  json.Set("window_accuracy", stats.window_accuracy);
+  json.Set("window_false_alarm_rate", stats.window_false_alarm_rate);
+  json.Set("window_labeled", stats.window_labeled);
+  json.Set("window_drift_score", stats.window_drift_score);
+  json.Set("window_drifted_features", stats.window_drifted_features);
+  std::string per_class = "[";
+  for (std::size_t i = 0; i < stats.per_class.size(); ++i) {
+    if (i > 0) per_class += ", ";
+    per_class += std::to_string(stats.per_class[i]);
+  }
+  per_class += "]";
+  json.SetRaw("per_class", per_class);
+  return json.Str();
+}
+
+// ---- QualityMonitor --------------------------------------------------------
+
+QualityMonitor::QualityMonitor(std::size_t n_classes, std::size_t n_features,
+                               std::size_t window, int normal_label,
+                               double drift_z_threshold)
+    : n_features_(n_features),
+      window_(window),
+      normal_label_(normal_label),
+      z_threshold_(drift_z_threshold),
+      cm_(n_classes, window),
+      ring_(window * n_features, 0.0F),
+      sum_(n_features, 0.0),
+      sumsq_(n_features, 0.0) {
+  PELICAN_CHECK(window >= 1);
+  PELICAN_CHECK(n_features >= 1);
+  PELICAN_CHECK(drift_z_threshold > 0.0);
+}
+
+void QualityMonitor::ObserveFeatures(std::span<const float> scaled_row) {
+  PELICAN_CHECK(scaled_row.size() == n_features_,
+                "feature width mismatch in drift monitor");
+  float* slot = ring_.data() + next_ * n_features_;
+  if (count_ == window_) {  // evict the row this slot still holds
+    for (std::size_t d = 0; d < n_features_; ++d) {
+      const double v = slot[d];
+      sum_[d] -= v;
+      sumsq_[d] -= v * v;
+    }
+  } else {
+    ++count_;
+  }
+  for (std::size_t d = 0; d < n_features_; ++d) {
+    const double v = scaled_row[d];
+    slot[d] = scaled_row[d];
+    sum_[d] += v;
+    sumsq_[d] += v * v;
+  }
+  next_ = (next_ + 1) % window_;
+}
+
+void QualityMonitor::ObserveLabeled(int truth, int predicted) {
+  cm_.Record(truth, predicted);
+}
+
+double QualityMonitor::WindowMean(std::size_t feature) const {
+  PELICAN_CHECK(feature < n_features_);
+  if (count_ == 0) return 0.0;
+  return sum_[feature] / static_cast<double>(count_);
+}
+
+double QualityMonitor::WindowVariance(std::size_t feature) const {
+  PELICAN_CHECK(feature < n_features_);
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double mean = sum_[feature] / n;
+  // Population variance; clamped — the add/subtract window update can
+  // leave a tiny negative residue for constant features.
+  return std::max(0.0, sumsq_[feature] / n - mean * mean);
+}
+
+QualityMonitor::Snapshot QualityMonitor::Current() const {
+  Snapshot snap;
+  const std::uint64_t labeled = cm_.Matrix().Total() < 0
+                                    ? 0
+                                    : static_cast<std::uint64_t>(
+                                          cm_.Matrix().Total());
+  snap.labeled_in_window = labeled;
+  if (labeled == 0) {
+    snap.detection_rate = kNaN;
+    snap.accuracy = kNaN;
+    snap.false_alarm_rate = kNaN;
+  } else {
+    const auto binary =
+        metrics::CollapseToBinary(cm_.Matrix(), normal_label_);
+    snap.detection_rate = binary.DetectionRate();
+    snap.accuracy = cm_.Matrix().Accuracy();
+    snap.false_alarm_rate = binary.FalseAlarmRate();
+  }
+  if (count_ > 0) {
+    const double sqrt_n = std::sqrt(static_cast<double>(count_));
+    for (std::size_t d = 0; d < n_features_; ++d) {
+      const double z =
+          std::abs(sum_[d] / static_cast<double>(count_)) * sqrt_n;
+      if (z > snap.drift_score) snap.drift_score = z;
+      if (z > z_threshold_) ++snap.drifted_features;
+    }
+  }
+  return snap;
+}
+
+void QualityMonitor::Reset() {
+  cm_.Reset();
+  next_ = 0;
+  count_ = 0;
+  std::fill(sum_.begin(), sum_.end(), 0.0);
+  std::fill(sumsq_.begin(), sumsq_.end(), 0.0);
+}
+
+// ---- StreamDetector --------------------------------------------------------
+
 StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
     : ids_(&ids),
       config_(config),
-      per_class_(ids.schema().LabelCount(), 0) {
+      per_class_(ids.schema().LabelCount(), 0),
+      quality_(ids.schema().LabelCount(),
+               static_cast<std::size_t>(ids.schema().EncodedWidth()),
+               config.window, ids.normal_label(),
+               config.drift_z_threshold) {
   PELICAN_CHECK(ids.Trained(), "StreamDetector needs a trained model");
   PELICAN_CHECK(config_.window >= 1);
   PELICAN_CHECK(config_.low_confidence >= 0.0F &&
@@ -47,29 +202,43 @@ StreamDetector::StreamDetector(const PelicanIds& ids, StreamConfig config)
 }
 
 std::optional<Alert> StreamDetector::Ingest(
-    std::span<const double> raw_record) {
+    std::span<const double> raw_record, std::optional<int> truth_label) {
   if (!config_.observe ||
       (!obs::MetricsEnabled() && !obs::TracingEnabled())) {
-    return IngestImpl(raw_record);
+    return IngestImpl(raw_record, truth_label);
   }
   obs::TraceSpan span("stream_ingest", "stream");
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t quarantined_before = quarantined_;
-  std::optional<Alert> alert = IngestImpl(raw_record);
+  std::optional<Alert> alert = IngestImpl(raw_record, truth_label);
   if (obs::MetricsEnabled()) {
     auto& m = StreamCounters();
     m.records.Inc();
     if (alert.has_value()) m.alerts.Inc();
     if (quarantined_ != quarantined_before) m.quarantined.Inc();
+    if (truth_label.has_value()) m.labeled.Inc();
     m.latency_seconds.Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
+    PublishQualityGauges();
   }
   return alert;
 }
 
+void StreamDetector::PublishQualityGauges() {
+  const auto snap = quality_.Current();
+  auto& m = StreamCounters();
+  m.drift_score.Set(snap.drift_score);
+  m.drifted_features.Set(static_cast<double>(snap.drifted_features));
+  if (snap.labeled_in_window > 0) {
+    m.detection_rate.Set(snap.detection_rate);
+    m.accuracy.Set(snap.accuracy);
+    m.false_alarm_rate.Set(snap.false_alarm_rate);
+  }
+}
+
 std::optional<Alert> StreamDetector::IngestImpl(
-    std::span<const double> raw_record) {
+    std::span<const double> raw_record, std::optional<int> truth_label) {
   if (config_.quarantine_malformed) {
     bool malformed =
         raw_record.size() != ids_->schema().ColumnCount();
@@ -78,15 +247,27 @@ std::optional<Alert> StreamDetector::IngestImpl(
     }
     if (malformed) {
       // Count it against the stream position but keep the detector on
-      // the wire: no verdict, no window entry.
+      // the wire: no verdict, no window entry, no quality update.
       ++processed_;
       ++quarantined_;
       return std::nullopt;
     }
   }
-  const auto verdict = ids_->Inspect(raw_record);
+  if (truth_label.has_value()) {
+    PELICAN_CHECK(*truth_label >= 0 &&
+                      static_cast<std::size_t>(*truth_label) <
+                          ids_->schema().LabelCount(),
+                  "truth label out of range");
+  }
+  const auto verdict = ids_->Inspect(raw_record, &scaled_row_);
   const std::uint64_t sequence = processed_++;
   per_class_[static_cast<std::size_t>(verdict.label)]++;
+
+  quality_.ObserveFeatures(scaled_row_);
+  if (truth_label.has_value()) {
+    ++labeled_;
+    quality_.ObserveLabeled(*truth_label, verdict.label);
+  }
 
   // Window rate *before* this record decides suppression, so the first
   // alert of a flood always gets through unflagged.
@@ -117,9 +298,13 @@ std::optional<Alert> StreamDetector::IngestImpl(
 
 void StreamDetector::IngestAll(
     const data::RawDataset& records,
-    const std::function<void(const Alert&)>& on_alert) {
+    const std::function<void(const Alert&)>& on_alert,
+    bool labels_for_quality) {
+  const auto labels = records.Labels();
   for (std::size_t i = 0; i < records.Size(); ++i) {
-    if (auto alert = Ingest(records.Row(i))) {
+    std::optional<int> truth;
+    if (labels_for_quality) truth = labels[i];
+    if (auto alert = Ingest(records.Row(i), truth)) {
       if (on_alert) on_alert(*alert);
     }
   }
@@ -131,6 +316,7 @@ StreamStats StreamDetector::Stats() const {
   stats.alerts = alerts_;
   stats.suppressed = suppressed_;
   stats.quarantined = quarantined_;
+  stats.labeled = labeled_;
   stats.per_class = per_class_;
   if (!window_.empty()) {
     std::size_t attacks = 0, low = 0;
@@ -143,9 +329,19 @@ StreamStats StreamDetector::Stats() const {
     stats.window_low_confidence =
         static_cast<double>(low) / static_cast<double>(window_.size());
   }
+  const auto snap = quality_.Current();
+  stats.window_detection_rate = snap.detection_rate;
+  stats.window_accuracy = snap.accuracy;
+  stats.window_false_alarm_rate = snap.false_alarm_rate;
+  stats.window_labeled = snap.labeled_in_window;
+  stats.window_drift_score = snap.drift_score;
+  stats.window_drifted_features = snap.drifted_features;
   return stats;
 }
 
-void StreamDetector::ResetWindow() { window_.clear(); }
+void StreamDetector::ResetWindow() {
+  window_.clear();
+  quality_.Reset();
+}
 
 }  // namespace pelican::core

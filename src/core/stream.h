@@ -3,6 +3,14 @@
 // alerts for the security team, and tracks rolling health statistics
 // (alert rate, per-class counts, low-confidence fraction) over a
 // sliding window so operators can spot drift or alert floods.
+//
+// PR 5 adds the detection-quality telemetry layer (DESIGN.md §10): a
+// QualityMonitor that keeps the paper's Tables III–IV alive at runtime
+// — a sliding-window confusion matrix publishing rolling DR/ACC/FAR
+// whenever ground-truth labels accompany records — plus an
+// always-on per-feature drift monitor comparing the windowed mean of
+// each standardized feature against the training baseline (mean 0 by
+// construction of the scaler) via a z-score.
 #pragma once
 
 #include <deque>
@@ -10,6 +18,7 @@
 #include <optional>
 
 #include "core/pelican_ids.h"
+#include "metrics/metrics.h"
 
 namespace pelican::core {
 
@@ -26,10 +35,25 @@ struct StreamStats {
   std::uint64_t alerts = 0;           // attack verdicts (incl. suppressed)
   std::uint64_t suppressed = 0;       // held back by the flood limiter
   std::uint64_t quarantined = 0;      // malformed records counted + skipped
+  std::uint64_t labeled = 0;          // records ingested with ground truth
   double window_alert_rate = 0.0;     // attack fraction of current window
   double window_low_confidence = 0.0; // verdicts under the threshold
   std::vector<std::uint64_t> per_class;  // verdict counts by class
+
+  // Detection-quality telemetry over the sliding window. The three
+  // rates are NaN until at least one labeled record is in the window
+  // (eqs. 3–5 are undefined without ground truth); the drift fields
+  // are always maintained. ResetWindow() clears all of them.
+  double window_detection_rate = 0.0;    // eq. 4 over the window, or NaN
+  double window_accuracy = 0.0;          // eq. 3 over the window, or NaN
+  double window_false_alarm_rate = 0.0;  // eq. 5 over the window, or NaN
+  std::uint64_t window_labeled = 0;      // labeled pairs in the window
+  double window_drift_score = 0.0;       // max per-feature |z|, see below
+  std::uint64_t window_drifted_features = 0;  // features over threshold
 };
+
+// JSON rendering of a stats snapshot (the /stream endpoint payload).
+std::string StreamStatsJson(const StreamStats& stats);
 
 struct StreamConfig {
   std::size_t window = 256;          // sliding-window length
@@ -44,10 +68,78 @@ struct StreamConfig {
   // strict behaviour (Ingest throws CheckError instead).
   bool quarantine_malformed = true;
   // Per-record observability (ingest trace span, record/alert/
-  // quarantine counters, latency histogram). Only active when the
-  // process-wide obs switches are also on; set false to keep a hot
-  // detector out of the trace even then.
+  // quarantine counters, latency histogram, quality/drift gauges).
+  // Only active when the process-wide obs switches are also on; set
+  // false to keep a hot detector out of the trace even then.
   bool observe = true;
+  // A feature counts as drifted when the z-score of its windowed mean
+  // exceeds this (see QualityMonitor). 122 standardized features give
+  // a max-|z| around 3 by chance on in-distribution traffic, so the
+  // default stays comfortably above noise yet catches real shifts.
+  double drift_z_threshold = 6.0;
+};
+
+// Detection-quality and input-drift telemetry over a sliding window.
+//
+// Quality: a metrics::WindowedConfusionMatrix over the last `window`
+// labeled records; rolling DR/ACC/FAR are the paper's eqs. 3–5 on its
+// binary collapse — bit-comparable to the offline computation on the
+// same pairs.
+//
+// Drift: the monitor sees each record as the network does — encoded
+// and standardized by the training scaler — so under the training
+// distribution every feature has mean 0 / variance 1 by construction.
+// It keeps exact windowed sums per feature; with m_d the windowed mean
+// of feature d over n records, the drift statistic is
+//
+//   z_d = |m_d| · √n        (standard errors of the baseline mean)
+//
+// and the window drift score is max_d z_d. Windowed variances are
+// maintained alongside (WindowVariance) for operators who want the
+// second moment, but flagging uses the mean shift, which is robust for
+// one-hot columns whose variance is legitimately far from 1.
+class QualityMonitor {
+ public:
+  QualityMonitor(std::size_t n_classes, std::size_t n_features,
+                 std::size_t window, int normal_label,
+                 double drift_z_threshold);
+
+  // Feeds the standardized feature row of one (non-quarantined) record.
+  void ObserveFeatures(std::span<const float> scaled_row);
+  // Feeds a ground-truth/predicted pair when the truth is known.
+  void ObserveLabeled(int truth, int predicted);
+
+  struct Snapshot {
+    double detection_rate = 0.0;   // NaN when no labels in window
+    double accuracy = 0.0;         // NaN when no labels in window
+    double false_alarm_rate = 0.0; // NaN when no labels in window
+    std::uint64_t labeled_in_window = 0;
+    double drift_score = 0.0;
+    std::uint64_t drifted_features = 0;
+  };
+  [[nodiscard]] Snapshot Current() const;
+
+  [[nodiscard]] const metrics::ConfusionMatrix& WindowMatrix() const {
+    return cm_.Matrix();
+  }
+  [[nodiscard]] std::size_t FeatureWindowSize() const { return count_; }
+  [[nodiscard]] double WindowMean(std::size_t feature) const;
+  [[nodiscard]] double WindowVariance(std::size_t feature) const;
+
+  // Drops both the quality and the drift windows.
+  void Reset();
+
+ private:
+  std::size_t n_features_;
+  std::size_t window_;
+  int normal_label_;
+  double z_threshold_;
+  metrics::WindowedConfusionMatrix cm_;
+  std::vector<float> ring_;      // window_ rows × n_features_, circular
+  std::size_t next_ = 0;         // slot the next row lands in
+  std::size_t count_ = 0;        // rows currently held (≤ window_)
+  std::vector<double> sum_;      // per-feature Σx over the window
+  std::vector<double> sumsq_;    // per-feature Σx² over the window
 };
 
 class StreamDetector {
@@ -58,19 +150,29 @@ class StreamDetector {
   // Classifies one record; returns an Alert for attack verdicts.
   // Malformed records are quarantined (counted + skipped) rather than
   // aborting the stream — see StreamConfig::quarantine_malformed.
-  std::optional<Alert> Ingest(std::span<const double> raw_record);
+  // `truth_label`, when provided (labeled replay, delayed ground truth
+  // from an analyst), feeds the rolling DR/ACC/FAR quality window.
+  std::optional<Alert> Ingest(std::span<const double> raw_record,
+                              std::optional<int> truth_label = std::nullopt);
 
   // Convenience: ingest a whole dataset, invoking `on_alert` per alert.
+  // With `labels_for_quality` the dataset's labels feed the quality
+  // window (a labeled replay of a held-out fold).
   void IngestAll(const data::RawDataset& records,
-                 const std::function<void(const Alert&)>& on_alert);
+                 const std::function<void(const Alert&)>& on_alert,
+                 bool labels_for_quality = false);
 
   [[nodiscard]] StreamStats Stats() const;
 
-  // Drops window history (e.g. after an operator acknowledges a flood).
+  // Drops window history (e.g. after an operator acknowledges a flood
+  // or a deliberate traffic change) — including the quality confusion
+  // window and the drift window. Lifetime totals are kept.
   void ResetWindow();
 
  private:
-  std::optional<Alert> IngestImpl(std::span<const double> raw_record);
+  std::optional<Alert> IngestImpl(std::span<const double> raw_record,
+                                  std::optional<int> truth_label);
+  void PublishQualityGauges();
 
   const PelicanIds* ids_;
   StreamConfig config_;
@@ -78,12 +180,15 @@ class StreamDetector {
   std::uint64_t alerts_ = 0;
   std::uint64_t suppressed_ = 0;
   std::uint64_t quarantined_ = 0;
+  std::uint64_t labeled_ = 0;
   std::vector<std::uint64_t> per_class_;
   struct WindowEntry {
     bool attack;
     bool low_confidence;
   };
   std::deque<WindowEntry> window_;
+  QualityMonitor quality_;
+  std::vector<float> scaled_row_;  // reused per record
 };
 
 }  // namespace pelican::core

@@ -31,6 +31,39 @@ void ConfusionMatrix::RecordAll(std::span<const int> truth,
   }
 }
 
+void ConfusionMatrix::Unrecord(int truth, int predicted) {
+  PELICAN_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < n_ &&
+                    predicted >= 0 &&
+                    static_cast<std::size_t>(predicted) < n_,
+                "class index out of range");
+  std::int64_t& cell = counts_[static_cast<std::size_t>(truth) * n_ +
+                               static_cast<std::size_t>(predicted)];
+  PELICAN_CHECK(cell > 0, "Unrecord of a pair never recorded");
+  cell--;
+  total_--;
+}
+
+WindowedConfusionMatrix::WindowedConfusionMatrix(std::size_t n_classes,
+                                                 std::size_t capacity)
+    : capacity_(capacity), cm_(n_classes) {
+  PELICAN_CHECK(capacity >= 1, "window capacity must be >= 1");
+}
+
+void WindowedConfusionMatrix::Record(int truth, int predicted) {
+  cm_.Record(truth, predicted);
+  window_.emplace_back(truth, predicted);
+  if (window_.size() > capacity_) {
+    const auto [old_truth, old_predicted] = window_.front();
+    window_.pop_front();
+    cm_.Unrecord(old_truth, old_predicted);
+  }
+}
+
+void WindowedConfusionMatrix::Reset() {
+  window_.clear();
+  cm_ = ConfusionMatrix(cm_.Classes());
+}
+
 std::int64_t ConfusionMatrix::Count(int truth, int predicted) const {
   PELICAN_CHECK(truth >= 0 && static_cast<std::size_t>(truth) < n_ &&
                 predicted >= 0 && static_cast<std::size_t>(predicted) < n_);

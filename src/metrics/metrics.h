@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pelican::metrics {
@@ -18,6 +20,9 @@ class ConfusionMatrix {
 
   void Record(int truth, int predicted);
   void RecordAll(std::span<const int> truth, std::span<const int> predicted);
+  // Reverses one Record — sliding-window evictions. Throws when the
+  // cell is already empty (the pair was never recorded).
+  void Unrecord(int truth, int predicted);
 
   [[nodiscard]] std::size_t Classes() const { return n_; }
   [[nodiscard]] std::int64_t Count(int truth, int predicted) const;
@@ -39,6 +44,29 @@ class ConfusionMatrix {
   std::size_t n_;
   std::vector<std::int64_t> counts_;  // n × n row-major, [truth][pred]
   std::int64_t total_ = 0;
+};
+
+// Confusion matrix over the most recent `capacity` (truth, predicted)
+// pairs — the paper's Tables III–IV quality metrics as a rolling
+// series. Record is O(1): the evicted pair is un-counted rather than
+// the window recounted, so Matrix() always equals an offline
+// ConfusionMatrix built from exactly the pairs still in the window.
+class WindowedConfusionMatrix {
+ public:
+  WindowedConfusionMatrix(std::size_t n_classes, std::size_t capacity);
+
+  void Record(int truth, int predicted);
+  void Reset();
+
+  // Pairs currently in the window (== capacity once warmed up).
+  [[nodiscard]] std::size_t Size() const { return window_.size(); }
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+  [[nodiscard]] const ConfusionMatrix& Matrix() const { return cm_; }
+
+ private:
+  std::size_t capacity_;
+  ConfusionMatrix cm_;
+  std::deque<std::pair<int, int>> window_;  // (truth, predicted), FIFO
 };
 
 // Binary attack-vs-normal summary of a multiclass confusion matrix.

@@ -1,0 +1,201 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace pelican::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+// Writes the full buffer, retrying short writes; best-effort (the
+// client may have hung up, which is its problem, not ours).
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const std::string& method,
+                  const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.status == 405) head += "Allow: GET, HEAD\r\n";
+  head += "Connection: close\r\n\r\n";
+  SendAll(fd, head);
+  if (method != "HEAD") SendAll(fd, response.body);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerConfig config)
+    : config_(std::move(config)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  std::lock_guard lock(handlers_mu_);
+  handlers_[path] = std::move(handler);
+}
+
+void HttpServer::Start() {
+  PELICAN_CHECK(!running_.load(), "HttpServer already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PELICAN_CHECK(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PELICAN_CHECK(false, "bad bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PELICAN_CHECK(false, "cannot listen on " + config_.bind_address + ":" +
+                             std::to_string(config_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::Serve() {
+  while (!stop_.load()) {
+    // Poll with a short timeout so Stop() is observed promptly even
+    // when no client ever connects; accept itself never blocks.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval tv{};
+    tv.tv_sec = config_.recv_timeout_ms / 1000;
+    tv.tv_usec = (config_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    HandleConnection(fd);
+    // Count before shutdown: the client observes completion (EOF) at
+    // the shutdown below, and must not race ahead of the counter.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    // Lingering close: shut our write side, then drain (bounded) what
+    // the client is still sending, so close() doesn't turn into an RST
+    // that discards the response — matters for 431, where we answer
+    // before the client finishes transmitting the oversized head.
+    ::shutdown(fd, SHUT_WR);
+    char drain[1024];
+    std::size_t drained = 0;
+    ssize_t n = 0;
+    while (drained < 10 * config_.max_request_bytes &&
+           (n = ::recv(fd, drain, sizeof drain, 0)) > 0) {
+      drained += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read until the end of the request head; a GET carries no body we
+  // care about, so everything past "\r\n\r\n" is ignored.
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > config_.max_request_bytes) {
+      SendResponse(fd, "GET", {431, "text/plain; charset=utf-8",
+                               "request too large\n"});
+      return;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return;  // timeout or client hangup: drop silently
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    SendResponse(fd, "GET", {400, "text/plain; charset=utf-8",
+                             "malformed request line\n"});
+    return;
+  }
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+
+  if (request.method != "GET" && request.method != "HEAD") {
+    SendResponse(fd, request.method, {405, "text/plain; charset=utf-8",
+                                      "method not allowed\n"});
+    return;
+  }
+
+  HttpHandler handler;
+  {
+    std::lock_guard lock(handlers_mu_);
+    auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    SendResponse(fd, request.method,
+                 {404, "text/plain; charset=utf-8", "not found\n"});
+    return;
+  }
+  SendResponse(fd, request.method, handler(request));
+}
+
+}  // namespace pelican::obs

@@ -1,0 +1,101 @@
+// pelican::obs — minimal dependency-free HTTP/1.1 server.
+//
+// Serves GET/HEAD requests from registered handlers on a dedicated
+// thread with plain blocking sockets: one listener, one request in
+// flight at a time, `Connection: close` on every response. That is
+// deliberately the whole design — the server exists so an operator or
+// a Prometheus scraper can read small snapshots out of a running
+// process, not to serve traffic. Boundedness comes from the listen
+// backlog (pending connections), a per-request receive timeout and a
+// hard request-size cap, so a stuck or malicious client can delay a
+// scrape but never wedge or bloat the process.
+//
+//   HttpServer server({.port = 9100});
+//   server.Handle("/healthz", [](const HttpRequest&) {
+//     return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+//   });
+//   server.Start();          // returns once the socket is listening
+//   ... server.Port() ...    // actual port (config.port 0 = ephemeral)
+//   server.Stop();           // joins the thread; in-flight request
+//                            // completes first (bounded by timeouts)
+//
+// Handlers run on the server thread and must be thread-safe against
+// the rest of the process (the obs registry and tracer already are).
+// Handle() may be called while the server is running; replacing an
+// existing path is allowed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace pelican::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET" / "HEAD" (anything else is rejected)
+  std::string path;    // target with any "?query" stripped
+  std::string query;   // text after '?', "" when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  std::string bind_address = "127.0.0.1";  // loopback only by default
+  std::uint16_t port = 0;                  // 0 = kernel-assigned
+  int backlog = 16;                        // pending-connection bound
+  std::size_t max_request_bytes = 8192;    // request head cap → 431
+  int recv_timeout_ms = 2000;              // slow/stuck client bound
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig config = {});
+  ~HttpServer();  // implies Stop()
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers (or replaces) the handler for an exact path.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  // Binds + listens + launches the serving thread. Throws CheckError
+  // when the socket can't be set up (port in use, bad address).
+  void Start();
+
+  // Signals the serving thread and joins it. Safe to call twice; the
+  // destructor calls it. An in-flight request is answered first.
+  void Stop();
+
+  [[nodiscard]] bool Running() const { return running_.load(); }
+  // Bound port; valid after Start() (resolves config.port == 0).
+  [[nodiscard]] std::uint16_t Port() const { return port_; }
+  // Requests answered since Start (any status), for tests/telemetry.
+  [[nodiscard]] std::uint64_t RequestCount() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  HttpServerConfig config_;
+  std::mutex handlers_mu_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace pelican::obs

@@ -1,0 +1,124 @@
+#include "obs/introspect.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
+
+namespace pelican::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point ProcessStart() {
+  static const Clock::time_point start = Clock::now();
+  return start;
+}
+
+// Ensures the start time is captured at static-init, not first scrape.
+[[maybe_unused]] const Clock::time_point g_start_anchor = ProcessStart();
+
+}  // namespace
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(Clock::now() - ProcessStart())
+      .count();
+}
+
+void UpdateProcessMetrics() {
+  if (!MetricsEnabled()) return;
+  auto& reg = Registry::Global();
+  static std::once_flag once;
+  static Gauge* build_info = nullptr;
+  static Gauge* uptime = nullptr;
+  std::call_once(once, [&reg] {
+    static Gauge bi = reg.GetGauge(
+        "pelican_build_info",
+        "Constant 1; build provenance rides in the labels",
+        {{"git", GitDescribe()},
+         {"compiler", BuildCompiler()},
+         {"flags", BuildFlags()}});
+    static Gauge up = reg.GetGauge("process_uptime_seconds",
+                                   "Seconds since process start");
+    build_info = &bi;
+    uptime = &up;
+  });
+  build_info->Set(1.0);
+  uptime->Set(ProcessUptimeSeconds());
+}
+
+IntrospectionServer::IntrospectionServer(IntrospectConfig config)
+    : server_(std::make_unique<HttpServer>(HttpServerConfig{
+          config.bind_address, config.port, 16, 8192, 2000})),
+      ready_(std::make_shared<std::atomic<bool>>(false)) {
+  server_->Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  auto ready = ready_;
+  server_->Handle("/readyz", [ready](const HttpRequest&) {
+    if (ready->load(std::memory_order_relaxed)) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "ready\n"};
+    }
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        "not ready: model not loaded\n"};
+  });
+  server_->Handle("/metrics", [](const HttpRequest&) {
+    UpdateProcessMetrics();
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        Registry::Global().RenderPrometheus()};
+  });
+  server_->Handle("/metrics.json", [](const HttpRequest&) {
+    UpdateProcessMetrics();
+    return HttpResponse{200, "application/json",
+                        Registry::Global().RenderJson()};
+  });
+  server_->Handle("/buildinfo", [](const HttpRequest&) {
+    Json info;
+    info.Set("git", GitDescribe());
+    info.Set("compiler", BuildCompiler());
+    info.Set("build_flags", BuildFlags());
+    info.Set("pid", static_cast<std::int64_t>(::getpid()));
+    info.Set("uptime_seconds", ProcessUptimeSeconds());
+    info.Set("time", Iso8601Now());
+    return HttpResponse{200, "application/json", info.Str() + "\n"};
+  });
+  server_->Handle("/trace", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json", TraceJson()};
+  });
+  server_->Handle("/stream", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json",
+                        Json().Set("active", false).Str() + "\n"};
+  });
+}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+void IntrospectionServer::Start() { server_->Start(); }
+void IntrospectionServer::Stop() { server_->Stop(); }
+
+void IntrospectionServer::SetReady(bool ready) {
+  ready_->store(ready, std::memory_order_relaxed);
+}
+
+void IntrospectionServer::SetStreamSource(
+    std::function<std::string()> provider) {
+  server_->Handle("/stream",
+                  [provider = std::move(provider)](const HttpRequest&) {
+                    return HttpResponse{200, "application/json",
+                                        provider() + "\n"};
+                  });
+}
+
+void IntrospectionServer::Handle(const std::string& path,
+                                 HttpHandler handler) {
+  server_->Handle(path, std::move(handler));
+}
+
+}  // namespace pelican::obs

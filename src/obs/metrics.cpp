@@ -154,6 +154,24 @@ std::string EscapeLabelValue(const std::string& v) {
   return out;
 }
 
+// HELP text has its own escape rules (only backslash and newline;
+// quotes stay literal). An unescaped newline would start a bogus
+// exposition line and break scrapers.
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string LabelBlock(const Labels& labels, const char* extra_key = nullptr,
                        const std::string& extra_value = {}) {
   if (labels.empty() && extra_key == nullptr) return {};
@@ -203,6 +221,7 @@ struct Registry::Impl {
   std::mutex mu;
   std::deque<std::unique_ptr<detail::Series>> series;  // stable pointers
   std::map<std::string, detail::Series*> by_key;
+  std::map<std::string, detail::Series*> by_name;  // family representative
 
   detail::Series* GetOrCreate(detail::Kind kind, const std::string& name,
                               const std::string& help, Labels labels,
@@ -220,6 +239,18 @@ struct Registry::Impl {
       }
       return it->second;
     }
+    // Same family (name), different label set: the exposition format
+    // emits HELP/TYPE once per family, so kind and help must agree
+    // across every label set of the name.
+    auto family = by_name.find(name);
+    if (family != by_name.end()) {
+      PELICAN_CHECK(family->second->kind == kind,
+                    "metric family '" + name +
+                        "' registered with conflicting kinds");
+      PELICAN_CHECK(family->second->help == help,
+                    "metric family '" + name +
+                        "' registered with conflicting help text");
+    }
     auto s = std::make_unique<detail::Series>();
     s->id = detail::NextSeriesId().fetch_add(1, std::memory_order_relaxed);
     s->kind = kind;
@@ -230,6 +261,7 @@ struct Registry::Impl {
     detail::Series* raw = s.get();
     series.push_back(std::move(s));
     by_key[key] = raw;
+    by_name.emplace(name, raw);  // first label set is the family rep
     return raw;
   }
 
@@ -316,7 +348,7 @@ std::string Registry::RenderPrometheus() {
                            : group.front()->kind == detail::Kind::kGauge
                                  ? "gauge"
                                  : "histogram";
-    out += "# HELP " + name + " " + group.front()->help + "\n";
+    out += "# HELP " + name + " " + EscapeHelp(group.front()->help) + "\n";
     out += "# TYPE " + name + " " + std::string(type) + "\n";
     for (detail::Series* s : group) {
       const Impl::Merged m = Impl::Merge(*s);

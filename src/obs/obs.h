@@ -1,10 +1,13 @@
-// Umbrella header for the observability subsystem (DESIGN.md §9):
-// metrics registry, scoped tracing, structured run telemetry, and the
-// minimal JSON support they share. Everything is off by default and
-// near-zero-cost until EnableMetrics / EnableTracing flips it on.
+// Umbrella header for the observability subsystem (DESIGN.md §9–10):
+// metrics registry, scoped tracing, structured run telemetry, the live
+// introspection server, and the minimal JSON support they share.
+// Everything is off by default and near-zero-cost until EnableMetrics
+// / EnableTracing flips it on or an IntrospectionServer starts.
 #pragma once
 
-#include "obs/json.h"     // IWYU pragma: export
-#include "obs/metrics.h"  // IWYU pragma: export
-#include "obs/run_log.h"  // IWYU pragma: export
-#include "obs/trace.h"    // IWYU pragma: export
+#include "obs/http_server.h"  // IWYU pragma: export
+#include "obs/introspect.h"   // IWYU pragma: export
+#include "obs/json.h"         // IWYU pragma: export
+#include "obs/metrics.h"      // IWYU pragma: export
+#include "obs/run_log.h"      // IWYU pragma: export
+#include "obs/trace.h"        // IWYU pragma: export

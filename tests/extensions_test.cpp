@@ -3,12 +3,16 @@
 // and the streaming detector.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "core/core.h"
 #include "data/data.h"
 #include "models/pelican.h"
 #include "models/zoo.h"
+#include "obs/json.h"
 #include "optim/lr_schedule.h"
 #include "tensor/ops.h"
 
@@ -481,6 +485,197 @@ TEST(Stream, WindowStatsTrackRecentTraffic) {
   EXPECT_LT(detector.Stats().window_alert_rate, 0.2);
   detector.ResetWindow();
   EXPECT_EQ(detector.Stats().window_alert_rate, 0.0);
+}
+
+// ---- detection-quality + drift telemetry (PR 5) ---------------------------
+
+TEST(StreamQuality, RatesAreNaNWithoutLabels) {
+  Rng rng(30);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  core::StreamDetector detector(ids);
+  const auto spec = data::NslKddSpec();
+  Rng stream_rng(31);
+  for (int i = 0; i < 20; ++i) {
+    detector.Ingest(data::GenerateRecord(spec, i % 2, stream_rng));
+  }
+  const auto stats = detector.Stats();
+  EXPECT_EQ(stats.labeled, 0u);
+  EXPECT_EQ(stats.window_labeled, 0u);
+  EXPECT_TRUE(std::isnan(stats.window_detection_rate));
+  EXPECT_TRUE(std::isnan(stats.window_accuracy));
+  EXPECT_TRUE(std::isnan(stats.window_false_alarm_rate));
+  // The drift monitor runs regardless of labels.
+  EXPECT_GE(stats.window_drift_score, 0.0);
+}
+
+TEST(StreamQuality, RollingRatesMatchOfflineConfusion) {
+  Rng rng(32);
+  const auto train_set = data::GenerateNslKdd(700, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  // Labeled replay of a held-out fold through the detector, with a
+  // window smaller than the replay so eviction is exercised; the
+  // rolling rates must equal an offline confusion matrix built from
+  // scratch on exactly the last `window` (truth, predicted) pairs —
+  // same integer counts, so equality is exact, not approximate.
+  Rng replay_rng(33);
+  const auto replay = data::GenerateNslKdd(80, replay_rng);
+  core::StreamConfig config;
+  config.window = 32;
+  core::StreamDetector detector(ids, config);
+
+  std::vector<std::pair<int, int>> pairs;
+  const auto labels = replay.Labels();
+  for (std::size_t i = 0; i < replay.Size(); ++i) {
+    const auto row = replay.Row(i);
+    const std::vector<double> record(row.begin(), row.end());
+    const int truth = labels[i];
+    detector.Ingest(record, truth);
+    pairs.emplace_back(truth, ids.Inspect(record).label);
+
+    metrics::ConfusionMatrix offline(
+        static_cast<int>(replay.schema().LabelCount()));
+    const std::size_t n = std::min(pairs.size(), config.window);
+    for (std::size_t j = pairs.size() - n; j < pairs.size(); ++j) {
+      offline.Record(pairs[j].first, pairs[j].second);
+    }
+    const auto b = metrics::CollapseToBinary(offline, ids.normal_label());
+    const auto stats = detector.Stats();
+    ASSERT_EQ(stats.window_labeled, n);
+    ASSERT_EQ(stats.window_detection_rate, b.DetectionRate()) << "row " << i;
+    ASSERT_EQ(stats.window_accuracy, offline.Accuracy()) << "row " << i;
+    ASSERT_EQ(stats.window_false_alarm_rate, b.FalseAlarmRate())
+        << "row " << i;
+  }
+  EXPECT_EQ(detector.Stats().labeled, replay.Size());
+}
+
+TEST(StreamQuality, DriftMonitorFlagsShiftedTraffic) {
+  Rng rng(34);
+  const auto train_set = data::GenerateNslKdd(800, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  core::StreamConfig config;
+  config.window = 64;
+  core::StreamDetector detector(ids, config);
+
+  // In-distribution traffic: replaying training rows keeps every
+  // standardized feature near its baseline, so no feature should cross
+  // the (deliberately conservative) z threshold.
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto row = train_set.Row(i);
+    detector.Ingest(std::vector<double>(row.begin(), row.end()));
+  }
+  const auto calm = detector.Stats();
+  EXPECT_LT(calm.window_drift_score, config.drift_z_threshold);
+  EXPECT_EQ(calm.window_drifted_features, 0u);
+
+  // Shift every numeric column hard; the windowed means move away
+  // from the training baseline and the score must cross the threshold.
+  const auto& schema = train_set.schema();
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto row = train_set.Row(i);
+    std::vector<double> shifted(row.begin(), row.end());
+    for (std::size_t j = 0; j < schema.ColumnCount(); ++j) {
+      if (schema.Column(j).kind == data::ColumnKind::kNumeric) {
+        shifted[j] = shifted[j] * 3.0 + 1000.0;
+      }
+    }
+    detector.Ingest(shifted);
+  }
+  const auto drifted = detector.Stats();
+  EXPECT_GT(drifted.window_drift_score, config.drift_z_threshold);
+  EXPECT_GT(drifted.window_drifted_features, 0u);
+  EXPECT_GT(drifted.window_drift_score, calm.window_drift_score);
+}
+
+TEST(StreamQuality, ResetWindowClearsQualityAndDrift) {
+  Rng rng(35);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  core::StreamDetector detector(ids);
+  const auto spec = data::NslKddSpec();
+  Rng stream_rng(36);
+  const auto labels = train_set.Labels();
+  for (int i = 0; i < 12; ++i) {
+    detector.Ingest(data::GenerateRecord(spec, i % 3, stream_rng), i % 3);
+  }
+  ASSERT_EQ(detector.Stats().window_labeled, 12u);
+  ASSERT_GT(detector.Stats().window_drift_score, 0.0);
+
+  detector.ResetWindow();
+  const auto stats = detector.Stats();
+  EXPECT_EQ(stats.window_labeled, 0u);
+  EXPECT_TRUE(std::isnan(stats.window_detection_rate));
+  EXPECT_TRUE(std::isnan(stats.window_accuracy));
+  EXPECT_TRUE(std::isnan(stats.window_false_alarm_rate));
+  EXPECT_EQ(stats.window_drift_score, 0.0);
+  EXPECT_EQ(stats.window_drifted_features, 0u);
+  // Lifetime totals survive the reset.
+  EXPECT_EQ(stats.processed, 12u);
+  EXPECT_EQ(stats.labeled, 12u);
+}
+
+TEST(StreamQuality, QuarantinedRecordsSkipQualityWindow) {
+  Rng rng(37);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  core::StreamDetector detector(ids);
+  const std::vector<double> malformed = {1.0, 2.0};  // wrong width
+  detector.Ingest(malformed, /*truth_label=*/1);
+  const auto stats = detector.Stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.labeled, 0u);          // truth of a bad record is ignored
+  EXPECT_EQ(stats.window_labeled, 0u);
+  EXPECT_EQ(stats.window_drift_score, 0.0);  // drift window untouched
+}
+
+TEST(StreamQuality, IngestAllFeedsLabelsWhenAsked) {
+  Rng rng(38);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+
+  Rng replay_rng(39);
+  const auto replay = data::GenerateNslKdd(40, replay_rng);
+  core::StreamDetector detector(ids);
+  detector.IngestAll(replay, [](const core::Alert&) {},
+                     /*labels_for_quality=*/true);
+  const auto with = detector.Stats();
+  EXPECT_EQ(with.labeled, replay.Size());
+  EXPECT_EQ(with.window_labeled, replay.Size());
+  EXPECT_GE(with.window_accuracy, 0.0);
+  EXPECT_LE(with.window_accuracy, 1.0);
+
+  core::StreamDetector unlabeled(ids);
+  unlabeled.IngestAll(replay, [](const core::Alert&) {});
+  EXPECT_EQ(unlabeled.Stats().labeled, 0u);
+  EXPECT_TRUE(std::isnan(unlabeled.Stats().window_accuracy));
+}
+
+TEST(StreamQuality, StatsJsonParsesAndEncodesNaNAsNull) {
+  Rng rng(40);
+  const auto train_set = data::GenerateNslKdd(600, rng);
+  auto ids = MakeTrainedIds(train_set);
+  core::StreamDetector detector(ids);
+  const auto spec = data::NslKddSpec();
+  Rng stream_rng(41);
+  detector.Ingest(data::GenerateRecord(spec, 0, stream_rng));
+
+  const std::string json = core::StreamStatsJson(detector.Stats());
+  const auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  ASSERT_NE(parsed->Find("processed"), nullptr);
+  EXPECT_EQ(parsed->Find("processed")->number, 1.0);
+  // No labels yet → the quality rates are NaN → JSON null.
+  ASSERT_NE(parsed->Find("window_detection_rate"), nullptr);
+  EXPECT_EQ(parsed->Find("window_detection_rate")->type,
+            obs::JsonValue::Type::kNull);
+  ASSERT_NE(parsed->Find("window_drift_score"), nullptr);
+  EXPECT_TRUE(parsed->Find("window_drift_score")->IsNumber());
 }
 
 TEST(Stream, RequiresTrainedModel) {

@@ -3,6 +3,10 @@
 // binary attack-vs-normal collapse.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/check.h"
 #include "metrics/metrics.h"
 
@@ -241,6 +245,92 @@ TEST_P(BinaryProperty, RatesAreBoundedAndConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(RandomOutcomes, BinaryProperty,
                          ::testing::Range(1, 21));
+
+// ---- sliding-window confusion matrix --------------------------------------
+
+TEST(Unrecord, UndoesRecord) {
+  ConfusionMatrix cm(3);
+  cm.Record(1, 2);
+  cm.Record(1, 2);
+  cm.Unrecord(1, 2);
+  EXPECT_EQ(cm.Count(1, 2), 1);
+  EXPECT_EQ(cm.Total(), 1);
+}
+
+TEST(Unrecord, RejectsNeverRecordedPair) {
+  ConfusionMatrix cm(3);
+  cm.Record(0, 0);
+  EXPECT_THROW(cm.Unrecord(1, 1), CheckError);
+  EXPECT_THROW(cm.Unrecord(3, 0), CheckError);
+}
+
+TEST(WindowedConfusion, MatchesOfflineMatrixOnTheSameWindow) {
+  // Deterministic pseudo-random (truth, pred) pairs; at every step the
+  // windowed matrix must equal an offline matrix built from scratch on
+  // exactly the last `capacity` pairs — this is the acceptance
+  // criterion that rolling DR/ACC/FAR agree with the offline
+  // computation to float round-off (they share the integer counts, so
+  // they agree exactly).
+  constexpr int kClasses = 5;
+  constexpr std::size_t kCapacity = 16;
+  WindowedConfusionMatrix windowed(kClasses, kCapacity);
+  std::vector<std::pair<int, int>> history;
+  std::uint64_t state = 0x2020;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>((state >> 33) % kClasses);
+  };
+  for (int i = 0; i < 100; ++i) {
+    const int truth = next();
+    const int pred = next();
+    windowed.Record(truth, pred);
+    history.emplace_back(truth, pred);
+
+    const std::size_t n = std::min(history.size(), kCapacity);
+    ConfusionMatrix offline(kClasses);
+    for (std::size_t j = history.size() - n; j < history.size(); ++j) {
+      offline.Record(history[j].first, history[j].second);
+    }
+    ASSERT_EQ(windowed.Size(), n);
+    ASSERT_EQ(windowed.Matrix().Total(), offline.Total());
+    for (int t = 0; t < kClasses; ++t) {
+      for (int p = 0; p < kClasses; ++p) {
+        ASSERT_EQ(windowed.Matrix().Count(t, p), offline.Count(t, p))
+            << "step " << i << " cell (" << t << "," << p << ")";
+      }
+    }
+    const auto wb = CollapseToBinary(windowed.Matrix(), 0);
+    const auto ob = CollapseToBinary(offline, 0);
+    ASSERT_EQ(wb.DetectionRate(), ob.DetectionRate());
+    ASSERT_EQ(wb.Accuracy(), ob.Accuracy());
+    ASSERT_EQ(wb.FalseAlarmRate(), ob.FalseAlarmRate());
+  }
+}
+
+TEST(WindowedConfusion, ResetClearsWindow) {
+  WindowedConfusionMatrix windowed(2, 4);
+  windowed.Record(0, 1);
+  windowed.Record(1, 1);
+  ASSERT_EQ(windowed.Size(), 2U);
+  windowed.Reset();
+  EXPECT_EQ(windowed.Size(), 0U);
+  EXPECT_EQ(windowed.Matrix().Total(), 0);
+  windowed.Record(1, 0);
+  EXPECT_EQ(windowed.Matrix().Count(1, 0), 1);
+}
+
+TEST(WindowedConfusion, CapacityOneKeepsOnlyLatest) {
+  WindowedConfusionMatrix windowed(3, 1);
+  windowed.Record(0, 0);
+  windowed.Record(2, 1);
+  EXPECT_EQ(windowed.Size(), 1U);
+  EXPECT_EQ(windowed.Matrix().Count(0, 0), 0);
+  EXPECT_EQ(windowed.Matrix().Count(2, 1), 1);
+}
+
+TEST(WindowedConfusion, RejectsZeroCapacity) {
+  EXPECT_THROW(WindowedConfusionMatrix(2, 0), CheckError);
+}
 
 }  // namespace
 }  // namespace pelican::metrics

@@ -251,6 +251,66 @@ TEST(MetricsRegistry, RegistrationIsIdempotentAndKindSafe) {
   EXPECT_THROW(registry.GetHistogram("hist", "h", {}), CheckError);
 }
 
+// Scrape-format details a real Prometheus parser would choke on if we
+// got them wrong: label-value escaping (backslash, quote, newline),
+// HELP-text escaping (backslash, newline), and HELP/TYPE emitted
+// exactly once per family even with several label sets.
+TEST(MetricsRegistry, ScrapeEscapingAndOneHelpTypePerFamily) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  obs::Registry registry;
+  const std::string help = "paths use \\ and\nspan lines";
+  registry.GetCounter("esc_total", help, {{"path", "C:\\tmp"}}).Inc(1);
+  registry.GetCounter("esc_total", help, {{"msg", "say \"hi\"\nbye"}})
+      .Inc(2);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP esc_total paths use \\\\ and\\nspan lines"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esc_total{path=\"C:\\\\tmp\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esc_total{msg=\"say \\\"hi\\\"\\nbye\"} 2"),
+            std::string::npos)
+      << text;
+
+  auto occurrences = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(occurrences("# HELP esc_total"), 1U);
+  EXPECT_EQ(occurrences("# TYPE esc_total"), 1U);
+  // An escaped newline must not have produced a raw line break: every
+  // rendered line is a comment or starts with the family name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line.rfind("# ", 0) == 0 || line.rfind("esc_total", 0) == 0)
+        << "stray line: " << line;
+  }
+}
+
+TEST(MetricsRegistry, FamilyKindAndHelpMustAgreeAcrossLabelSets) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  obs::Registry registry;
+  registry.GetCounter("fam_total", "h", {{"shard", "0"}}).Inc();
+  // Same family, different label set: fine.
+  registry.GetCounter("fam_total", "h", {{"shard", "1"}}).Inc();
+  // Same name as a different kind, or with conflicting help: rejected
+  // even though the label set differs (Prometheus families are
+  // per-name, not per-series).
+  EXPECT_THROW(registry.GetGauge("fam_total", "h", {{"shard", "2"}}),
+               CheckError);
+  EXPECT_THROW(registry.GetCounter("fam_total", "other", {{"shard", "3"}}),
+               CheckError);
+}
+
 // ---- tracing ---------------------------------------------------------------
 
 // Returns the "X" (complete) events of `json`, grouped by tid.

@@ -75,4 +75,57 @@ grep -q 'Z INFO tid=' "$WORK_DIR/pelican.log"
 "$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \
     --records 40 --seed 9 --limit 3 | grep -q "records"
 
+# Streaming quality telemetry: a labeled replay prints the drift score
+# and the rolling DR/ACC/FAR window.
+"$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \
+    --records 40 --seed 9 --limit 2 --labels-for-quality \
+    > "$WORK_DIR/classify_quality.out"
+grep -q "drift score" "$WORK_DIR/classify_quality.out"
+grep -q "rolling window" "$WORK_DIR/classify_quality.out"
+
+# Live introspection: a long training run with --serve-port 0 prints
+# its ephemeral port; curl every endpoint while it is still training.
+if command -v curl >/dev/null 2>&1; then
+    "$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+        --blocks 2 --channels 8 --epochs 2000 --serve-port 0 \
+        --out "$WORK_DIR/model_serve_long.bin" \
+        > "$WORK_DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    PORT=""
+    i=0
+    while [ $i -lt 100 ]; do
+        PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+            "$WORK_DIR/serve.log")"
+        [ -n "$PORT" ] && break
+        sleep 0.05
+        i=$((i + 1))
+    done
+    test -n "$PORT"
+    BASE="http://127.0.0.1:$PORT"
+    curl -fsS "$BASE/healthz" | grep -q "ok"
+    curl -sS "$BASE/readyz" | grep -q "ready"   # 200 or a 503 body
+    curl -fsS "$BASE/buildinfo" | grep -q '"git"'
+    curl -fsS "$BASE/metrics" > "$WORK_DIR/live_metrics.prom"
+    grep -q '^# TYPE pelican_' "$WORK_DIR/live_metrics.prom"
+    grep -q '^process_uptime_seconds ' "$WORK_DIR/live_metrics.prom"
+    grep -q '^pelican_build_info{' "$WORK_DIR/live_metrics.prom"
+    if command -v jq >/dev/null 2>&1; then
+        curl -fsS "$BASE/metrics.json" | jq -e . >/dev/null
+        curl -fsS "$BASE/trace" | jq -e '.traceEvents' >/dev/null
+    else
+        curl -fsS "$BASE/metrics.json" | grep -q '"name"'
+        curl -fsS "$BASE/trace" | grep -q '"traceEvents"'
+    fi
+    curl -fsS "$BASE/stream" | grep -q '"active"'
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+fi
+
+# Serving must not change the numbers: the same 3-epoch train with the
+# server up produces a bit-identical model.
+"$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+    --blocks 2 --channels 8 --epochs 3 --serve-port 0 \
+    --out "$WORK_DIR/model_serve.bin" | grep -q "listening"
+cmp "$WORK_DIR/model.bin" "$WORK_DIR/model_serve.bin"
+
 echo "cli smoke test passed"

@@ -20,6 +20,10 @@
 #include <map>
 #include <string>
 
+#include <memory>
+#include <mutex>
+#include <optional>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -31,6 +35,10 @@
 namespace {
 
 using namespace pelican;
+
+// Live introspection server (--serve-port); null when not serving.
+// Commands flip readiness and register the /stream payload on it.
+obs::IntrospectionServer* g_server = nullptr;
 
 // ---- tiny flag parser ----------------------------------------------------
 
@@ -57,6 +65,11 @@ class Flags {
   [[nodiscard]] long GetLong(const std::string& name, long fallback) const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
   [[nodiscard]] bool Has(const std::string& name) const {
     return values_.count(name) > 0;
@@ -202,6 +215,9 @@ int CmdTrain(const Flags& flags) {
                 config.train.checkpoint_every,
                 config.train.resume ? ", resuming from latest" : "");
   }
+  // The network materializes on entry to Train, so the process counts
+  // as model-loaded for /readyz from here on.
+  if (g_server != nullptr) g_server->SetReady(true);
   const auto history = ids.Train(ds);
   std::printf("final train loss %.4f, accuracy %.2f%%\n",
               history.back().train_loss,
@@ -220,6 +236,7 @@ int CmdEval(const Flags& flags) {
 
   core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
   ids.Load(model);
+  if (g_server != nullptr) g_server->SetReady(true);
 
   const auto predictions = ids.Classify(ds);
   metrics::ConfusionMatrix cm(ds.schema().LabelCount());
@@ -244,13 +261,37 @@ int CmdClassify(const Flags& flags) {
 
   core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
   ids.Load(model);
+  if (g_server != nullptr) g_server->SetReady(true);
 
   const auto limit = static_cast<std::size_t>(flags.GetLong("limit", 0));
+  const bool labels_for_quality = flags.Has("labels-for-quality");
   core::StreamConfig stream_config;
+  stream_config.window =
+      static_cast<std::size_t>(flags.GetLong("stream-window", 256));
+  stream_config.drift_z_threshold =
+      flags.GetDouble("drift-threshold", stream_config.drift_z_threshold);
   core::StreamDetector detector(ids, stream_config);
+
+  // The server thread snapshots Stats() between ingests; the detector
+  // itself is single-threaded, so the CLI provides the lock.
+  std::mutex detector_mu;
+  if (g_server != nullptr) {
+    g_server->SetStreamSource([&detector, &detector_mu] {
+      std::lock_guard lock(detector_mu);
+      return core::StreamStatsJson(detector.Stats());
+    });
+  }
+
+  const auto labels = ds.Labels();
   std::size_t shown = 0;
   for (std::size_t i = 0; i < ds.Size(); ++i) {
-    const auto alert = detector.Ingest(ds.Row(i));
+    std::optional<int> truth;
+    if (labels_for_quality) truth = labels[i];
+    std::optional<core::Alert> alert;
+    {
+      std::lock_guard lock(detector_mu);
+      alert = detector.Ingest(ds.Row(i), truth);
+    }
     if (alert && (limit == 0 || shown < limit)) {
       std::printf("record %6zu: %-16s confidence=%.2f%s\n", i,
                   alert->class_name.c_str(), alert->confidence,
@@ -265,6 +306,18 @@ int CmdClassify(const Flags& flags) {
               100.0 * static_cast<double>(stats.alerts) /
                   static_cast<double>(std::max<std::uint64_t>(
                       1, stats.processed)));
+  std::printf("drift score %.2f (%llu feature(s) over threshold %.1f)\n",
+              stats.window_drift_score,
+              static_cast<unsigned long long>(stats.window_drifted_features),
+              stream_config.drift_z_threshold);
+  if (labels_for_quality && stats.window_labeled > 0) {
+    std::printf("rolling window (%llu labeled): DR %.2f%%  ACC %.2f%%  "
+                "FAR %.2f%%\n",
+                static_cast<unsigned long long>(stats.window_labeled),
+                stats.window_detection_rate * 100.0,
+                stats.window_accuracy * 100.0,
+                stats.window_false_alarm_rate * 100.0);
+  }
   return 0;
 }
 
@@ -278,6 +331,7 @@ int CmdInfo(const Flags& flags) {
   config.channels = meta.channels;
   core::PelicanIds ids(SchemaFor(meta.schema), config);
   ids.Load(model);
+  if (g_server != nullptr) g_server->SetReady(true);
   std::printf("model: %s\n", model.c_str());
   std::printf("  schema:    %s (%zu classes, %lld encoded features)\n",
               meta.schema.c_str(), ids.schema().LabelCount(),
@@ -305,6 +359,8 @@ int Usage() {
       "            [--divergence-retries N] --out model.bin\n"
       "  eval      --model model.bin [--csv f|--official f|--records N]\n"
       "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
+      "            [--labels-for-quality] [--drift-threshold 6.0]\n"
+      "            [--stream-window 256]\n"
       "  info      --model model.bin\n\n"
       "global flags:\n"
       "  --threads N       worker threads for training/inference\n"
@@ -317,7 +373,16 @@ int Usage() {
       "  --trace-out f     enable tracing; write Chrome trace JSON to f "
       "on exit\n"
       "                    (open in Perfetto / chrome://tracing)\n"
-      "  --run-log f       train only: structured JSONL run telemetry\n");
+      "  --run-log f       train only: structured JSONL run telemetry\n"
+      "  --serve-port N    live introspection server on 127.0.0.1:N\n"
+      "                    (0 = ephemeral; implies metrics + tracing;\n"
+      "                     endpoints: /healthz /readyz /buildinfo\n"
+      "                     /metrics /metrics.json /trace /stream)\n"
+      "classify quality flags:\n"
+      "  --labels-for-quality  feed dataset labels into the rolling\n"
+      "                        DR/ACC/FAR quality window\n"
+      "  --drift-threshold Z   per-feature drift z-score flag limit\n"
+      "  --stream-window N     sliding window length (default 256)\n");
   return 2;
 }
 
@@ -339,6 +404,24 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) obs::EnableMetrics(true);
     if (!trace_out.empty()) obs::EnableTracing(true);
 
+    std::unique_ptr<obs::IntrospectionServer> server;
+    if (flags.Has("serve-port")) {
+      const long port = flags.GetLong("serve-port", 0);
+      PELICAN_CHECK(port >= 0 && port <= 65535,
+                    "--serve-port must be 0..65535");
+      // Live scraping implies the full telemetry stack.
+      obs::EnableMetrics(true);
+      obs::EnableTracing(true);
+      obs::IntrospectConfig sc;
+      sc.port = static_cast<std::uint16_t>(port);
+      server = std::make_unique<obs::IntrospectionServer>(sc);
+      server->Start();
+      g_server = server.get();
+      std::printf("introspection server listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(server->Port()));
+      std::fflush(stdout);
+    }
+
     int rc = 2;
     if (command == "generate") {
       rc = CmdGenerate(flags);
@@ -357,10 +440,15 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
       PELICAN_CHECK(out.is_open(), "cannot write " + metrics_out);
+      obs::UpdateProcessMetrics();
       out << obs::Registry::Global().RenderPrometheus();
       PELICAN_CHECK(out.good(), "metrics write failed: " + metrics_out);
     }
     if (!trace_out.empty()) obs::WriteTraceJson(trace_out);
+    if (server != nullptr) {
+      g_server = nullptr;
+      server->Stop();  // graceful: in-flight scrape answered first
+    }
     return rc;
   } catch (const pelican::CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
