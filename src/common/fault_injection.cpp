@@ -1,5 +1,15 @@
 #include "common/fault_injection.h"
 
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include "common/check.h"
 #include "common/file_io.h"
 
@@ -50,6 +60,70 @@ void CorruptFile(const std::string& path, const FailPlan& plan) {
     bytes.resize(plan.truncate_at);
   }
   AtomicWriteFile(path, bytes);
+}
+
+obs::SocketOps FaultySocketOps(const SocketFailPlan& plan) {
+  struct State {
+    std::atomic<std::uint64_t> recv_calls{0};
+    std::atomic<std::uint64_t> send_calls{0};
+    std::atomic<std::size_t> recv_bytes{0};
+    std::atomic<std::size_t> send_bytes{0};
+  };
+  auto state = std::make_shared<State>();
+
+  obs::SocketOps ops;
+  ops.recv = [plan, state](int fd, void* buf, std::size_t len) -> ssize_t {
+    if (plan.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+    }
+    const auto call = state->recv_calls.fetch_add(1) + 1;
+    if (plan.eintr_every > 0 &&
+        call % static_cast<std::uint64_t>(plan.eintr_every) == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    if (plan.eagain_first > 0 &&
+        call <= static_cast<std::uint64_t>(plan.eagain_first)) {
+      errno = EAGAIN;
+      return -1;
+    }
+    const std::size_t seen = state->recv_bytes.load();
+    if (seen >= plan.recv_eof_at) return 0;
+    if (seen >= plan.recv_reset_at) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    // Clamp so the EOF/reset offsets are hit exactly, then apply the
+    // short-read cap.
+    std::size_t want = std::min({len, plan.recv_eof_at - seen,
+                                 plan.recv_reset_at - seen, plan.recv_chunk});
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n > 0) state->recv_bytes.fetch_add(static_cast<std::size_t>(n));
+    return n;
+  };
+  ops.send = [plan, state](int fd, const void* buf,
+                           std::size_t len) -> ssize_t {
+    if (plan.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+    }
+    const auto call = state->send_calls.fetch_add(1) + 1;
+    if (plan.eintr_every > 0 &&
+        call % static_cast<std::uint64_t>(plan.eintr_every) == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    const std::size_t seen = state->send_bytes.load();
+    if (seen >= plan.send_reset_at) {
+      errno = EPIPE;
+      return -1;
+    }
+    std::size_t want =
+        std::min({len, plan.send_reset_at - seen, plan.send_chunk});
+    const ssize_t n = ::send(fd, buf, want, MSG_NOSIGNAL);
+    if (n > 0) state->send_bytes.fetch_add(static_cast<std::size_t>(n));
+    return n;
+  };
+  return ops;
 }
 
 }  // namespace pelican::common

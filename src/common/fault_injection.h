@@ -17,6 +17,8 @@
 #include <streambuf>
 #include <string>
 
+#include "obs/net_util.h"
+
 namespace pelican::common {
 
 inline constexpr std::size_t kNoFault = std::numeric_limits<std::size_t>::max();
@@ -83,5 +85,36 @@ class FaultyIStream : private detail::FaultyBufHolder, public std::istream {
 // Throws CheckError if the file can't be read or rewritten, or when a
 // requested offset lies beyond the end of the file.
 void CorruptFile(const std::string& path, const FailPlan& plan);
+
+// ---------------------------------------------------------------------------
+// Socket faults. A SocketFailPlan describes how recv/send on a live
+// socket should misbehave; FaultySocketOps builds an obs::SocketOps
+// whose calls apply the plan deterministically (counters live in
+// shared state, so the ops object may be copied freely). Drops into
+// any server config that carries a SocketOps seam (HttpServerConfig,
+// serve::ScoringServerConfig).
+struct SocketFailPlan {
+  // Cap bytes moved per call → deterministic short reads/writes.
+  std::size_t recv_chunk = kNoFault;
+  std::size_t send_chunk = kNoFault;
+  // Every Nth recv/send call (per direction) fails once with EINTR
+  // before any data moves. Use >= 2: 1 would starve retry loops.
+  int eintr_every = 0;
+  // The first N recv calls fail with EAGAIN (spurious-readiness /
+  // receive-timeout drills).
+  int eagain_first = 0;
+  // After this many bytes have been received, recv reports EOF —
+  // a peer dying mid-record (truncation seen from the reader).
+  std::size_t recv_eof_at = kNoFault;
+  // After this many bytes moved, fail hard: recv → ECONNRESET,
+  // send → EPIPE.
+  std::size_t recv_reset_at = kNoFault;
+  std::size_t send_reset_at = kNoFault;
+  // Sleep this long before every call (slow-peer simulation).
+  int delay_us = 0;
+};
+
+// Builds a fault-applying ops table over the real syscalls.
+[[nodiscard]] obs::SocketOps FaultySocketOps(const SocketFailPlan& plan);
 
 }  // namespace pelican::common

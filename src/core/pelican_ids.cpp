@@ -75,6 +75,25 @@ std::vector<int> PelicanIds::Classify(const data::RawDataset& records) const {
   return trainer_->Predict(EncodeAndScale(records));
 }
 
+std::vector<PelicanIds::Verdict> PelicanIds::InspectAll(
+    const data::RawDataset& records) const {
+  PELICAN_CHECK(Trained(), "InspectAll before Train/Load");
+  std::vector<Verdict> verdicts;
+  if (records.Size() == 0) return verdicts;
+  const Tensor probs = trainer_->PredictProbabilities(EncodeAndScale(records));
+  verdicts.reserve(static_cast<std::size_t>(probs.dim(0)));
+  for (std::int64_t i = 0; i < probs.dim(0); ++i) {
+    const auto label = static_cast<int>(probs.ArgMaxRow(i));
+    Verdict verdict;
+    verdict.label = label;
+    verdict.class_name = schema_.LabelName(static_cast<std::size_t>(label));
+    verdict.is_attack = label != config_.normal_label;
+    verdict.confidence = probs.At(i, label);
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
 Trainer::Evaluation PelicanIds::Evaluate(
     const data::RawDataset& records) const {
   PELICAN_CHECK(Trained(), "Evaluate before Train/Load");

@@ -57,6 +57,15 @@ class PelicanIds {
   // Batch classification of a whole dataset.
   [[nodiscard]] std::vector<int> Classify(const data::RawDataset& records) const;
 
+  // Batch Inspect: one Verdict per record, from a single pass through
+  // the GEMM-backed predict path. Per-row results are bit-identical to
+  // Inspect on the same row (forward accumulation order is a pure
+  // function of shapes, never of batch composition) — the serving data
+  // plane relies on this to keep micro-batched verdicts byte-equal to
+  // the batch CLI.
+  [[nodiscard]] std::vector<Verdict> InspectAll(
+      const data::RawDataset& records) const;
+
   // Accuracy/loss on a labelled raw dataset.
   [[nodiscard]] Trainer::Evaluation Evaluate(
       const data::RawDataset& records) const;

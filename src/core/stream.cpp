@@ -85,6 +85,22 @@ std::string StreamStatsJson(const StreamStats& stats) {
   return json.Str();
 }
 
+bool IsMalformedRecord(const data::Schema& schema,
+                       std::span<const double> raw_record) {
+  if (raw_record.size() != schema.ColumnCount()) return true;
+  for (std::size_t i = 0; i < raw_record.size(); ++i) {
+    const double v = raw_record[i];
+    if (!std::isfinite(v)) return true;
+    const auto& col = schema.Column(i);
+    if (col.kind == data::ColumnKind::kCategorical &&
+        (v != std::floor(v) || v < 0.0 ||
+         v >= static_cast<double>(col.categories.size()))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---- QualityMonitor --------------------------------------------------------
 
 QualityMonitor::QualityMonitor(std::size_t n_classes, std::size_t n_features,
@@ -240,12 +256,7 @@ void StreamDetector::PublishQualityGauges() {
 std::optional<Alert> StreamDetector::IngestImpl(
     std::span<const double> raw_record, std::optional<int> truth_label) {
   if (config_.quarantine_malformed) {
-    bool malformed =
-        raw_record.size() != ids_->schema().ColumnCount();
-    for (std::size_t i = 0; !malformed && i < raw_record.size(); ++i) {
-      malformed = !std::isfinite(raw_record[i]);
-    }
-    if (malformed) {
+    if (IsMalformedRecord(ids_->schema(), raw_record)) {
       // Count it against the stream position but keep the detector on
       // the wire: no verdict, no window entry, no quality update.
       ++processed_;

@@ -55,6 +55,15 @@ struct StreamStats {
 // JSON rendering of a stats snapshot (the /stream endpoint payload).
 std::string StreamStatsJson(const StreamStats& stats);
 
+// The shared rejection predicate behind every ingest quarantine
+// (StreamDetector::Ingest and the serve:: wire protocol): a raw record
+// is malformed when its width disagrees with the schema, any cell is
+// non-finite, or a categorical cell is not an integral index into its
+// column's vocabulary (an out-of-vocab index would send the one-hot
+// encoder out of bounds).
+[[nodiscard]] bool IsMalformedRecord(const data::Schema& schema,
+                                     std::span<const double> raw_record);
+
 struct StreamConfig {
   std::size_t window = 256;          // sliding-window length
   float low_confidence = 0.5F;       // verdicts below this are flagged

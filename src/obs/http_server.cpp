@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/net_util.h"
 
 namespace pelican::obs {
 
@@ -27,19 +28,9 @@ const char* StatusText(int status) {
   }
 }
 
-// Writes the full buffer, retrying short writes; best-effort (the
-// client may have hung up, which is its problem, not ours).
-void SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-void SendResponse(int fd, const std::string& method,
+// Best-effort full write via the shared EINTR-safe helper (the client
+// may have hung up, which is its problem, not ours).
+void SendResponse(const SocketOps& ops, int fd, const std::string& method,
                   const HttpResponse& response) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      StatusText(response.status) + "\r\n";
@@ -47,8 +38,8 @@ void SendResponse(int fd, const std::string& method,
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   if (response.status == 405) head += "Allow: GET, HEAD\r\n";
   head += "Connection: close\r\n\r\n";
-  SendAll(fd, head);
-  if (method != "HEAD") SendAll(fd, response.body);
+  SendAll(ops, fd, head);
+  if (method != "HEAD") SendAll(ops, fd, response.body);
 }
 
 }  // namespace
@@ -112,10 +103,8 @@ void HttpServer::Serve() {
   while (!stop_.load()) {
     // Poll with a short timeout so Stop() is observed promptly even
     // when no client ever connects; accept itself never blocks.
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 50);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (!PollIn(listen_fd_, 50)) continue;
+    const int fd = AcceptRetry(listen_fd_);
     if (fd < 0) continue;
     timeval tv{};
     tv.tv_sec = config_.recv_timeout_ms / 1000;
@@ -130,15 +119,7 @@ void HttpServer::Serve() {
     // the client is still sending, so close() doesn't turn into an RST
     // that discards the response — matters for 431, where we answer
     // before the client finishes transmitting the oversized head.
-    ::shutdown(fd, SHUT_WR);
-    char drain[1024];
-    std::size_t drained = 0;
-    ssize_t n = 0;
-    while (drained < 10 * config_.max_request_bytes &&
-           (n = ::recv(fd, drain, sizeof drain, 0)) > 0) {
-      drained += static_cast<std::size_t>(n);
-    }
-    ::close(fd);
+    LingeringClose(config_.ops, fd, 10 * config_.max_request_bytes);
   }
 }
 
@@ -149,11 +130,14 @@ void HttpServer::HandleConnection(int fd) {
   char buf[1024];
   while (head.find("\r\n\r\n") == std::string::npos) {
     if (head.size() > config_.max_request_bytes) {
-      SendResponse(fd, "GET", {431, "text/plain; charset=utf-8",
-                               "request too large\n"});
+      SendResponse(config_.ops, fd, "GET",
+                   {431, "text/plain; charset=utf-8", "request too large\n"});
       return;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    // RecvRetry absorbs EINTR, so only a real timeout (EAGAIN via
+    // SO_RCVTIMEO) or hangup drops the request — a signal landing
+    // mid-read no longer kills an otherwise healthy scrape.
+    const ssize_t n = RecvRetry(config_.ops, fd, buf, sizeof buf);
     if (n <= 0) return;  // timeout or client hangup: drop silently
     head.append(buf, static_cast<std::size_t>(n));
   }
@@ -167,7 +151,7 @@ void HttpServer::HandleConnection(int fd) {
                               : line.find(' ', sp1 + 1);
   if (sp2 == std::string::npos ||
       line.compare(sp2 + 1, 5, "HTTP/") != 0) {
-    SendResponse(fd, "GET", {400, "text/plain; charset=utf-8",
+    SendResponse(config_.ops, fd, "GET", {400, "text/plain; charset=utf-8",
                              "malformed request line\n"});
     return;
   }
@@ -179,7 +163,7 @@ void HttpServer::HandleConnection(int fd) {
   if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
 
   if (request.method != "GET" && request.method != "HEAD") {
-    SendResponse(fd, request.method, {405, "text/plain; charset=utf-8",
+    SendResponse(config_.ops, fd, request.method, {405, "text/plain; charset=utf-8",
                                       "method not allowed\n"});
     return;
   }
@@ -191,11 +175,11 @@ void HttpServer::HandleConnection(int fd) {
     if (it != handlers_.end()) handler = it->second;
   }
   if (!handler) {
-    SendResponse(fd, request.method,
+    SendResponse(config_.ops, fd, request.method,
                  {404, "text/plain; charset=utf-8", "not found\n"});
     return;
   }
-  SendResponse(fd, request.method, handler(request));
+  SendResponse(config_.ops, fd, request.method, handler(request));
 }
 
 }  // namespace pelican::obs

@@ -33,6 +33,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/net_util.h"
+
 namespace pelican::obs {
 
 struct HttpRequest {
@@ -55,6 +57,7 @@ struct HttpServerConfig {
   int backlog = 16;                        // pending-connection bound
   std::size_t max_request_bytes = 8192;    // request head cap → 431
   int recv_timeout_ms = 2000;              // slow/stuck client bound
+  SocketOps ops;                           // test seam: fault injection
 };
 
 class HttpServer {

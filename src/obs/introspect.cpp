@@ -56,7 +56,7 @@ void UpdateProcessMetrics() {
 
 IntrospectionServer::IntrospectionServer(IntrospectConfig config)
     : server_(std::make_unique<HttpServer>(HttpServerConfig{
-          config.bind_address, config.port, 16, 8192, 2000})),
+          config.bind_address, config.port, 16, 8192, 2000, {}})),
       ready_(std::make_shared<std::atomic<bool>>(false)) {
   server_->Handle("/healthz", [](const HttpRequest&) {
     return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};

@@ -1,0 +1,94 @@
+// serve::BoundedQueue — the admission-controlled hand-off between
+// connection readers (producers) and the single scorer thread.
+//
+// The queue IS the backpressure policy: TryPush never blocks and never
+// grows past the configured capacity, so an overloaded server sheds
+// work at the front door (the caller answers BUSY) instead of
+// buffering itself to death. PopBatch blocks for the first item, then
+// lingers briefly to fill a micro-batch — amortizing the GEMM without
+// adding unbounded latency.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace pelican::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  // Non-blocking admission. False when full or closed — the caller
+  // sheds the item (this is the only way in, so occupancy never
+  // exceeds capacity).
+  bool TryPush(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until at least one item is available (or the queue closes),
+  // lingers up to `linger` for the batch to fill, then returns up to
+  // `max_items`. An empty result means closed-and-drained: consumers
+  // use it as the termination signal, so no accepted item is ever
+  // dropped by shutdown.
+  std::vector<T> PopBatch(std::size_t max_items,
+                          std::chrono::milliseconds linger) {
+    std::unique_lock lock(mu_);
+    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return {};
+    if (items_.size() < max_items && linger.count() > 0 && !closed_) {
+      ready_.wait_for(lock, linger, [this, max_items] {
+        return items_.size() >= max_items || closed_;
+      });
+    }
+    const std::size_t take = std::min(max_items, items_.size());
+    std::vector<T> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return batch;
+  }
+
+  // After Close: TryPush refuses, PopBatch hands out the remainder and
+  // then returns empty. Idempotent.
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t Depth() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+
+  [[nodiscard]] bool Closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pelican::serve

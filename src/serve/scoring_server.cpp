@@ -1,0 +1,518 @@
+#include "serve/scoring_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "data/dataset.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace pelican::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Lazily-registered serve metrics; never touched while metrics are off.
+struct ServeMetrics {
+  obs::Counter records;
+  obs::Counter ok;
+  obs::Counter quarantined;
+  obs::Counter shed;
+  obs::Counter late;
+  obs::Histogram record_seconds;
+  obs::Histogram batch_rows;
+  obs::Gauge queue_depth;
+};
+ServeMetrics& ServeCounters() {
+  auto& reg = obs::Registry::Global();
+  static ServeMetrics m{
+      reg.GetCounter("pelican_serve_records_total",
+                     "Flow records accepted off the wire"),
+      reg.GetCounter("pelican_serve_ok_total", "Records scored and answered"),
+      reg.GetCounter("pelican_serve_quarantined_total",
+                     "Malformed records answered err,*"),
+      reg.GetCounter("pelican_serve_shed_total",
+                     "Records shed with busy,queue_full"),
+      reg.GetCounter("pelican_serve_late_total",
+                     "Records dropped past the scoring deadline"),
+      reg.GetHistogram("pelican_serve_record_seconds",
+                       "Enqueue-to-verdict latency per scored record",
+                       obs::DefaultTimeBuckets()),
+      reg.GetHistogram("pelican_serve_batch_rows",
+                       "Rows per scorer micro-batch",
+                       {1, 2, 4, 8, 16, 32, 64, 128, 256}),
+      reg.GetGauge("pelican_serve_queue_depth",
+                   "Ingest queue depth sampled per micro-batch")};
+  return m;
+}
+
+// One complete line pulled off a connection (or the oversized marker).
+struct ChunkLine {
+  std::string text;
+  bool oversized = false;
+};
+
+// Outcome of one ReadChunk call. `lines` may be non-empty alongside a
+// terminal flag (data read before the failure is still answered).
+struct ChunkResult {
+  std::vector<ChunkLine> lines;
+  bool eof = false;          // peer half-closed cleanly
+  bool deadline = false;     // read deadline expired mid-record
+  bool idle = false;         // idle timeout / drain with empty buffer
+  bool io_error = false;     // ECONNRESET and friends
+  bool truncated = false;    // EOF with a partial record buffered
+};
+
+// Pulls complete lines out of `buf`. `discarding` is the oversized-
+// line resync state: once a line outgrows max_line, one err,oversized
+// reply is issued and everything up to the next '\n' is swallowed.
+void ExtractLines(std::string& buf, bool& discarding,
+                  std::vector<ChunkLine>& lines, std::size_t max_line,
+                  std::size_t max_lines) {
+  std::size_t pos = 0;
+  while (lines.size() < max_lines &&
+         (pos = buf.find('\n')) != std::string::npos) {
+    std::string line = buf.substr(0, pos);
+    buf.erase(0, pos + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (discarding) {
+      discarding = false;  // tail of an oversized line: already answered
+      continue;
+    }
+    if (line.size() > max_line) {
+      lines.push_back({std::string(), true});
+      continue;
+    }
+    lines.push_back({std::move(line), false});
+  }
+  if (buf.find('\n') == std::string::npos) {
+    if (discarding) {
+      buf.clear();  // still inside the oversized line
+    } else if (buf.size() > max_line) {
+      lines.push_back({std::string(), true});
+      discarding = true;
+      buf.clear();
+    }
+  }
+}
+
+}  // namespace
+
+// The reply slots for one read chunk. Connection reader and scorer
+// meet here: the reader pre-fills quarantine/shed slots, the scorer
+// fills verdicts, and `pending` counts unfilled enqueued slots. When
+// the reader gives up waiting (scorer wedged past every deadline) it
+// flips `abandoned` so late verdicts are dropped instead of racing the
+// reply write.
+struct ScoringServer::PendingChunk {
+  std::mutex mu;
+  std::condition_variable done;
+  std::vector<std::string> replies;
+  std::size_t pending = 0;
+  bool abandoned = false;
+};
+
+ScoringServer::ScoringServer(const core::PelicanIds& ids,
+                             ScoringServerConfig config)
+    : ids_(&ids),
+      config_(std::move(config)),
+      queue_(config_.queue_depth) {
+  PELICAN_CHECK(ids.Trained(), "ScoringServer needs a trained model");
+  PELICAN_CHECK(config_.queue_depth >= 1 && config_.max_batch >= 1 &&
+                config_.max_pipeline >= 1 && config_.max_connections >= 1);
+}
+
+ScoringServer::~ScoringServer() { Drain(); }
+
+void ScoringServer::Start() {
+  PELICAN_CHECK(!running_.load(), "ScoringServer already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PELICAN_CHECK(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PELICAN_CHECK(false, "bad bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PELICAN_CHECK(false, "cannot listen on " + config_.bind_address + ":" +
+                             std::to_string(config_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  draining_.store(false);
+  running_.store(true);
+  scorer_ = std::thread([this] { ScorerLoop(); });
+  listener_ = std::thread([this] { ListenLoop(); });
+}
+
+void ScoringServer::Drain() {
+  if (!running_.exchange(false)) return;
+  draining_.store(true);
+  // Order matters: the listener joins every connection thread, each of
+  // which may still be waiting on verdicts — so the scorer must keep
+  // running until all connections have flushed. Only then is the queue
+  // closed (scorer drains the remainder and exits).
+  if (listener_.joinable()) listener_.join();
+  queue_.Close();
+  if (scorer_.joinable()) scorer_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ScoringServer::ListenLoop() {
+  struct ConnSlot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::list<ConnSlot> conns;
+  const auto reap = [&conns](bool all) {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (all || it->done.load()) {
+        it->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!draining_.load()) {
+    if (!obs::PollIn(listen_fd_, 50)) {
+      reap(false);
+      continue;
+    }
+    const int fd = obs::AcceptRetry(listen_fd_);
+    if (fd < 0) continue;
+    counters_.connections.fetch_add(1);
+    if (active_connections_.load() >= config_.max_connections) {
+      counters_.connections_rejected.fetch_add(1);
+      std::string reply{kBusyConnectionsReply};
+      reply += '\n';
+      obs::SendAll(config_.ops, fd, reply);
+      obs::LingeringClose(config_.ops, fd, config_.max_line_bytes);
+      continue;
+    }
+    active_connections_.fetch_add(1);
+    auto& slot = conns.emplace_back();
+    slot.thread = std::thread([this, fd, &slot] {
+      HandleConnection(fd);
+      active_connections_.fetch_sub(1);
+      slot.done.store(true);
+    });
+    reap(false);
+  }
+  reap(true);
+}
+
+void ScoringServer::HandleConnection(int fd) {
+  // Bound writes kernel-side: a reader that stops consuming verdicts
+  // turns SendAll into a failure instead of a wedge.
+  timeval tv{};
+  tv.tv_sec = config_.write_timeout_ms / 1000;
+  tv.tv_usec = (config_.write_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  const auto score_deadline = std::chrono::milliseconds(
+      config_.score_deadline_ms);
+  // Grace past the scoring deadline before the reader abandons its
+  // chunk: covers scorer wake-up and reply hand-off, so `late` replies
+  // normally come from the scorer (counted once), and the reader-side
+  // timeout only fires if the scorer is truly wedged.
+  const auto reply_slack = std::chrono::milliseconds(
+      config_.score_deadline_ms + 2000);
+
+  std::string buf;
+  bool discarding = false;
+
+  const auto read_chunk = [&](ChunkResult& out) {
+    auto partial_since = Clock::now();
+    bool had_partial = !buf.empty();
+    const auto idle_since = Clock::now();
+    // Phase 1: block until at least one complete line (or a terminal
+    // condition). Short poll ticks keep drain responsive.
+    for (;;) {
+      ExtractLines(buf, discarding, out.lines, config_.max_line_bytes,
+                   config_.max_pipeline);
+      if (!out.lines.empty()) break;
+      if (draining_.load()) {
+        out.idle = true;
+        return;
+      }
+      const auto now = Clock::now();
+      if (had_partial &&
+          now - partial_since >
+              std::chrono::milliseconds(config_.read_deadline_ms)) {
+        out.deadline = true;
+        return;
+      }
+      if (!had_partial &&
+          now - idle_since >
+              std::chrono::milliseconds(config_.idle_timeout_ms)) {
+        out.idle = true;
+        return;
+      }
+      if (!obs::PollIn(fd, 50)) continue;
+      char tmp[4096];
+      const ssize_t n = obs::RecvRetry(config_.ops, fd, tmp, sizeof tmp);
+      if (n == 0) {
+        out.eof = true;
+        out.truncated = !buf.empty() || discarding;
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        out.io_error = true;
+        return;
+      }
+      if (!had_partial) {
+        had_partial = true;
+        partial_since = Clock::now();
+      }
+      buf.append(tmp, static_cast<std::size_t>(n));
+    }
+    // Phase 2: greedily take whatever else is already here, up to the
+    // pipeline cap — the micro-batcher thrives on bigger chunks.
+    while (out.lines.size() < config_.max_pipeline) {
+      ExtractLines(buf, discarding, out.lines, config_.max_line_bytes,
+                   config_.max_pipeline);
+      if (out.lines.size() >= config_.max_pipeline) break;
+      if (!obs::PollIn(fd, 0)) break;
+      char tmp[4096];
+      const ssize_t n = obs::RecvRetry(config_.ops, fd, tmp, sizeof tmp);
+      if (n == 0) {
+        out.eof = true;
+        out.truncated = !buf.empty() || discarding;
+        break;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        out.io_error = true;
+        break;
+      }
+      buf.append(tmp, static_cast<std::size_t>(n));
+    }
+    ExtractLines(buf, discarding, out.lines, config_.max_line_bytes,
+                 config_.max_pipeline);
+  };
+
+  const bool metrics_on = config_.observe && obs::MetricsEnabled();
+  for (;;) {
+    ChunkResult chunk;
+    read_chunk(chunk);
+
+    if (chunk.io_error) counters_.io_errors.fetch_add(1);
+    if (chunk.deadline) counters_.read_deadline_closes.fetch_add(1);
+    if (chunk.truncated) counters_.truncated.fetch_add(1);
+
+    if (!chunk.lines.empty()) {
+      counters_.records.fetch_add(chunk.lines.size());
+      if (metrics_on) ServeCounters().records.Inc(chunk.lines.size());
+
+      auto pending = std::make_shared<PendingChunk>();
+      pending->replies.resize(chunk.lines.size());
+      const auto now = Clock::now();
+      const auto deadline = now + score_deadline;
+      for (std::size_t i = 0; i < chunk.lines.size(); ++i) {
+        const ChunkLine& line = chunk.lines[i];
+        if (line.oversized) {
+          pending->replies[i] = std::string{kErrOversizedReply};
+          counters_.quarantined.fetch_add(1);
+          if (metrics_on) ServeCounters().quarantined.Inc();
+          continue;
+        }
+        ParsedRecord parsed = ParseRecordLine(ids_->schema(), line.text);
+        if (!parsed.ok) {
+          pending->replies[i] = "err," + parsed.error;
+          counters_.quarantined.fetch_add(1);
+          if (metrics_on) ServeCounters().quarantined.Inc();
+          continue;
+        }
+        QueueItem item;
+        item.chunk = pending;
+        item.index = i;
+        item.row = std::move(parsed.row);
+        item.enqueued = now;
+        item.deadline = deadline;
+        {
+          std::lock_guard lock(pending->mu);
+          ++pending->pending;
+        }
+        if (!queue_.TryPush(std::move(item))) {
+          {
+            std::lock_guard lock(pending->mu);
+            --pending->pending;
+            pending->replies[i] = std::string{kBusyQueueReply};
+          }
+          counters_.shed.fetch_add(1);
+          if (metrics_on) ServeCounters().shed.Inc();
+        }
+      }
+
+      {
+        std::unique_lock lock(pending->mu);
+        const bool flushed =
+            pending->done.wait_until(lock, deadline + reply_slack, [&] {
+              return pending->pending == 0;
+            });
+        if (!flushed) {
+          pending->abandoned = true;
+          for (auto& reply : pending->replies) {
+            if (reply.empty()) {
+              reply = std::string{kLateTimeoutReply};
+              counters_.late.fetch_add(1);
+              if (metrics_on) ServeCounters().late.Inc();
+            }
+          }
+        }
+      }
+
+      std::string payload;
+      for (const auto& reply : pending->replies) {
+        payload += reply;
+        payload += '\n';
+      }
+      if (!obs::SendAll(config_.ops, fd, payload)) {
+        counters_.write_errors.fetch_add(1);
+        break;
+      }
+      counters_.replies.fetch_add(pending->replies.size());
+    }
+
+    if (chunk.eof || chunk.deadline || chunk.idle || chunk.io_error) break;
+  }
+  obs::LingeringClose(config_.ops, fd, config_.max_line_bytes);
+}
+
+void ScoringServer::FulfillSlot(const QueueItem& item, std::string reply) {
+  PendingChunk& chunk = *item.chunk;
+  std::lock_guard lock(chunk.mu);
+  if (chunk.abandoned) return;  // reader gave up; reply already written
+  chunk.replies[item.index] = std::move(reply);
+  if (--chunk.pending == 0) chunk.done.notify_one();
+}
+
+void ScoringServer::ScorerLoop() {
+  const bool metrics_on = config_.observe && obs::MetricsEnabled();
+  const auto linger = std::chrono::milliseconds(config_.batch_linger_ms);
+  for (;;) {
+    if (config_.before_batch_hook) config_.before_batch_hook();
+    std::vector<QueueItem> batch = queue_.PopBatch(config_.max_batch, linger);
+    if (batch.empty()) break;  // closed and drained
+    counters_.batches.fetch_add(1);
+    if (metrics_on) {
+      auto& m = ServeCounters();
+      m.batch_rows.Observe(static_cast<double>(batch.size()));
+      m.queue_depth.Set(static_cast<double>(queue_.Depth()));
+    }
+
+    const auto now = Clock::now();
+    data::RawDataset rows(ids_->schema());
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline < now) {
+        FulfillSlot(batch[i], std::string{kLateDeadlineReply});
+        counters_.late.fetch_add(1);
+        if (metrics_on) ServeCounters().late.Inc();
+        continue;
+      }
+      // Label 0 is a placeholder — verdicts never read it.
+      rows.Add(std::move(batch[i].row), 0);
+      live.push_back(i);
+    }
+    if (live.empty()) continue;
+
+    // The wire parser validates every row before admission, so this
+    // only trips on a genuine internal bug — which must cost one batch
+    // an err reply, not the whole server an abort.
+    try {
+      const auto verdicts = ids_->InspectAll(rows);
+      const auto scored_at = Clock::now();
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        const QueueItem& item = batch[live[j]];
+        FulfillSlot(item, RenderVerdict(verdicts[j]));
+        counters_.ok.fetch_add(1);
+        if (metrics_on) {
+          auto& m = ServeCounters();
+          m.ok.Inc();
+          m.record_seconds.Observe(
+              std::chrono::duration<double>(scored_at - item.enqueued)
+                  .count());
+        }
+      }
+    } catch (const std::exception&) {
+      for (const std::size_t i : live) {
+        FulfillSlot(batch[i], "err,internal");
+        counters_.quarantined.fetch_add(1);
+        if (metrics_on) ServeCounters().quarantined.Inc();
+      }
+    }
+  }
+}
+
+ServeStats ScoringServer::Stats() const {
+  ServeStats s;
+  s.connections = counters_.connections.load();
+  s.connections_rejected = counters_.connections_rejected.load();
+  s.records = counters_.records.load();
+  s.ok = counters_.ok.load();
+  s.quarantined = counters_.quarantined.load();
+  s.shed = counters_.shed.load();
+  s.late = counters_.late.load();
+  s.replies = counters_.replies.load();
+  s.batches = counters_.batches.load();
+  s.read_deadline_closes = counters_.read_deadline_closes.load();
+  s.truncated = counters_.truncated.load();
+  s.write_errors = counters_.write_errors.load();
+  s.io_errors = counters_.io_errors.load();
+  return s;
+}
+
+std::string ScoringServer::StatsJson() const {
+  const ServeStats s = Stats();
+  obs::Json json;
+  json.Set("running", running_.load());
+  json.Set("draining", draining_.load());
+  json.Set("queue_depth", static_cast<std::uint64_t>(queue_.Depth()));
+  json.Set("queue_capacity", static_cast<std::uint64_t>(queue_.Capacity()));
+  json.Set("connections", s.connections);
+  json.Set("connections_rejected", s.connections_rejected);
+  json.Set("records", s.records);
+  json.Set("ok", s.ok);
+  json.Set("quarantined", s.quarantined);
+  json.Set("shed", s.shed);
+  json.Set("late", s.late);
+  json.Set("replies", s.replies);
+  json.Set("batches", s.batches);
+  json.Set("read_deadline_closes", s.read_deadline_closes);
+  json.Set("truncated", s.truncated);
+  json.Set("write_errors", s.write_errors);
+  json.Set("io_errors", s.io_errors);
+  return json.Str();
+}
+
+}  // namespace pelican::serve

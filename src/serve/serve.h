@@ -1,0 +1,6 @@
+// Umbrella header for the scoring data plane (DESIGN.md §11).
+#pragma once
+
+#include "serve/bounded_queue.h"     // IWYU pragma: export
+#include "serve/scoring_server.h"    // IWYU pragma: export
+#include "serve/wire.h"              // IWYU pragma: export

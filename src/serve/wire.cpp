@@ -1,0 +1,73 @@
+#include "serve/wire.h"
+
+#include "common/strings.h"
+#include "core/stream.h"
+
+namespace pelican::serve {
+
+namespace {
+
+ParsedRecord Malformed(std::string reason) {
+  ParsedRecord out;
+  out.ok = false;
+  out.error = std::move(reason);
+  return out;
+}
+
+}  // namespace
+
+ParsedRecord ParseRecordLine(const data::Schema& schema,
+                             std::string_view line) {
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty()) return Malformed("empty");
+  const std::vector<std::string> fields = Split(trimmed, ',');
+  const std::size_t columns = schema.ColumnCount();
+  if (fields.size() != columns && fields.size() != columns + 1) {
+    return Malformed("width");
+  }
+
+  ParsedRecord out;
+  out.row.resize(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    const auto& col = schema.Column(c);
+    const std::string field{Trim(fields[c])};
+    if (col.kind == data::ColumnKind::kCategorical) {
+      int idx = -1;
+      for (std::size_t v = 0; v < col.categories.size(); ++v) {
+        if (col.categories[v] == field) {
+          idx = static_cast<int>(v);
+          break;
+        }
+      }
+      if (idx < 0) return Malformed("unknown_category");
+      out.row[c] = idx;
+    } else {
+      double value = 0.0;
+      // Lenient first so "inf"/"nan" classify as non_finite (the
+      // StreamDetector quarantine reason) rather than bad_number.
+      if (!ParseDoubleLenient(field, &value)) return Malformed("bad_number");
+      out.row[c] = value;
+    }
+  }
+  if (fields.size() == columns + 1) {
+    const int label = schema.LabelIndex(std::string{Trim(fields.back())});
+    if (label < 0) return Malformed("unknown_label");
+    out.truth = label;
+  }
+  // The same rejection predicate the streaming detector quarantines
+  // with; here it only ever fires on non-finite numerics (width and
+  // category domain were enforced above).
+  if (core::IsMalformedRecord(schema, out.row)) return Malformed("non_finite");
+  out.ok = true;
+  return out;
+}
+
+std::string RenderVerdict(const core::PelicanIds::Verdict& v) {
+  std::string out = "ok,";
+  out += v.class_name;
+  out += ',';
+  out += FormatFixed(v.confidence, 6);
+  return out;
+}
+
+}  // namespace pelican::serve

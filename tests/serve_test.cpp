@@ -1,0 +1,937 @@
+// Scoring data plane tests: wire-protocol parsing (incl. a seeded
+// mutation fuzz), bounded-queue admission control, shed-on-full-queue,
+// read/score deadline expiry, malformed-line quarantine, oversized
+// resync, socket-level fault injection (short reads, EINTR, EAGAIN,
+// ECONNRESET, mid-record truncation), graceful drain conservation
+// (no accepted record lost), a concurrent-clients stress pass (the
+// TSan build exercises it), serve metrics export, the HTTP control
+// plane under injected EINTR, and the StreamDetector quarantine
+// counter/JSON satellite.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/core.h"
+#include "data/data.h"
+#include "obs/obs.h"
+#include "serve/serve.h"
+
+namespace pelican {
+namespace {
+
+using namespace std::chrono_literals;
+
+// RAII guard: restore the all-off default even on assertion failure so
+// other suites see a quiet process (same convention as obs_test).
+struct ObsOff {
+  ~ObsOff() {
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+    obs::ResetTrace();
+  }
+};
+
+// One model for the whole suite (training dominates test runtime).
+const core::PelicanIds& TrainedIds() {
+  static const core::PelicanIds* ids = [] {
+    Rng rng(77);
+    auto ds = data::GenerateNslKdd(240, rng);
+    core::IdsConfig config;
+    config.n_blocks = 2;
+    config.channels = 8;
+    config.train.epochs = 2;
+    config.train.batch_size = 32;
+    config.train.seed = 7;
+    auto* built = new core::PelicanIds(data::NslKddSchema(), config);
+    built->Train(ds);
+    return built;
+  }();
+  return *ids;
+}
+
+// Labeled CSV data lines (WriteCsv cell format, header dropped) — the
+// exact bytes a client would stream at the server.
+const std::vector<std::string>& DataLines() {
+  static const std::vector<std::string> lines = [] {
+    Rng rng(91);
+    const auto ds = data::GenerateNslKdd(64, rng);
+    std::stringstream csv;
+    data::WriteCsv(ds, csv);
+    std::vector<std::string> out;
+    std::string line;
+    bool header = true;
+    while (std::getline(csv, line)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (!line.empty()) out.push_back(line);
+    }
+    return out;
+  }();
+  return lines;
+}
+
+// The dataset those lines round-trip to, for batch-verdict comparison.
+const data::RawDataset& DataRows() {
+  static const data::RawDataset* ds = [] {
+    Rng rng(91);
+    return new data::RawDataset(data::GenerateNslKdd(64, rng));
+  }();
+  return *ds;
+}
+
+// The rows a server actually scores: DataLines() parsed back through
+// the wire codec. WriteCsv's %.6f cells lose sub-micro precision, so
+// byte-identical serve-vs-batch comparison must feed BOTH paths the
+// CSV-round-tripped values (exactly what the CLI smoke test does by
+// scoring one file twice).
+const data::RawDataset& WireRows() {
+  static const data::RawDataset* ds = [] {
+    auto* out = new data::RawDataset(TrainedIds().schema());
+    for (const auto& line : DataLines()) {
+      auto parsed = serve::ParseRecordLine(TrainedIds().schema(), line);
+      PELICAN_CHECK(parsed.ok, parsed.error);
+      out->Add(std::move(parsed.row), parsed.truth.value_or(0));
+    }
+    return out;
+  }();
+  return *ds;
+}
+
+// ---- raw socket client ------------------------------------------------------
+
+int ConnectTo(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendStr(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads reply lines until `count` lines, EOF, or `timeout`. EOF/error
+// returns what was collected so far.
+std::vector<std::string> ReadLines(int fd, std::size_t count,
+                                   std::chrono::milliseconds timeout = 10s) {
+  std::vector<std::string> lines;
+  std::string buf;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  timeval tv{};
+  tv.tv_sec = 0;
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  while (lines.size() < count) {
+    std::size_t pos = 0;
+    while (lines.size() < count &&
+           (pos = buf.find('\n')) != std::string::npos) {
+      lines.push_back(buf.substr(0, pos));
+      buf.erase(0, pos + 1);
+    }
+    if (lines.size() >= count) break;
+    if (std::chrono::steady_clock::now() > deadline) break;
+    char tmp[4096];
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    buf.append(tmp, static_cast<std::size_t>(n));
+  }
+  return lines;
+}
+
+// True when recv eventually reports EOF (server closed its side).
+bool AwaitEof(int fd, std::chrono::milliseconds timeout = 5s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  timeval tv{};
+  tv.tv_sec = 0;
+  tv.tv_usec = 100 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  char tmp[1024];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+    if (n == 0) return true;
+    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return true;  // RST counts as closed
+    }
+  }
+  return false;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// Polls a predicate with a deadline (for cross-thread counters).
+template <typename F>
+bool Eventually(F&& predicate, std::chrono::milliseconds timeout = 5s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return predicate();
+}
+
+void ExpectConservation(const serve::ServeStats& s) {
+  EXPECT_EQ(s.records, s.ok + s.quarantined + s.shed + s.late);
+  EXPECT_EQ(s.records, s.replies);
+}
+
+// ---- wire protocol ---------------------------------------------------------
+
+TEST(Wire, ParsesValidLabeledLine) {
+  const auto& schema = TrainedIds().schema();
+  const auto parsed = serve::ParseRecordLine(schema, DataLines()[0]);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.row.size(), schema.ColumnCount());
+  ASSERT_TRUE(parsed.truth.has_value());
+  EXPECT_EQ(*parsed.truth, DataRows().Label(0));
+}
+
+TEST(Wire, ParsesUnlabeledLine) {
+  const auto& schema = TrainedIds().schema();
+  const std::string line = DataLines()[0];
+  const auto cut = line.rfind(',');
+  const auto parsed = serve::ParseRecordLine(schema, line.substr(0, cut));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_FALSE(parsed.truth.has_value());
+}
+
+TEST(Wire, RejectsWithReasonTokens) {
+  const auto& schema = TrainedIds().schema();
+  EXPECT_EQ(serve::ParseRecordLine(schema, "").error, "empty");
+  EXPECT_EQ(serve::ParseRecordLine(schema, "   ").error, "empty");
+  EXPECT_EQ(serve::ParseRecordLine(schema, "1,2,3").error, "width");
+
+  std::string line = DataLines()[0];
+  // Find a numeric field and corrupt it.
+  auto fields = Split(line, ',');
+  std::size_t numeric = 0;
+  for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+    if (schema.Column(c).kind == data::ColumnKind::kNumeric) {
+      numeric = c;
+      break;
+    }
+  }
+  auto rebuilt = [&fields] { return Join(fields, ","); };
+  const std::string keep = fields[numeric];
+  fields[numeric] = "not-a-number";
+  EXPECT_EQ(serve::ParseRecordLine(schema, rebuilt()).error, "bad_number");
+  fields[numeric] = "inf";
+  EXPECT_EQ(serve::ParseRecordLine(schema, rebuilt()).error, "non_finite");
+  fields[numeric] = keep;
+
+  std::size_t categorical = schema.ColumnCount();
+  for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+    if (schema.Column(c).kind == data::ColumnKind::kCategorical) {
+      categorical = c;
+      break;
+    }
+  }
+  ASSERT_LT(categorical, schema.ColumnCount());
+  const std::string keep_cat = fields[categorical];
+  fields[categorical] = "no-such-category";
+  EXPECT_EQ(serve::ParseRecordLine(schema, rebuilt()).error,
+            "unknown_category");
+  fields[categorical] = keep_cat;
+
+  fields.back() = "NoSuchLabel";
+  EXPECT_EQ(serve::ParseRecordLine(schema, rebuilt()).error, "unknown_label");
+}
+
+// Satellite: deterministic mutation fuzz. Truncated, oversized-field,
+// non-UTF8, field-count-mismatched lines must classify cleanly (never
+// crash), and a live server must answer every mutant with exactly the
+// reply the local parse predicts — quarantine counts included.
+TEST(Wire, SeededMutationFuzzMatchesServerQuarantine) {
+  const auto& schema = TrainedIds().schema();
+  Rng rng(20200613);  // the paper's DSN year+month+day; any fixed seed
+
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 24; ++i) {
+    corpus.push_back(DataLines()[i % DataLines().size()]);
+  }
+  const auto mutate = [&](std::string line) {
+    switch (rng.Below(6)) {
+      case 0:  // truncate mid-record
+        line.resize(rng.Below(line.size()) + 1);
+        break;
+      case 1: {  // insert random bytes (incl. non-UTF8), newline-free
+        const std::size_t at = rng.Below(line.size());
+        std::string noise;
+        for (int b = 0; b < 8; ++b) {
+          char byte = static_cast<char>(rng.Below(256));
+          if (byte == '\n' || byte == '\r') byte = '\v';
+          noise += byte;
+        }
+        line.insert(at, noise);
+        break;
+      }
+      case 2: {  // duplicate a field (field-count mismatch)
+        auto fields = Split(line, ',');
+        fields.insert(fields.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              rng.Below(fields.size())),
+                      fields[rng.Below(fields.size())]);
+        line = Join(fields, ",");
+        break;
+      }
+      case 3: {  // blow up one field
+        auto fields = Split(line, ',');
+        fields[rng.Below(fields.size())] = "9e999999";
+        line = Join(fields, ",");
+        break;
+      }
+      case 4: {  // non-finite text in one field
+        auto fields = Split(line, ',');
+        fields[rng.Below(fields.size())] = rng.Chance(0.5) ? "nan" : "-inf";
+        line = Join(fields, ",");
+        break;
+      }
+      default:  // drop a chunk from the middle
+        line.erase(rng.Below(line.size()),
+                   rng.Below(40) + 1);
+        break;
+    }
+    return line;
+  };
+  for (int i = 0; i < 200; ++i) {
+    corpus.push_back(mutate(corpus[rng.Below(24)]));
+  }
+
+  // Local classification first: must never crash, every line lands in
+  // ok or a reason token.
+  std::size_t expect_ok = 0, expect_err = 0;
+  std::vector<bool> is_ok;
+  for (const auto& line : corpus) {
+    const auto parsed = serve::ParseRecordLine(schema, line);
+    is_ok.push_back(parsed.ok);
+    if (parsed.ok) {
+      ++expect_ok;
+    } else {
+      ++expect_err;
+      EXPECT_FALSE(parsed.error.empty());
+    }
+  }
+
+  // Now the same corpus through a live server.
+  serve::ScoringServerConfig cfg;
+  cfg.queue_depth = 512;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  std::size_t got_ok = 0, got_err = 0;
+  for (std::size_t off = 0; off < corpus.size(); off += 32) {
+    const std::size_t count = std::min<std::size_t>(32, corpus.size() - off);
+    std::string payload;
+    for (std::size_t j = 0; j < count; ++j) {
+      payload += corpus[off + j];
+      payload += '\n';
+    }
+    ASSERT_TRUE(SendStr(fd, payload));
+    const auto replies = ReadLines(fd, count);
+    ASSERT_EQ(replies.size(), count);
+    for (std::size_t j = 0; j < count; ++j) {
+      if (is_ok[off + j]) {
+        EXPECT_EQ(replies[j].rfind("ok,", 0), 0u) << replies[j];
+        ++got_ok;
+      } else {
+        EXPECT_EQ(replies[j].rfind("err,", 0), 0u) << replies[j];
+        ++got_err;
+      }
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(got_ok, expect_ok);
+  EXPECT_EQ(got_err, expect_err);
+  EXPECT_TRUE(Eventually([&] {
+    return server.Stats().quarantined == expect_err;
+  }));
+  server.Drain();
+  ExpectConservation(server.Stats());
+}
+
+// ---- bounded queue ---------------------------------------------------------
+
+TEST(BoundedQueue, TryPushShedsWhenFull) {
+  serve::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: shed, not buffered
+  EXPECT_EQ(q.Depth(), 2u);
+  const auto batch = q.PopBatch(8, 0ms);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(q.TryPush(4));
+}
+
+TEST(BoundedQueue, CloseDrainsRemainderThenSignalsEmpty) {
+  serve::BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(3));  // closed: refuse new work
+  EXPECT_EQ(q.PopBatch(1, 0ms).size(), 1u);  // drain the remainder...
+  EXPECT_EQ(q.PopBatch(8, 0ms).size(), 1u);
+  EXPECT_TRUE(q.PopBatch(8, 0ms).empty());   // ...then terminate
+}
+
+TEST(BoundedQueue, PopBatchWakesOnPush) {
+  serve::BoundedQueue<int> q(8);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(20ms);
+    q.TryPush(42);
+  });
+  const auto batch = q.PopBatch(8, 0ms);  // blocks until the push
+  producer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 42);
+}
+
+// ---- round trip ------------------------------------------------------------
+
+TEST(ScoringServer, VerdictsMatchBatchInspectAll) {
+  serve::ScoringServer server(TrainedIds());
+  server.Start();
+  ASSERT_TRUE(server.Running());
+  ASSERT_NE(server.Port(), 0);
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, JoinLines(DataLines())));
+  const auto replies = ReadLines(fd, DataLines().size());
+  ::close(fd);
+  ASSERT_EQ(replies.size(), DataLines().size());
+
+  const auto verdicts = TrainedIds().InspectAll(WireRows());
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i], serve::RenderVerdict(verdicts[i])) << "row " << i;
+  }
+  server.Drain();
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.ok, DataLines().size());
+  EXPECT_EQ(stats.quarantined, 0u);
+  ExpectConservation(stats);
+}
+
+TEST(ScoringServer, MalformedLineGetsErrAndConnectionSurvives) {
+  serve::ScoringServer server(TrainedIds());
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+
+  ASSERT_TRUE(SendStr(fd, "total,garbage\n" + DataLines()[0] + "\n"));
+  auto replies = ReadLines(fd, 2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], "err,width");
+  EXPECT_EQ(replies[1].rfind("ok,", 0), 0u);
+
+  // Same connection keeps scoring after the quarantine.
+  ASSERT_TRUE(SendStr(fd, DataLines()[1] + "\n"));
+  replies = ReadLines(fd, 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("ok,", 0), 0u);
+  ::close(fd);
+
+  server.Drain();
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.ok, 2u);
+  ExpectConservation(stats);
+}
+
+TEST(ScoringServer, OversizedLineAnsweredAndResynced) {
+  serve::ScoringServerConfig cfg;
+  cfg.max_line_bytes = 64;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+
+  const std::string huge(1000, 'x');
+  ASSERT_TRUE(SendStr(fd, huge + "\n" + DataLines()[0] + "\n"));
+  const auto replies = ReadLines(fd, 2);
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], "err,oversized");
+  // DataLines are longer than 64 bytes too — the point is the stream
+  // resynchronizes at the newline and answers each line exactly once.
+  EXPECT_EQ(replies[1], "err,oversized");
+
+  server.Drain();
+  EXPECT_EQ(server.Stats().quarantined, 2u);
+  ExpectConservation(server.Stats());
+}
+
+// ---- backpressure + deadlines ----------------------------------------------
+
+TEST(ScoringServer, ShedsWithBusyWhenQueueFull) {
+  std::atomic<bool> release{false};
+  serve::ScoringServerConfig cfg;
+  cfg.queue_depth = 3;
+  cfg.max_batch = 8;
+  cfg.score_deadline_ms = 10000;  // nothing goes late in this test
+  cfg.before_batch_hook = [&release] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  };
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  // One write, 5 records: the blocked scorer never pops, so 3 fill the
+  // queue and 2 are shed with busy — deterministically.
+  std::string payload;
+  for (int i = 0; i < 5; ++i) payload += DataLines()[i] + "\n";
+  ASSERT_TRUE(SendStr(fd, payload));
+  ASSERT_TRUE(Eventually([&] { return server.Stats().shed == 2; }));
+  EXPECT_EQ(server.QueueDepth(), 3u);
+  release.store(true);
+
+  const auto replies = ReadLines(fd, 5);
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 5u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(replies[i].rfind("ok,", 0), 0u) << replies[i];
+  }
+  EXPECT_EQ(replies[3], std::string(serve::kBusyQueueReply));
+  EXPECT_EQ(replies[4], std::string(serve::kBusyQueueReply));
+
+  server.Drain();
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.ok, 3u);
+  ExpectConservation(stats);
+}
+
+TEST(ScoringServer, ScoreDeadlineExpiryAnswersLate) {
+  std::atomic<bool> release{false};
+  serve::ScoringServerConfig cfg;
+  cfg.score_deadline_ms = 50;
+  cfg.before_batch_hook = [&release] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  };
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  for (int i = 0; i < 3; ++i) payload += DataLines()[i] + "\n";
+  ASSERT_TRUE(SendStr(fd, payload));
+  ASSERT_TRUE(Eventually([&] { return server.QueueDepth() == 3; }));
+  // Hold the scorer past every deadline, then let it find stale work.
+  std::this_thread::sleep_for(150ms);
+  release.store(true);
+
+  const auto replies = ReadLines(fd, 3);
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 3u);
+  for (const auto& reply : replies) {
+    EXPECT_EQ(reply, std::string(serve::kLateDeadlineReply));
+  }
+  server.Drain();
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.late, 3u);
+  EXPECT_EQ(stats.ok, 0u);
+  ExpectConservation(stats);
+}
+
+TEST(ScoringServer, ReadDeadlineCutsConnectionStalledMidRecord) {
+  serve::ScoringServerConfig cfg;
+  cfg.read_deadline_ms = 100;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  // A partial record, then silence: the server must cut us loose.
+  ASSERT_TRUE(SendStr(fd, "0.1,0.2,"));
+  EXPECT_TRUE(AwaitEof(fd));
+  ::close(fd);
+  EXPECT_TRUE(Eventually([&] {
+    return server.Stats().read_deadline_closes == 1;
+  }));
+  server.Drain();
+  EXPECT_EQ(server.Stats().records, 0u);  // nothing accepted, nothing owed
+}
+
+TEST(ScoringServer, IdleTimeoutClosesQuietConnection) {
+  serve::ScoringServerConfig cfg;
+  cfg.idle_timeout_ms = 100;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(AwaitEof(fd));
+  ::close(fd);
+  server.Drain();
+  EXPECT_EQ(server.Stats().read_deadline_closes, 0u);
+}
+
+TEST(ScoringServer, ConnectionCapShedsWithBusy) {
+  serve::ScoringServerConfig cfg;
+  cfg.max_connections = 1;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd1 = ConnectTo(server.Port());
+  ASSERT_GE(fd1, 0);
+  ASSERT_TRUE(SendStr(fd1, DataLines()[0] + "\n"));
+  ASSERT_EQ(ReadLines(fd1, 1).size(), 1u);  // fd1 is established + active
+
+  const int fd2 = ConnectTo(server.Port());
+  ASSERT_GE(fd2, 0);
+  const auto replies = ReadLines(fd2, 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0], std::string(serve::kBusyConnectionsReply));
+  EXPECT_TRUE(AwaitEof(fd2));
+  ::close(fd2);
+  ::close(fd1);
+  server.Drain();
+  EXPECT_EQ(server.Stats().connections_rejected, 1u);
+}
+
+// ---- socket-level fault injection ------------------------------------------
+
+TEST(ScoringServer, SurvivesShortReadsShortWritesAndEintr) {
+  serve::ScoringServerConfig cfg;
+  common::SocketFailPlan plan;
+  plan.recv_chunk = 7;
+  plan.send_chunk = 5;
+  plan.eintr_every = 3;
+  cfg.ops = common::FaultySocketOps(plan);
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  for (int i = 0; i < 10; ++i) payload += DataLines()[i] + "\n";
+  ASSERT_TRUE(SendStr(fd, payload));
+  const auto replies = ReadLines(fd, 10);
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 10u);
+  const auto verdicts = TrainedIds().InspectAll(WireRows());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(replies[i], serve::RenderVerdict(verdicts[i]));
+  }
+  server.Drain();
+  ExpectConservation(server.Stats());
+}
+
+TEST(ScoringServer, SurvivesInjectedEagainBursts) {
+  serve::ScoringServerConfig cfg;
+  common::SocketFailPlan plan;
+  plan.eagain_first = 5;
+  cfg.ops = common::FaultySocketOps(plan);
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, DataLines()[0] + "\n"));
+  const auto replies = ReadLines(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("ok,", 0), 0u);
+  server.Drain();
+  ExpectConservation(server.Stats());
+}
+
+TEST(ScoringServer, MidRecordTruncationAnswersCompleteLinesOnly) {
+  std::string payload;
+  for (int i = 0; i < 4; ++i) payload += DataLines()[i] + "\n";
+
+  serve::ScoringServerConfig cfg;
+  common::SocketFailPlan plan;
+  plan.recv_eof_at = payload.size() - 10;  // EOF mid 4th record
+  cfg.ops = common::FaultySocketOps(plan);
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, payload));
+  const auto replies = ReadLines(fd, 4);  // only 3 can come back
+  EXPECT_TRUE(AwaitEof(fd));
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 3u);
+  for (const auto& reply : replies) {
+    EXPECT_EQ(reply.rfind("ok,", 0), 0u);
+  }
+  server.Drain();
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.records, 3u);     // the partial 4th was never accepted
+  EXPECT_EQ(stats.truncated, 1u);   // ...but it was counted
+  ExpectConservation(stats);
+}
+
+TEST(ScoringServer, InjectedConnResetCountedAndServerKeepsRunning) {
+  serve::ScoringServerConfig cfg;
+  common::SocketFailPlan plan;
+  plan.recv_reset_at = 10;
+  cfg.ops = common::FaultySocketOps(plan);
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  SendStr(fd, DataLines()[0] + "\n");
+  EXPECT_TRUE(AwaitEof(fd));
+  ::close(fd);
+  EXPECT_TRUE(Eventually([&] { return server.Stats().io_errors == 1; }));
+  EXPECT_TRUE(server.Running());  // one dead connection, server lives
+  server.Drain();
+}
+
+// ---- graceful drain --------------------------------------------------------
+
+TEST(ScoringServer, DrainFlushesInFlightAndConservesAcceptedRecords) {
+  serve::ScoringServer server(TrainedIds());
+  server.Start();
+
+  // Client A completes a full round trip.
+  const int fd_a = ConnectTo(server.Port());
+  ASSERT_GE(fd_a, 0);
+  std::string payload_a;
+  for (int i = 0; i < 20; ++i) payload_a += DataLines()[i] + "\n";
+  ASSERT_TRUE(SendStr(fd_a, payload_a));
+  ASSERT_EQ(ReadLines(fd_a, 20).size(), 20u);
+
+  // Client B has records in flight when the drain lands.
+  const int fd_b = ConnectTo(server.Port());
+  ASSERT_GE(fd_b, 0);
+  std::string payload_b;
+  for (int i = 0; i < 10; ++i) payload_b += DataLines()[i] + "\n";
+  ASSERT_TRUE(SendStr(fd_b, payload_b));
+  ASSERT_TRUE(Eventually([&] { return server.Stats().records >= 30; }));
+
+  server.Drain();  // stop accepting, flush, join
+
+  // B's accepted records were all answered before the close.
+  const auto replies_b = ReadLines(fd_b, 10, 2s);
+  EXPECT_EQ(replies_b.size(), 10u);
+  ::close(fd_b);
+  ::close(fd_a);
+
+  // No accepted record lost: every line got exactly one reply.
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.records, 30u);
+  EXPECT_EQ(stats.ok, 30u);
+  ExpectConservation(stats);
+  EXPECT_FALSE(server.Running());
+
+  // And the listener is really gone.
+  EXPECT_LT(ConnectTo(server.Port()), 0);
+}
+
+// Satellite: N concurrent clients through connect/score/drain — the
+// PELICAN_SANITIZE=thread build runs this under TSan.
+TEST(ScoringServer, ConcurrentClientsScoreAndDrainCleanly) {
+  serve::ScoringServerConfig cfg;
+  cfg.queue_depth = 256;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  constexpr int kClients = 6;
+  constexpr int kChunks = 3;
+  constexpr int kPerChunk = 10;
+  std::atomic<int> ok_total{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &ok_total, c] {
+      const int fd = ConnectTo(server.Port());
+      ASSERT_GE(fd, 0);
+      for (int chunk = 0; chunk < kChunks; ++chunk) {
+        std::string payload;
+        for (int j = 0; j < kPerChunk; ++j) {
+          payload += DataLines()[(c * 7 + chunk * kPerChunk + j) %
+                                 DataLines().size()];
+          payload += '\n';
+        }
+        ASSERT_TRUE(SendStr(fd, payload));
+        const auto replies = ReadLines(fd, kPerChunk);
+        ASSERT_EQ(replies.size(), static_cast<std::size_t>(kPerChunk));
+        for (const auto& reply : replies) {
+          if (reply.rfind("ok,", 0) == 0) ok_total.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Drain();
+
+  const auto stats = server.Stats();
+  EXPECT_EQ(ok_total.load(), kClients * kChunks * kPerChunk);
+  EXPECT_EQ(stats.records, static_cast<std::uint64_t>(ok_total.load()));
+  ExpectConservation(stats);
+}
+
+// ---- metrics export --------------------------------------------------------
+
+TEST(ScoringServer, ExportsCountersAndLatencyHistograms) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  auto& reg = obs::Registry::Global();
+  const auto records0 = reg.CounterValue("pelican_serve_records_total");
+  const auto ok0 = reg.CounterValue("pelican_serve_ok_total");
+  const auto quarantined0 =
+      reg.CounterValue("pelican_serve_quarantined_total");
+  const auto lat0 = reg.HistogramValue("pelican_serve_record_seconds").count;
+  const auto rows0 = reg.HistogramValue("pelican_serve_batch_rows").count;
+
+  serve::ScoringServer server(TrainedIds());
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, DataLines()[0] + "\nbad\n" + DataLines()[1] + "\n"));
+  ASSERT_EQ(ReadLines(fd, 3).size(), 3u);
+  ::close(fd);
+  server.Drain();
+
+  EXPECT_EQ(reg.CounterValue("pelican_serve_records_total") - records0, 3u);
+  EXPECT_EQ(reg.CounterValue("pelican_serve_ok_total") - ok0, 2u);
+  EXPECT_EQ(
+      reg.CounterValue("pelican_serve_quarantined_total") - quarantined0, 1u);
+  EXPECT_EQ(reg.HistogramValue("pelican_serve_record_seconds").count - lat0,
+            2u);
+  EXPECT_GE(reg.HistogramValue("pelican_serve_batch_rows").count, rows0 + 1);
+
+  const auto json = server.StatsJson();
+  EXPECT_NE(json.find("\"records\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quarantined\": 1"), std::string::npos) << json;
+}
+
+// ---- HTTP control plane under EINTR (satellite) ----------------------------
+
+TEST(HttpServer, AnswersThroughInjectedEintrAndShortIo) {
+  obs::HttpServerConfig cfg;
+  common::SocketFailPlan plan;
+  plan.recv_chunk = 3;
+  plan.send_chunk = 4;
+  plan.eintr_every = 2;  // every other syscall is interrupted
+  cfg.ops = common::FaultySocketOps(plan);
+  obs::HttpServer server(cfg);
+  server.Handle("/healthz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server.Start();
+
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string response;
+  char buf[1024];
+  ssize_t n = 0;
+  timeval tv{100 / 1000, (100 % 1000) * 1000};
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.Stop();
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\n"), std::string::npos) << response;
+}
+
+// ---- StreamDetector quarantine telemetry (satellite) -----------------------
+
+TEST(StreamQuarantine, CounterAndJsonExported) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  auto& reg = obs::Registry::Global();
+  const auto before = reg.CounterValue("pelican_stream_quarantined_total");
+
+  core::StreamDetector detector(TrainedIds());
+  std::vector<double> bad_width{1.0, 2.0};
+  EXPECT_FALSE(detector.Ingest(bad_width).has_value());
+  std::vector<double> bad_value(DataRows().Row(0).begin(),
+                                DataRows().Row(0).end());
+  bad_value[5] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(detector.Ingest(bad_value).has_value());
+  detector.Ingest(DataRows().Row(0));
+
+  EXPECT_EQ(reg.CounterValue("pelican_stream_quarantined_total") - before,
+            2u);
+  const auto stats = detector.Stats();
+  EXPECT_EQ(stats.quarantined, 2u);
+  EXPECT_EQ(stats.processed, 3u);
+  const auto json = core::StreamStatsJson(stats);
+  EXPECT_NE(json.find("\"quarantined\": 2"), std::string::npos) << json;
+}
+
+TEST(StreamQuarantine, OutOfVocabCategoricalIndexQuarantined) {
+  const auto& schema = TrainedIds().schema();
+  std::size_t categorical = schema.ColumnCount();
+  for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+    if (schema.Column(c).kind == data::ColumnKind::kCategorical) {
+      categorical = c;
+      break;
+    }
+  }
+  ASSERT_LT(categorical, schema.ColumnCount());
+
+  std::vector<double> row(DataRows().Row(0).begin(),
+                          DataRows().Row(0).end());
+  EXPECT_FALSE(core::IsMalformedRecord(schema, row));
+  row[categorical] = 1e6;  // way outside the vocabulary
+  EXPECT_TRUE(core::IsMalformedRecord(schema, row));
+  row[categorical] = 0.5;  // non-integral index
+  EXPECT_TRUE(core::IsMalformedRecord(schema, row));
+
+  // The detector quarantines it instead of handing the encoder an
+  // out-of-bounds one-hot offset.
+  core::StreamDetector detector(TrainedIds());
+  row[categorical] = 1e6;
+  EXPECT_FALSE(detector.Ingest(row).has_value());
+  EXPECT_EQ(detector.Stats().quarantined, 1u);
+}
+
+}  // namespace
+}  // namespace pelican

@@ -128,4 +128,36 @@ fi
     --out "$WORK_DIR/model_serve.bin" | grep -q "listening"
 cmp "$WORK_DIR/model.bin" "$WORK_DIR/model_serve.bin"
 
+# Scoring server round trip: pipe 100 records through `pelican serve`,
+# compare the verdicts byte-for-byte against the batch CLI on the same
+# CSV, then SIGTERM and assert a graceful drain with exit code 0.
+"$PELICAN_BIN" generate --dataset nsl --records 100 --seed 11 \
+    --out "$WORK_DIR/score_flows.csv"
+"$PELICAN_BIN" serve --model "$WORK_DIR/model.bin" --port 0 \
+    > "$WORK_DIR/score_serve.log" 2>&1 &
+SCORE_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+    PORT="$(sed -n \
+        's/.*scoring server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+        "$WORK_DIR/score_serve.log")"
+    [ -n "$PORT" ] && break
+    sleep 0.05
+    i=$((i + 1))
+done
+test -n "$PORT"
+"$PELICAN_BIN" score --port "$PORT" --csv "$WORK_DIR/score_flows.csv" \
+    --out "$WORK_DIR/serve_verdicts.txt"
+test "$(wc -l < "$WORK_DIR/serve_verdicts.txt")" -eq 100
+test "$(grep -c '^ok,' "$WORK_DIR/serve_verdicts.txt")" -eq 100
+"$PELICAN_BIN" classify --model "$WORK_DIR/model.bin" \
+    --csv "$WORK_DIR/score_flows.csv" --limit 1 \
+    --verdicts-out "$WORK_DIR/batch_verdicts.txt" > /dev/null
+cmp "$WORK_DIR/serve_verdicts.txt" "$WORK_DIR/batch_verdicts.txt"
+kill -TERM "$SCORE_PID"
+wait "$SCORE_PID"    # graceful drain must exit 0 (set -e enforces it)
+grep -q "draining scoring server" "$WORK_DIR/score_serve.log"
+grep -q "drained: " "$WORK_DIR/score_serve.log"
+
 echo "cli smoke test passed"

@@ -14,15 +14,24 @@
 // Model files carry a .meta sidecar (key=value) recording the
 // architecture and source schema so eval/classify can rebuild the
 // network without flags.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -30,7 +39,9 @@
 #include "core/core.h"
 #include "data/data.h"
 #include "metrics/metrics.h"
+#include "obs/net_util.h"
 #include "obs/obs.h"
+#include "serve/serve.h"
 
 namespace {
 
@@ -39,6 +50,11 @@ using namespace pelican;
 // Live introspection server (--serve-port); null when not serving.
 // Commands flip readiness and register the /stream payload on it.
 obs::IntrospectionServer* g_server = nullptr;
+
+// SIGTERM/SIGINT ask the scoring server (pelican serve) to drain.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void OnDrainSignal(int) { g_drain_requested = 1; }
 
 // ---- tiny flag parser ----------------------------------------------------
 
@@ -263,6 +279,18 @@ int CmdClassify(const Flags& flags) {
   ids.Load(model);
   if (g_server != nullptr) g_server->SetReady(true);
 
+  // Batch verdicts in the serve wire format, for byte-for-byte
+  // comparison against a scoring-server run on the same rows.
+  const auto verdicts_out = flags.Get("verdicts-out");
+  if (!verdicts_out.empty()) {
+    std::ofstream vout(verdicts_out);
+    PELICAN_CHECK(vout.is_open(), "cannot write " + verdicts_out);
+    for (const auto& v : ids.InspectAll(ds)) {
+      vout << serve::RenderVerdict(v) << '\n';
+    }
+    PELICAN_CHECK(vout.good(), "verdict write failed: " + verdicts_out);
+  }
+
   const auto limit = static_cast<std::size_t>(flags.GetLong("limit", 0));
   const bool labels_for_quality = flags.Has("labels-for-quality");
   core::StreamConfig stream_config;
@@ -346,6 +374,183 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  const auto model = flags.Get("model");
+  PELICAN_CHECK(!model.empty(), "serve requires --model <model.bin>");
+  const auto meta = ReadMeta(model);
+  core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
+  ids.Load(model);
+
+  serve::ScoringServerConfig sc;
+  sc.port = static_cast<std::uint16_t>(flags.GetLong("port", 0));
+  sc.max_connections =
+      static_cast<std::size_t>(flags.GetLong("max-connections", 32));
+  sc.queue_depth = static_cast<std::size_t>(flags.GetLong("queue-depth", 1024));
+  sc.max_batch = static_cast<std::size_t>(flags.GetLong("batch-max", 64));
+  sc.batch_linger_ms = static_cast<int>(flags.GetLong("batch-linger-ms", 1));
+  sc.read_deadline_ms =
+      static_cast<int>(flags.GetLong("read-deadline-ms", 5000));
+  sc.idle_timeout_ms =
+      static_cast<int>(flags.GetLong("idle-timeout-ms", 30000));
+  sc.score_deadline_ms =
+      static_cast<int>(flags.GetLong("score-deadline-ms", 2000));
+  sc.write_timeout_ms =
+      static_cast<int>(flags.GetLong("write-timeout-ms", 5000));
+  serve::ScoringServer server(ids, sc);
+  server.Start();
+  std::printf("scoring server listening on 127.0.0.1:%u (schema %s)\n",
+              static_cast<unsigned>(server.Port()), meta.schema.c_str());
+  std::fflush(stdout);
+
+  if (g_server != nullptr) {
+    g_server->Handle("/serve", [&server](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "application/json",
+                               server.StatsJson() + "\n"};
+    });
+    g_server->SetReady(true);  // model loaded, data plane up
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = OnDrainSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  while (g_drain_requested == 0 && server.Running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining scoring server ...\n");
+  std::fflush(stdout);
+  // Readiness goes first so load balancers stop routing before the
+  // listener closes; the control plane itself stays up for scrapes.
+  if (g_server != nullptr) g_server->SetReady(false);
+  server.Drain();
+  const auto stats = server.Stats();
+  if (g_server != nullptr) {
+    // The ScoringServer dies with this frame; leave a final snapshot.
+    const std::string final_stats = server.StatsJson() + "\n";
+    g_server->Handle("/serve", [final_stats](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "application/json", final_stats};
+    });
+  }
+  std::printf("drained: %llu records -> %llu ok, %llu quarantined, "
+              "%llu shed, %llu late (%llu connections)\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.quarantined),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.late),
+              static_cast<unsigned long long>(stats.connections));
+  return 0;
+}
+
+// Minimal TCP client for the scoring wire protocol: streams the data
+// lines of a CSV (header skipped) in chunks, prints one reply line per
+// record. Exists so scripted round-trips don't depend on netcat.
+int CmdScore(const Flags& flags) {
+  const long port = flags.GetLong("port", 0);
+  PELICAN_CHECK(port > 0 && port <= 65535, "score requires --port <port>");
+  const auto host = flags.Get("host", "127.0.0.1");
+  const auto csv = flags.Get("csv");
+  PELICAN_CHECK(!csv.empty(), "score requires --csv <flows.csv>");
+
+  std::ifstream in(csv);
+  PELICAN_CHECK(in.is_open(), "cannot read " + csv);
+  std::vector<std::string> lines;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (Trim(line).empty()) continue;
+    lines.push_back(line);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PELICAN_CHECK(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  PELICAN_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "bad host: " + host);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    PELICAN_CHECK(false, "cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+
+  std::ofstream out_file;
+  const auto out_path = flags.Get("out");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    PELICAN_CHECK(out_file.is_open(), "cannot write " + out_path);
+  }
+
+  const obs::SocketOps ops;  // real syscalls
+  std::string rbuf;
+  const auto read_reply = [&](std::string* reply) {
+    for (;;) {
+      const auto pos = rbuf.find('\n');
+      if (pos != std::string::npos) {
+        *reply = rbuf.substr(0, pos);
+        rbuf.erase(0, pos + 1);
+        return true;
+      }
+      char tmp[4096];
+      const ssize_t n = obs::RecvRetry(ops, fd, tmp, sizeof tmp);
+      if (n <= 0) return false;
+      rbuf.append(tmp, static_cast<std::size_t>(n));
+    }
+  };
+
+  // Lockstep chunks: write up to 64 records, read their replies, so
+  // neither side's socket buffer can fill while the other also writes.
+  std::size_t ok = 0, err = 0, busy = 0, late = 0;
+  bool short_replies = false;
+  const std::size_t chunk = 64;
+  for (std::size_t off = 0; off < lines.size() && !short_replies;
+       off += chunk) {
+    const std::size_t count = std::min(chunk, lines.size() - off);
+    std::string payload;
+    for (std::size_t j = 0; j < count; ++j) {
+      payload += lines[off + j];
+      payload += '\n';
+    }
+    if (!obs::SendAll(ops, fd, payload)) {
+      ::close(fd);
+      PELICAN_CHECK(false, "send failed (server gone?)");
+    }
+    for (std::size_t j = 0; j < count; ++j) {
+      std::string reply;
+      if (!read_reply(&reply)) {
+        short_replies = true;
+        break;
+      }
+      if (reply.rfind("ok,", 0) == 0) ++ok;
+      else if (reply.rfind("busy,", 0) == 0) ++busy;
+      else if (reply.rfind("late,", 0) == 0) ++late;
+      else ++err;
+      if (out_file.is_open()) {
+        out_file << reply << '\n';
+      } else {
+        std::printf("%s\n", reply.c_str());
+      }
+    }
+  }
+  obs::LingeringClose(ops, fd, 4096);
+  if (out_file.is_open()) {
+    PELICAN_CHECK(out_file.good(), "reply write failed: " + out_path);
+  }
+  std::fprintf(stderr,
+               "scored %zu records: %zu ok, %zu err, %zu busy, %zu late\n",
+               ok + err + busy + late, ok, err, busy, late);
+  PELICAN_CHECK(!short_replies,
+                "server closed before answering every record");
+  return busy + late > 0 ? 3 : 0;
+}
+
 int Usage() {
   std::printf(
       "pelican — deep residual network intrusion detection\n\n"
@@ -360,7 +565,18 @@ int Usage() {
       "  eval      --model model.bin [--csv f|--official f|--records N]\n"
       "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
       "            [--labels-for-quality] [--drift-threshold 6.0]\n"
-      "            [--stream-window 256]\n"
+      "            [--stream-window 256] [--verdicts-out f]\n"
+      "  serve     --model model.bin [--port 0] [--queue-depth 1024]\n"
+      "            [--batch-max 64] [--batch-linger-ms 1]\n"
+      "            [--max-connections 32] [--read-deadline-ms 5000]\n"
+      "            [--idle-timeout-ms 30000] [--score-deadline-ms 2000]\n"
+      "            [--write-timeout-ms 5000]\n"
+      "            scoring data plane: line-delimited CSV records in,\n"
+      "            one verdict line per record out; SIGTERM/SIGINT\n"
+      "            drains gracefully (no accepted record is lost)\n"
+      "  score     --port P [--host 127.0.0.1] --csv f [--out f]\n"
+      "            stream a CSV's data rows to a running serve\n"
+      "            instance (exit 3 if any record was shed/late)\n"
       "  info      --model model.bin\n\n"
       "global flags:\n"
       "  --threads N       worker threads for training/inference\n"
@@ -431,6 +647,10 @@ int main(int argc, char** argv) {
       rc = CmdEval(flags);
     } else if (command == "classify") {
       rc = CmdClassify(flags);
+    } else if (command == "serve") {
+      rc = CmdServe(flags);
+    } else if (command == "score") {
+      rc = CmdScore(flags);
     } else if (command == "info") {
       rc = CmdInfo(flags);
     } else {
