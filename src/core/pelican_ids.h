@@ -70,9 +70,26 @@ class PelicanIds {
   [[nodiscard]] Trainer::Evaluation Evaluate(
       const data::RawDataset& records) const;
 
-  // Persists / restores network weights + scaler statistics.
+  // Persists / restores network weights + scaler statistics (and, when
+  // present, the int8 parameters as a `.quant` sidecar).
   void Save(const std::string& path) const;
   void Load(const std::string& path);
+
+  // Calibrates and freezes int8 inference parameters from `calibration`
+  // (raw records in the schema's column layout; labels unused). Train
+  // already does this automatically on a slice of the training set; use
+  // this to quantize a model loaded from a legacy checkpoint without a
+  // `.quant` sidecar. No-op if quantized parameters already exist.
+  void Quantize(const data::RawDataset& calibration);
+
+  // True once every quantizable op has frozen int8 parameters (from
+  // Train, Quantize, or a loaded sidecar).
+  [[nodiscard]] bool HasQuantizedParameters() const;
+
+  // Routes subsequent predictions (Inspect/InspectAll/Classify/
+  // Evaluate) through the int8 engine. Training stays fp32 regardless.
+  void EnableQuantized(bool on);
+  [[nodiscard]] bool quantized() const { return quantized_; }
 
   [[nodiscard]] const data::Schema& schema() const { return schema_; }
   [[nodiscard]] nn::Sequential& network() { return *network_; }
@@ -81,6 +98,10 @@ class PelicanIds {
  private:
   [[nodiscard]] Tensor EncodeAndScale(const data::RawDataset& records) const;
   void BuildNetwork();
+  // Observer pass over (a stride sample of) the scaled rows, then
+  // freeze. Inference-mode forwards only: fp32 weights and the trainer
+  // RNG are untouched, so the saved model bytes don't change.
+  void CalibrateQuantized(const Tensor& x);
 
   data::Schema schema_;
   IdsConfig config_;
@@ -88,6 +109,7 @@ class PelicanIds {
   data::StandardScaler scaler_;
   std::unique_ptr<nn::Sequential> network_;
   std::unique_ptr<Trainer> trainer_;
+  bool quantized_ = false;
 };
 
 }  // namespace pelican::core

@@ -37,4 +37,33 @@ std::int64_t Schema::EncodedWidth() const {
   return width;
 }
 
+VocabularyIndex::VocabularyIndex(const Schema& schema) {
+  categories_.resize(schema.ColumnCount());
+  for (std::size_t c = 0; c < schema.ColumnCount(); ++c) {
+    const ColumnSpec& col = schema.Column(c);
+    if (col.kind != ColumnKind::kCategorical) continue;
+    Map& map = categories_[c];
+    map.reserve(col.categories.size());
+    for (std::size_t i = 0; i < col.categories.size(); ++i) {
+      map.emplace(col.categories[i], static_cast<int>(i));
+    }
+  }
+  labels_.reserve(schema.LabelCount());
+  for (std::size_t i = 0; i < schema.LabelCount(); ++i) {
+    labels_.emplace(schema.LabelName(i), static_cast<int>(i));
+  }
+}
+
+int VocabularyIndex::CategoryIndex(std::size_t col,
+                                   std::string_view value) const {
+  const Map& map = categories_.at(col);
+  const auto it = map.find(value);
+  return it == map.end() ? -1 : it->second;
+}
+
+int VocabularyIndex::LabelIndex(std::string_view name) const {
+  const auto it = labels_.find(name);
+  return it == labels_.end() ? -1 : it->second;
+}
+
 }  // namespace pelican::data

@@ -5,7 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -57,6 +60,39 @@ class Schema {
  private:
   std::vector<ColumnSpec> columns_;
   std::vector<std::string> labels_;
+};
+
+// Hash-map lookup tables over a schema's category and label
+// vocabularies. Schema::LabelIndex and the per-column category scans
+// are O(V) linear searches — fine for one-off lookups, but the CSV
+// reader and the serve hot path resolve every categorical cell of
+// every record; build one of these per schema (the referenced Schema
+// must outlive it) and resolve in O(1).
+class VocabularyIndex {
+ public:
+  explicit VocabularyIndex(const Schema& schema);
+
+  // Category index of `value` within column `col`; -1 if unknown.
+  // Accepts string_view so serve-path lookups don't allocate.
+  [[nodiscard]] int CategoryIndex(std::size_t col,
+                                  std::string_view value) const;
+
+  // Label index of `name`; -1 if unknown.
+  [[nodiscard]] int LabelIndex(std::string_view name) const;
+
+ private:
+  // Heterogeneous-lookup string hash (find by string_view, no copy).
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Map =
+      std::unordered_map<std::string, int, StringHash, std::equal_to<>>;
+
+  std::vector<Map> categories_;  // one map per column (empty if numeric)
+  Map labels_;
 };
 
 }  // namespace pelican::data

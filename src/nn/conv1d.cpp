@@ -66,6 +66,7 @@ Conv1D::Conv1D(std::int64_t in_channels, std::int64_t filters,
       dw_({kernel_size, in_channels, filters}),
       db_({filters}) {
   PELICAN_CHECK(in_channels > 0 && filters > 0 && kernel_size > 0);
+  qop_.name = "conv1d.w";
 }
 
 // The kernel taps that can land inside the sequence for at least one
@@ -88,14 +89,38 @@ TapRange ValidTaps(std::int64_t k, std::int64_t len, std::int64_t pad_left) {
 // row-major, and a tap sub-range is a contiguous row block of it. The
 // im2col scratch lives in the thread-local workspace, so steady-state
 // training reallocates nothing.
-Tensor Conv1D::Forward(const Tensor& x, bool /*training*/) {
+Tensor Conv1D::Forward(const Tensor& x, bool training) {
   PELICAN_CHECK(x.rank() == 3 && x.dim(2) == in_channels_,
                 "Conv1D expects (N, L, C_in)");
-  x_ = x;
   const std::int64_t n = x.dim(0), len = x.dim(1);
   const std::int64_t cin = in_channels_, f = filters_;
   const auto [kk_lo, keff] = ValidTaps(kernel_, len, pad_left_);
   const std::int64_t rows = n * len, kc = keff * cin;
+
+  if (quant_mode_ == quant::Mode::kInt8) {
+    PELICAN_CHECK(!training, "int8 forward is inference-only");
+    Tensor yq({n, len, f});
+    Workspace::Scope qscope;
+    float* qcol = Workspace::Tls().Alloc(static_cast<std::size_t>(rows * kc));
+    {
+      obs::TraceSpan span("conv1d_im2col", "kernel");
+      Im2Col(x.data().data(), n, len, cin, keff, kk_lo, pad_left_, qcol);
+    }
+    {
+      obs::TraceSpan span("conv1d_gemm_int8_fwd", "kernel");
+      quant::QuantizedMatMul(qcol, rows, kc, qop_, kk_lo * cin,
+                             yq.data().data(), f);
+    }
+    AddRowBias(yq.data().data(), rows, f, b_.data().data());
+    return yq;
+  }
+  if (quant_mode_ == quant::Mode::kCalibrate && !training) {
+    // im2col entries are a subset of x plus padding zeros (which
+    // quantize to exactly 0), so observing the raw input bounds the
+    // GEMM operand exactly.
+    qop_.observer.Observe(x.data().data(), x.size());
+  }
+  x_ = x;
   Tensor y({n, len, f});
 
   Workspace::Scope scope;
@@ -182,6 +207,21 @@ Tensor Conv1D::Backward(const Tensor& dy) {
 
 std::vector<ParamRef> Conv1D::Params() {
   return {{"conv1d.w", &w_, &dw_}, {"conv1d.b", &b_, &db_}};
+}
+
+void Conv1D::SetQuantMode(quant::Mode mode) {
+  if (mode == quant::Mode::kInt8 && !qop_.Ready()) {
+    PELICAN_CHECK(qop_.observer.Seen(),
+                  "int8 mode requires calibration or a loaded sidecar");
+    quant::QuantizeWeightsPerChannel(qop_, w_.data().data(),
+                                     kernel_ * in_channels_, filters_);
+    quant::FreezeActivationScale(qop_);
+  }
+  quant_mode_ = mode;
+}
+
+void Conv1D::CollectQuantOps(std::vector<quant::LinearQuant*>& ops) {
+  ops.push_back(&qop_);
 }
 
 }  // namespace pelican::nn

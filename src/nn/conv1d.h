@@ -23,6 +23,8 @@ class Conv1D final : public Layer {
   std::vector<ParamRef> Params() override;
   [[nodiscard]] std::string Name() const override { return "Conv1D"; }
   [[nodiscard]] int ParameterLayerCount() const override { return 1; }
+  void SetQuantMode(quant::Mode mode) override;
+  void CollectQuantOps(std::vector<quant::LinearQuant*>& ops) override;
 
   [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
   [[nodiscard]] std::int64_t filters() const { return filters_; }
@@ -38,6 +40,11 @@ class Conv1D final : public Layer {
   Tensor dw_;
   Tensor db_;
   Tensor x_;   // cached input
+  quant::Mode quant_mode_ = quant::Mode::kOff;
+  // int8 view of the full (K·C_in, F) weight matrix; the valid-tap
+  // sub-range used by a given sequence length is a row block of it,
+  // addressable because scales are per output column.
+  quant::LinearQuant qop_;
 };
 
 }  // namespace pelican::nn

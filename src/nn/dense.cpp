@@ -12,15 +12,42 @@ Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng)
                        out_features, rng)),
       b_({out_features}),
       dw_({in_features, out_features}),
-      db_({out_features}) {}
+      db_({out_features}) {
+  qop_.name = "dense.w";
+}
 
-Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
+Tensor Dense::Forward(const Tensor& x, bool training) {
   PELICAN_CHECK(x.rank() == 2 && x.dim(1) == in_,
                 "Dense expects (N, in_features)");
+  if (quant_mode_ == quant::Mode::kInt8) {
+    PELICAN_CHECK(!training, "int8 forward is inference-only");
+    Tensor y({x.dim(0), out_});
+    quant::QuantizedMatMul(x.data().data(), x.dim(0), in_, qop_, 0,
+                           y.data().data(), out_);
+    AddRowBias(y, b_);
+    return y;
+  }
+  if (quant_mode_ == quant::Mode::kCalibrate && !training) {
+    qop_.observer.Observe(x.data().data(), x.size());
+  }
   x_ = x;
   Tensor y = MatMul(x, w_);
   AddRowBias(y, b_);
   return y;
+}
+
+void Dense::SetQuantMode(quant::Mode mode) {
+  if (mode == quant::Mode::kInt8 && !qop_.Ready()) {
+    PELICAN_CHECK(qop_.observer.Seen(),
+                  "int8 mode requires calibration or a loaded sidecar");
+    quant::QuantizeWeightsPerChannel(qop_, w_.data().data(), in_, out_);
+    quant::FreezeActivationScale(qop_);
+  }
+  quant_mode_ = mode;
+}
+
+void Dense::CollectQuantOps(std::vector<quant::LinearQuant*>& ops) {
+  ops.push_back(&qop_);
 }
 
 Tensor Dense::Backward(const Tensor& dy) {

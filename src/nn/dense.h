@@ -15,6 +15,8 @@ class Dense final : public Layer {
   std::vector<ParamRef> Params() override;
   [[nodiscard]] std::string Name() const override { return "Dense"; }
   [[nodiscard]] int ParameterLayerCount() const override { return 1; }
+  void SetQuantMode(quant::Mode mode) override;
+  void CollectQuantOps(std::vector<quant::LinearQuant*>& ops) override;
 
   [[nodiscard]] std::int64_t in_features() const { return in_; }
   [[nodiscard]] std::int64_t out_features() const { return out_; }
@@ -27,6 +29,8 @@ class Dense final : public Layer {
   Tensor dw_;
   Tensor db_;
   Tensor x_;   // cached input
+  quant::Mode quant_mode_ = quant::Mode::kOff;
+  quant::LinearQuant qop_;  // int8 view of w_ (bias stays fp32)
 };
 
 }  // namespace pelican::nn

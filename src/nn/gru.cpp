@@ -47,6 +47,7 @@ Gru::Gru(std::int64_t input_size, std::int64_t units, Rng& rng,
       u_zr_({units, 2 * units}),
       b_zrh_({3 * units}) {
   PELICAN_CHECK(input_size > 0 && units > 0);
+  qop_.name = "gru.w_zrh";
 }
 
 void Gru::RefreshFusedPanels() {
@@ -77,7 +78,7 @@ void Gru::RefreshFusedPanels() {
 // per-step projections live as a strided sub-view of the workspace
 // `proj` buffer (leading dimension L·3H), which the GEMM addresses
 // directly — no per-step gate copies.
-Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
+Tensor Gru::Forward(const Tensor& x, bool training) {
   PELICAN_CHECK(x.rank() == 3 && x.dim(2) == input_size_,
                 "GRU expects (N, L, C_in)");
   const std::int64_t n = x.dim(0), len = x.dim(1);
@@ -94,9 +95,18 @@ Tensor Gru::Forward(const Tensor& x, bool /*training*/) {
 
   Workspace::Scope scope;
   float* proj = Workspace::Tls().Alloc(static_cast<std::size_t>(n * len * h3));
-  kernels::Gemm(false, false, n * len, h3, input_size_, x.data().data(),
-                input_size_, w_zrh_.data().data(), h3, proj, h3,
-                /*accumulate=*/false);
+  if (quant_mode_ == quant::Mode::kInt8) {
+    PELICAN_CHECK(!training, "int8 forward is inference-only");
+    quant::QuantizedMatMul(x.data().data(), n * len, input_size_, qop_, 0,
+                           proj, h3);
+  } else {
+    if (quant_mode_ == quant::Mode::kCalibrate && !training) {
+      qop_.observer.Observe(x.data().data(), x.size());
+    }
+    kernels::Gemm(false, false, n * len, h3, input_size_, x.data().data(),
+                  input_size_, w_zrh_.data().data(), h3, proj, h3,
+                  /*accumulate=*/false);
+  }
   AddRowBias(proj, n * len, h3, b_zrh_.data().data());
 
   const std::int64_t ld = len * h3;  // row stride of one step's sub-view
@@ -311,6 +321,22 @@ Tensor Gru::Backward(const Tensor& dy) {
     dbh_[j] += db_zrh[2 * h + j];
   }
   return dx;
+}
+
+void Gru::SetQuantMode(quant::Mode mode) {
+  if (mode == quant::Mode::kInt8 && !qop_.Ready()) {
+    PELICAN_CHECK(qop_.observer.Seen(),
+                  "int8 mode requires calibration or a loaded sidecar");
+    RefreshFusedPanels();  // quantize the panel the GEMM actually reads
+    quant::QuantizeWeightsPerChannel(qop_, w_zrh_.data().data(), input_size_,
+                                     3 * units_);
+    quant::FreezeActivationScale(qop_);
+  }
+  quant_mode_ = mode;
+}
+
+void Gru::CollectQuantOps(std::vector<quant::LinearQuant*>& ops) {
+  ops.push_back(&qop_);
 }
 
 std::vector<ParamRef> Gru::Params() {

@@ -25,6 +25,8 @@ class Gru final : public Layer {
   std::vector<ParamRef> Params() override;
   [[nodiscard]] std::string Name() const override { return "GRU"; }
   [[nodiscard]] int ParameterLayerCount() const override { return 1; }
+  void SetQuantMode(quant::Mode mode) override;
+  void CollectQuantOps(std::vector<quant::LinearQuant*>& ops) override;
 
   [[nodiscard]] std::int64_t units() const { return units_; }
   [[nodiscard]] bool return_sequences() const { return return_sequences_; }
@@ -58,6 +60,13 @@ class Gru final : public Layer {
   Tensor x_;                    // (N, L, C_in) input, for backward GEMMs
   std::vector<Tensor> hs_;      // (N, H), hs_[0] is the initial state
   std::vector<Tensor> zs_, rs_, hcands_, rhs_;  // one entry per step
+
+  quant::Mode quant_mode_ = quant::Mode::kOff;
+  // int8 view of the fused input-projection panel [Wz|Wr|Wh]. The
+  // recurrent per-step GEMMs stay fp32: they are skinny (N×H·H) and
+  // their operand h_t is produced fresh each step, so quantizing them
+  // buys little and compounds error across time.
+  quant::LinearQuant qop_;
 };
 
 }  // namespace pelican::nn

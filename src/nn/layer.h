@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "quant/quantize.h"
 #include "tensor/tensor.h"
 
 namespace pelican::nn {
@@ -63,6 +64,19 @@ class Layer {
   // Supplies the RNG used for stochastic behaviour (dropout). Layers
   // without randomness ignore it. The pointer must outlive the layer.
   virtual void SetRng(Rng* rng) { (void)rng; }
+
+  // Switches the inference quantization mode. Entering kInt8 freezes
+  // the layer's quantized parameters from the fp32 masters and the
+  // calibration observer, unless they were already loaded from a
+  // sidecar. Layers without a quantizable linear op ignore the mode;
+  // containers recurse into their children.
+  virtual void SetQuantMode(quant::Mode mode) { (void)mode; }
+
+  // Appends this layer's quantized linear ops in traversal order (the
+  // order the `.quant` sidecar serializes). Containers recurse.
+  virtual void CollectQuantOps(std::vector<quant::LinearQuant*>& ops) {
+    (void)ops;
+  }
 
   // Zeroes all parameter gradients.
   void ZeroGrad() {

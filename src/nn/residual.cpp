@@ -67,4 +67,16 @@ void ResidualWrap::SetRng(Rng* rng) {
   }
 }
 
+void ResidualWrap::SetQuantMode(quant::Mode mode) {
+  for (Layer* l : {pre_.get(), body_.get(), shortcut_.get(), post_.get()}) {
+    if (l != nullptr) l->SetQuantMode(mode);
+  }
+}
+
+void ResidualWrap::CollectQuantOps(std::vector<quant::LinearQuant*>& ops) {
+  for (Layer* l : {pre_.get(), body_.get(), shortcut_.get(), post_.get()}) {
+    if (l != nullptr) l->CollectQuantOps(ops);
+  }
+}
+
 }  // namespace pelican::nn

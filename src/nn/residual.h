@@ -27,6 +27,8 @@ class ResidualWrap final : public Layer {
   [[nodiscard]] std::string Name() const override { return "Residual"; }
   [[nodiscard]] int ParameterLayerCount() const override;
   void SetRng(Rng* rng) override;
+  void SetQuantMode(quant::Mode mode) override;
+  void CollectQuantOps(std::vector<quant::LinearQuant*>& ops) override;
 
  private:
   LayerPtr pre_;

@@ -138,6 +138,14 @@ void Sequential::SetRng(Rng* rng) {
   for (auto& layer : layers_) layer->SetRng(rng);
 }
 
+void Sequential::SetQuantMode(quant::Mode mode) {
+  for (auto& layer : layers_) layer->SetQuantMode(mode);
+}
+
+void Sequential::CollectQuantOps(std::vector<quant::LinearQuant*>& ops) {
+  for (auto& layer : layers_) layer->CollectQuantOps(ops);
+}
+
 std::string Sequential::Summary() {
   std::ostringstream os;
   std::int64_t total = 0;

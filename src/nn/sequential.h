@@ -21,6 +21,8 @@ class Sequential final : public Layer {
   [[nodiscard]] std::string Name() const override { return "Sequential"; }
   [[nodiscard]] int ParameterLayerCount() const override;
   void SetRng(Rng* rng) override;
+  void SetQuantMode(quant::Mode mode) override;
+  void CollectQuantOps(std::vector<quant::LinearQuant*>& ops) override;
 
   [[nodiscard]] std::size_t LayerCount() const { return layers_.size(); }
   [[nodiscard]] Layer& LayerAt(std::size_t i) { return *layers_.at(i); }

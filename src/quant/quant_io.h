@@ -1,0 +1,36 @@
+// `.quant` sidecar — versioned, CRC-footered serialization of the
+// quantized parameters, same durability discipline as the PLCN v3
+// weight file (magic + version header, CRC32 footer over everything
+// before it, atomic write).
+//
+// Layout (little-endian, packed):
+//   char[4]  magic  "PQNT"
+//   u32      version (1)
+//   u64      op_count
+//   per op:  u32 name_len, name bytes, u64 k, u64 n,
+//            f32 act_scale, f32 scales[n], i8 data[k·n]
+//   u32      CRC32 of all preceding bytes
+//
+// Ops are matched positionally against the network's traversal order,
+// with the stored name checked against each op's name — the same
+// repeated-name discipline as the weight file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quant/quantize.h"
+
+namespace pelican::quant {
+
+// Serializes `ops` (all must be Ready) to `path` atomically.
+void SaveQuantSidecar(const std::string& path,
+                      const std::vector<const LinearQuant*>& ops);
+
+// Loads `path` into `ops`, verifying the CRC before parsing and the
+// op count/names against the network. Throws CheckError on any
+// corruption, truncation, or mismatch.
+void LoadQuantSidecar(const std::string& path,
+                      const std::vector<LinearQuant*>& ops);
+
+}  // namespace pelican::quant

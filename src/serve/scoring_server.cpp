@@ -19,40 +19,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Lazily-registered serve metrics; never touched while metrics are off.
-struct ServeMetrics {
-  obs::Counter records;
-  obs::Counter ok;
-  obs::Counter quarantined;
-  obs::Counter shed;
-  obs::Counter late;
-  obs::Histogram record_seconds;
-  obs::Histogram batch_rows;
-  obs::Gauge queue_depth;
-};
-ServeMetrics& ServeCounters() {
-  auto& reg = obs::Registry::Global();
-  static ServeMetrics m{
-      reg.GetCounter("pelican_serve_records_total",
-                     "Flow records accepted off the wire"),
-      reg.GetCounter("pelican_serve_ok_total", "Records scored and answered"),
-      reg.GetCounter("pelican_serve_quarantined_total",
-                     "Malformed records answered err,*"),
-      reg.GetCounter("pelican_serve_shed_total",
-                     "Records shed with busy,queue_full"),
-      reg.GetCounter("pelican_serve_late_total",
-                     "Records dropped past the scoring deadline"),
-      reg.GetHistogram("pelican_serve_record_seconds",
-                       "Enqueue-to-verdict latency per scored record",
-                       obs::DefaultTimeBuckets()),
-      reg.GetHistogram("pelican_serve_batch_rows",
-                       "Rows per scorer micro-batch",
-                       {1, 2, 4, 8, 16, 32, 64, 128, 256}),
-      reg.GetGauge("pelican_serve_queue_depth",
-                   "Ingest queue depth sampled per micro-batch")};
-  return m;
-}
-
 // One complete line pulled off a connection (or the oversized marker).
 struct ChunkLine {
   std::string text;
@@ -119,10 +85,53 @@ struct ScoringServer::PendingChunk {
   bool abandoned = false;
 };
 
+// Lazily-registered serve metrics, one set per server so the `engine`
+// label reflects which predict path (fp32 or int8) answered. Never
+// touched while metrics are off.
+struct ScoringServer::ServeMetrics {
+  obs::Counter records;
+  obs::Counter ok;
+  obs::Counter quarantined;
+  obs::Counter shed;
+  obs::Counter late;
+  obs::Histogram record_seconds;
+  obs::Histogram batch_rows;
+  obs::Gauge queue_depth;
+};
+
+ScoringServer::ServeMetrics& ScoringServer::Metrics() {
+  std::call_once(metrics_once_, [this] {
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"engine", engine_}};
+    metrics_ = std::make_unique<ServeMetrics>(ServeMetrics{
+        reg.GetCounter("pelican_serve_records_total",
+                       "Flow records accepted off the wire", labels),
+        reg.GetCounter("pelican_serve_ok_total",
+                       "Records scored and answered", labels),
+        reg.GetCounter("pelican_serve_quarantined_total",
+                       "Malformed records answered err,*", labels),
+        reg.GetCounter("pelican_serve_shed_total",
+                       "Records shed with busy,queue_full", labels),
+        reg.GetCounter("pelican_serve_late_total",
+                       "Records dropped past the scoring deadline", labels),
+        reg.GetHistogram("pelican_serve_record_seconds",
+                         "Enqueue-to-verdict latency per scored record",
+                         obs::DefaultTimeBuckets(), labels),
+        reg.GetHistogram("pelican_serve_batch_rows",
+                         "Rows per scorer micro-batch",
+                         {1, 2, 4, 8, 16, 32, 64, 128, 256}, labels),
+        reg.GetGauge("pelican_serve_queue_depth",
+                     "Ingest queue depth sampled per micro-batch", labels)});
+  });
+  return *metrics_;
+}
+
 ScoringServer::ScoringServer(const core::PelicanIds& ids,
                              ScoringServerConfig config)
     : ids_(&ids),
       config_(std::move(config)),
+      parser_(ids.schema()),
+      engine_(ids.quantized() ? "int8" : "fp32"),
       queue_(config_.queue_depth) {
   PELICAN_CHECK(ids.Trained(), "ScoringServer needs a trained model");
   PELICAN_CHECK(config_.queue_depth >= 1 && config_.max_batch >= 1 &&
@@ -330,7 +339,7 @@ void ScoringServer::HandleConnection(int fd) {
 
     if (!chunk.lines.empty()) {
       counters_.records.fetch_add(chunk.lines.size());
-      if (metrics_on) ServeCounters().records.Inc(chunk.lines.size());
+      if (metrics_on) Metrics().records.Inc(chunk.lines.size());
 
       auto pending = std::make_shared<PendingChunk>();
       pending->replies.resize(chunk.lines.size());
@@ -341,14 +350,14 @@ void ScoringServer::HandleConnection(int fd) {
         if (line.oversized) {
           pending->replies[i] = std::string{kErrOversizedReply};
           counters_.quarantined.fetch_add(1);
-          if (metrics_on) ServeCounters().quarantined.Inc();
+          if (metrics_on) Metrics().quarantined.Inc();
           continue;
         }
-        ParsedRecord parsed = ParseRecordLine(ids_->schema(), line.text);
+        ParsedRecord parsed = parser_.Parse(line.text);
         if (!parsed.ok) {
           pending->replies[i] = "err," + parsed.error;
           counters_.quarantined.fetch_add(1);
-          if (metrics_on) ServeCounters().quarantined.Inc();
+          if (metrics_on) Metrics().quarantined.Inc();
           continue;
         }
         QueueItem item;
@@ -368,7 +377,7 @@ void ScoringServer::HandleConnection(int fd) {
             pending->replies[i] = std::string{kBusyQueueReply};
           }
           counters_.shed.fetch_add(1);
-          if (metrics_on) ServeCounters().shed.Inc();
+          if (metrics_on) Metrics().shed.Inc();
         }
       }
 
@@ -384,7 +393,7 @@ void ScoringServer::HandleConnection(int fd) {
             if (reply.empty()) {
               reply = std::string{kLateTimeoutReply};
               counters_.late.fetch_add(1);
-              if (metrics_on) ServeCounters().late.Inc();
+              if (metrics_on) Metrics().late.Inc();
             }
           }
         }
@@ -424,7 +433,7 @@ void ScoringServer::ScorerLoop() {
     if (batch.empty()) break;  // closed and drained
     counters_.batches.fetch_add(1);
     if (metrics_on) {
-      auto& m = ServeCounters();
+      auto& m = Metrics();
       m.batch_rows.Observe(static_cast<double>(batch.size()));
       m.queue_depth.Set(static_cast<double>(queue_.Depth()));
     }
@@ -437,7 +446,7 @@ void ScoringServer::ScorerLoop() {
       if (batch[i].deadline < now) {
         FulfillSlot(batch[i], std::string{kLateDeadlineReply});
         counters_.late.fetch_add(1);
-        if (metrics_on) ServeCounters().late.Inc();
+        if (metrics_on) Metrics().late.Inc();
         continue;
       }
       // Label 0 is a placeholder — verdicts never read it.
@@ -457,7 +466,7 @@ void ScoringServer::ScorerLoop() {
         FulfillSlot(item, RenderVerdict(verdicts[j]));
         counters_.ok.fetch_add(1);
         if (metrics_on) {
-          auto& m = ServeCounters();
+          auto& m = Metrics();
           m.ok.Inc();
           m.record_seconds.Observe(
               std::chrono::duration<double>(scored_at - item.enqueued)
@@ -468,7 +477,7 @@ void ScoringServer::ScorerLoop() {
       for (const std::size_t i : live) {
         FulfillSlot(batch[i], "err,internal");
         counters_.quarantined.fetch_add(1);
-        if (metrics_on) ServeCounters().quarantined.Inc();
+        if (metrics_on) Metrics().quarantined.Inc();
       }
     }
   }
@@ -495,6 +504,7 @@ ServeStats ScoringServer::Stats() const {
 std::string ScoringServer::StatsJson() const {
   const ServeStats s = Stats();
   obs::Json json;
+  json.Set("engine", engine_);
   json.Set("running", running_.load());
   json.Set("draining", draining_.load());
   json.Set("queue_depth", static_cast<std::uint64_t>(queue_.Depth()));

@@ -121,8 +121,14 @@ class ScoringServer {
   [[nodiscard]] ServeStats Stats() const;
   [[nodiscard]] std::string StatsJson() const;  // the /serve payload
 
+  // Which predict engine answers verdicts: "int8" when the model had
+  // quantized inference enabled at construction, else "fp32". Also the
+  // `engine` label on every pelican_serve_* series.
+  [[nodiscard]] const std::string& Engine() const { return engine_; }
+
  private:
   struct PendingChunk;
+  struct ServeMetrics;
   struct QueueItem {
     std::shared_ptr<PendingChunk> chunk;
     std::size_t index = 0;  // reply slot within the chunk
@@ -135,10 +141,20 @@ class ScoringServer {
   void HandleConnection(int fd);
   void ScorerLoop();
   void FulfillSlot(const QueueItem& item, std::string reply);
+  ServeMetrics& Metrics();
 
   const core::PelicanIds* ids_;
   ScoringServerConfig config_;
+  // Schema-bound hash-indexed parser: vocabulary lookups are O(1) per
+  // cell on the connection-reader hot path.
+  WireParser parser_;
+  std::string engine_;
   BoundedQueue<QueueItem> queue_;
+
+  // Lazily-registered per-engine serve metrics (labels can't be known
+  // before construction, so these can't be process-static).
+  std::once_flag metrics_once_;
+  std::unique_ptr<ServeMetrics> metrics_;
 
   std::thread listener_;
   std::thread scorer_;

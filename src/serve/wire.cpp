@@ -14,10 +14,13 @@ ParsedRecord Malformed(std::string reason) {
   return out;
 }
 
-}  // namespace
-
-ParsedRecord ParseRecordLine(const data::Schema& schema,
-                             std::string_view line) {
+// Shared parse/validate body; the two entry points differ only in how
+// a categorical cell or label name resolves to its vocabulary index.
+template <typename CategoryFn, typename LabelFn>
+ParsedRecord ParseRecordImpl(const data::Schema& schema,
+                             std::string_view line,
+                             CategoryFn&& category_index,
+                             LabelFn&& label_index) {
   const std::string_view trimmed = Trim(line);
   if (trimmed.empty()) return Malformed("empty");
   const std::vector<std::string> fields = Split(trimmed, ',');
@@ -30,15 +33,9 @@ ParsedRecord ParseRecordLine(const data::Schema& schema,
   out.row.resize(columns);
   for (std::size_t c = 0; c < columns; ++c) {
     const auto& col = schema.Column(c);
-    const std::string field{Trim(fields[c])};
+    const std::string_view field = Trim(fields[c]);
     if (col.kind == data::ColumnKind::kCategorical) {
-      int idx = -1;
-      for (std::size_t v = 0; v < col.categories.size(); ++v) {
-        if (col.categories[v] == field) {
-          idx = static_cast<int>(v);
-          break;
-        }
-      }
+      const int idx = category_index(c, field);
       if (idx < 0) return Malformed("unknown_category");
       out.row[c] = idx;
     } else {
@@ -50,7 +47,7 @@ ParsedRecord ParseRecordLine(const data::Schema& schema,
     }
   }
   if (fields.size() == columns + 1) {
-    const int label = schema.LabelIndex(std::string{Trim(fields.back())});
+    const int label = label_index(Trim(fields.back()));
     if (label < 0) return Malformed("unknown_label");
     out.truth = label;
   }
@@ -60,6 +57,33 @@ ParsedRecord ParseRecordLine(const data::Schema& schema,
   if (core::IsMalformedRecord(schema, out.row)) return Malformed("non_finite");
   out.ok = true;
   return out;
+}
+
+}  // namespace
+
+ParsedRecord ParseRecordLine(const data::Schema& schema,
+                             std::string_view line) {
+  return ParseRecordImpl(
+      schema, line,
+      [&schema](std::size_t c, std::string_view field) {
+        const auto& cats = schema.Column(c).categories;
+        for (std::size_t v = 0; v < cats.size(); ++v) {
+          if (cats[v] == field) return static_cast<int>(v);
+        }
+        return -1;
+      },
+      [&schema](std::string_view name) {
+        return schema.LabelIndex(std::string{name});
+      });
+}
+
+ParsedRecord WireParser::Parse(std::string_view line) const {
+  return ParseRecordImpl(
+      *schema_, line,
+      [this](std::size_t c, std::string_view field) {
+        return vocab_.CategoryIndex(c, field);
+      },
+      [this](std::string_view name) { return vocab_.LabelIndex(name); });
 }
 
 std::string RenderVerdict(const core::PelicanIds::Verdict& v) {

@@ -1,6 +1,11 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <cstddef>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/thread_pool.h"
 #include "common/workspace.h"
@@ -86,7 +91,223 @@ void MicroKernel(std::int64_t kc, const float* __restrict__ ap,
   }
 }
 
+// ---- int8 path -------------------------------------------------------
+//
+// Same BLIS blocking as the fp32 kernel (kMc×kKc A panels, kKc×kNc B
+// panels), but the packed slivers advance k in pairs and are widened at
+// PACK time: B slivers hold int16 lanes ready for pmaddwd, A slivers
+// hold one broadcastable int32 pair-word per row. All sign-extension
+// and word assembly is paid once per panel (amortized over kMc rows /
+// kNc columns), so the micro-kernel's steady state is loads, pmaddwd
+// and paddd only. Odd k tails and edge slivers are zero-padded, which
+// contributes exactly 0 to the integer accumulators.
+
+// B sliver layout per pair p: 16 int16 lanes [j0·k₂ₚ, j0·k₂ₚ₊₁, j1·k₂ₚ,
+// …, j7·k₂ₚ₊₁] — two aligned 128-bit loads per pair cover all kNrI8
+// columns, pre-widened so the kernel skips the unpack/shift dance.
+void PackBI8(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+             std::int64_t j0, std::int64_t kc, std::int64_t nc,
+             std::int16_t* dst) {
+  const std::int64_t kc2 = (kc + 1) / 2;
+  for (std::int64_t js = 0; js < nc; js += kNrI8) {
+    const std::int64_t w = std::min(kNrI8, nc - js);
+    for (std::int64_t p = 0; p < kc2; ++p) {
+      const std::int64_t k0 = 2 * p;
+      const bool has_k1 = k0 + 1 < kc;
+      const std::int8_t* row0 = b + (p0 + k0) * ldb + j0 + js;
+      const std::int8_t* row1 = has_k1 ? row0 + ldb : nullptr;
+      for (std::int64_t j = 0; j < kNrI8; ++j) {
+        dst[2 * j] = j < w ? row0[j] : std::int16_t{0};
+        dst[2 * j + 1] =
+            (j < w && has_k1) ? row1[j] : std::int16_t{0};
+      }
+      dst += 2 * kNrI8;
+    }
+  }
+}
+
+// Two consecutive-k values of one A row, widened to int16 and packed
+// into the int32 word pmaddwd expects ([k₂ₚ | k₂ₚ₊₁ << 16]).
+inline std::int32_t PairWord(std::int8_t x0, std::int8_t x1) {
+  const auto w0 = static_cast<std::uint16_t>(static_cast<std::int16_t>(x0));
+  const auto w1 = static_cast<std::uint16_t>(static_cast<std::int16_t>(x1));
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(w0) |
+                                   (static_cast<std::uint32_t>(w1) << 16));
+}
+
+// A sliver layout per pair p: kMrI8 int32 pair-words [r0, r1, r2, r3] —
+// the kernel broadcasts each with one movd+pshufd.
+void PackAI8(const std::int8_t* a, std::int64_t lda, std::int64_t i0,
+             std::int64_t p0, std::int64_t mc, std::int64_t kc,
+             std::int32_t* dst) {
+  const std::int64_t kc2 = (kc + 1) / 2;
+  for (std::int64_t is = 0; is < mc; is += kMrI8) {
+    const std::int64_t h = std::min(kMrI8, mc - is);
+    for (std::int64_t p = 0; p < kc2; ++p) {
+      const std::int64_t k0 = 2 * p;
+      const bool has_k1 = k0 + 1 < kc;
+      for (std::int64_t r = 0; r < kMrI8; ++r) {
+        if (r < h) {
+          const std::int8_t* src = a + (i0 + is + r) * lda + p0 + k0;
+          dst[r] = PairWord(src[0], has_k1 ? src[1] : std::int8_t{0});
+        } else {
+          dst[r] = 0;
+        }
+      }
+      dst += kMrI8;
+    }
+  }
+}
+
+// One kMrI8×kNrI8 tile over kc2 packed k-pairs: acc = Σ Aᵣ·Bⱼ. Integer
+// arithmetic is exact, so the SSE2 and scalar bodies produce identical
+// bytes.
+void MicroKernelI8(std::int64_t kc2, const std::int32_t* __restrict__ ap,
+                   const std::int16_t* __restrict__ bp,
+                   std::int32_t* __restrict__ acc) {
+#if defined(__SSE2__)
+  const __m128i zero = _mm_setzero_si128();
+  __m128i a0l = zero, a0h = zero, a1l = zero, a1h = zero;
+  __m128i a2l = zero, a2h = zero, a3l = zero, a3h = zero;
+  for (std::int64_t p = 0; p < kc2; ++p) {
+    // Panels start 64-byte aligned and slivers advance in multiples of
+    // 16 bytes, so aligned loads are safe.
+    const __m128i blo = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(bp + p * 2 * kNrI8));
+    const __m128i bhi = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(bp + p * 2 * kNrI8 + kNrI8));
+    const std::int32_t* av = ap + p * kMrI8;
+    const __m128i ar0 = _mm_set1_epi32(av[0]);
+    const __m128i ar1 = _mm_set1_epi32(av[1]);
+    const __m128i ar2 = _mm_set1_epi32(av[2]);
+    const __m128i ar3 = _mm_set1_epi32(av[3]);
+    a0l = _mm_add_epi32(a0l, _mm_madd_epi16(blo, ar0));
+    a0h = _mm_add_epi32(a0h, _mm_madd_epi16(bhi, ar0));
+    a1l = _mm_add_epi32(a1l, _mm_madd_epi16(blo, ar1));
+    a1h = _mm_add_epi32(a1h, _mm_madd_epi16(bhi, ar1));
+    a2l = _mm_add_epi32(a2l, _mm_madd_epi16(blo, ar2));
+    a2h = _mm_add_epi32(a2h, _mm_madd_epi16(bhi, ar2));
+    a3l = _mm_add_epi32(a3l, _mm_madd_epi16(blo, ar3));
+    a3h = _mm_add_epi32(a3h, _mm_madd_epi16(bhi, ar3));
+  }
+  auto* out = reinterpret_cast<__m128i*>(acc);
+  _mm_storeu_si128(out + 0, a0l);
+  _mm_storeu_si128(out + 1, a0h);
+  _mm_storeu_si128(out + 2, a1l);
+  _mm_storeu_si128(out + 3, a1h);
+  _mm_storeu_si128(out + 4, a2l);
+  _mm_storeu_si128(out + 5, a2h);
+  _mm_storeu_si128(out + 6, a3l);
+  _mm_storeu_si128(out + 7, a3h);
+#else
+  std::fill(acc, acc + kMrI8 * kNrI8, 0);
+  for (std::int64_t p = 0; p < kc2; ++p) {
+    const std::int32_t* av = ap + p * kMrI8;
+    const std::int16_t* bv = bp + p * 2 * kNrI8;
+    for (std::int64_t r = 0; r < kMrI8; ++r) {
+      // Decompose the pair-word exactly as pmaddwd would.
+      const auto ar0 = static_cast<std::int32_t>(
+          static_cast<std::int16_t>(av[r] & 0xFFFF));
+      const auto ar1 = static_cast<std::int32_t>(
+          static_cast<std::int16_t>(
+              (static_cast<std::uint32_t>(av[r]) >> 16) & 0xFFFF));
+      std::int32_t* accrow = acc + r * kNrI8;
+      for (std::int64_t j = 0; j < kNrI8; ++j) {
+        accrow[j] += ar0 * bv[2 * j] + ar1 * bv[2 * j + 1];
+      }
+    }
+  }
+#endif
+}
+
+// Packed-panel scratch carved out of the float workspace arena
+// (64-byte aligned; counts round up to whole floats).
+std::int16_t* AllocI16(Workspace& ws, std::size_t count) {
+  return reinterpret_cast<std::int16_t*>(ws.Alloc((count + 1) / 2));
+}
+std::int32_t* AllocI32(Workspace& ws, std::size_t count) {
+  return reinterpret_cast<std::int32_t*>(ws.Alloc(count));
+}
+
 }  // namespace
+
+void GemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
+              const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+              std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+              bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::Registry::Global();
+    static obs::Counter calls = reg.GetCounter(
+        "pelican_gemm_int8_calls_total", "Int8 GEMM invocations");
+    calls.Inc();
+  }
+  if (k <= 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0);
+      }
+    }
+    return;
+  }
+  Workspace& caller_ws = Workspace::Tls();
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t n_slivers = (nc + kNrI8 - 1) / kNrI8;
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min(kKc, k - pc);
+      const std::int64_t kc2 = (kc + 1) / 2;
+      const bool overwrite = (pc == 0) && !accumulate;
+      Workspace::Scope panel_scope;
+      std::int16_t* bpanel = AllocI16(
+          caller_ws, static_cast<std::size_t>(n_slivers * kNrI8 * 2 * kc2));
+      PackBI8(b, ldb, pc, jc, kc, nc, bpanel);
+
+      const auto row_blocks = static_cast<std::size_t>((m + kMc - 1) / kMc);
+      const std::int64_t per_block_work = kMc * kc * nc;
+      const auto grain = static_cast<std::size_t>(std::max<std::int64_t>(
+          1, (1 << 15) / std::max<std::int64_t>(1, per_block_work)));
+      ParallelFor(
+          0, row_blocks,
+          [&](std::size_t blk) {
+            const std::int64_t ic = static_cast<std::int64_t>(blk) * kMc;
+            const std::int64_t mc = std::min(kMc, m - ic);
+            const std::int64_t m_slivers = (mc + kMrI8 - 1) / kMrI8;
+            Workspace::Scope block_scope;
+            std::int32_t* apanel =
+                AllocI32(Workspace::Tls(),
+                         static_cast<std::size_t>(m_slivers * kMrI8 * kc2));
+            PackAI8(a, lda, ic, pc, mc, kc, apanel);
+            alignas(64) std::int32_t acc[kMrI8 * kNrI8];
+            for (std::int64_t js = 0; js < nc; js += kNrI8) {
+              const std::int16_t* bs = bpanel + (js / kNrI8) * 2 * kNrI8 * kc2;
+              const std::int64_t w = std::min(kNrI8, nc - js);
+              for (std::int64_t is = 0; is < mc; is += kMrI8) {
+                const std::int32_t* as =
+                    apanel + (is / kMrI8) * kMrI8 * kc2;
+                const std::int64_t h = std::min(kMrI8, mc - is);
+                MicroKernelI8(kc2, as, bs, acc);
+                std::int32_t* cblk = c + (ic + is) * ldc + jc + js;
+                if (overwrite) {
+                  for (std::int64_t r = 0; r < h; ++r) {
+                    for (std::int64_t j = 0; j < w; ++j) {
+                      cblk[r * ldc + j] = acc[r * kNrI8 + j];
+                    }
+                  }
+                } else {
+                  for (std::int64_t r = 0; r < h; ++r) {
+                    for (std::int64_t j = 0; j < w; ++j) {
+                      cblk[r * ldc + j] += acc[r * kNrI8 + j];
+                    }
+                  }
+                }
+              }
+            }
+          },
+          grain);
+    }
+  }
+}
 
 void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, const float* a, std::int64_t lda, const float* b,

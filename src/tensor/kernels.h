@@ -51,4 +51,28 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, const float* a, std::int64_t lda, const float* b,
           std::int64_t ldb, float* c, std::int64_t ldc, bool accumulate);
 
+// Int8 register tile. k advances in PAIRS inside the packed slivers so
+// the SSE2 path can feed pmaddwd (exact int32 dot of two k-steps per
+// instruction). Operands are widened at pack time — B slivers hold
+// int16 lanes, A slivers hold broadcastable int32 pair-words — so the
+// micro-kernel's steady state is just loads, pmaddwd and paddd; 4×8
+// int32 accumulators fit the xmm file with room for the two B vectors.
+inline constexpr std::int64_t kMrI8 = 4;
+inline constexpr std::int64_t kNrI8 = 8;
+
+// C(m,n) = A(m,k)·B(k,n) over int8 operands with int32 accumulation,
+// added into C when `accumulate`, overwriting it otherwise. No
+// transpose forms: the quantized inference path only ever multiplies
+// row-major activations by pre-packed row-major weights, so the extra
+// packing variants would be dead code.
+//
+// Accumulation is exact integer arithmetic, so the result is
+// bit-identical for any thread count and any blocking by construction
+// (the fp32 determinism contract holds trivially). Safe against int32
+// overflow for k ≤ ~1.3e5 (k · 127² < 2³¹).
+void GemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
+              const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+              std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+              bool accumulate);
+
 }  // namespace pelican::kernels

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "common/fault_injection.h"
 #include "common/file_io.h"
 #include "core/core.h"
+#include "data/nslkdd.h"
 #include "models/zoo.h"
 
 namespace pelican {
@@ -433,6 +436,157 @@ TEST(DivergenceGuard, OffByDefaultKeepsPaperBehaviour) {
   ASSERT_EQ(history.size(), 2U);
   EXPECT_TRUE(std::isnan(history[0].train_loss));
   EXPECT_EQ(history[0].recoveries, 0);
+}
+
+// ---- `.pre` scaler sidecar durability --------------------------------------
+//
+// The preprocessing sidecar carries the fitted mean/stddev every
+// inference path standardizes with. v1 wraps it in the same magic +
+// version + CRC32-footer armor as the weight file; the original
+// headerless layout must keep loading (with statistics validation).
+
+struct PreFixture {
+  std::string dir;
+  std::string model;        // saved model path; sidecar = model + ".pre"
+  data::RawDataset data;
+  core::PelicanIds ids;
+
+  PreFixture()
+      : dir(MakeTempDir("pre_sidecar")),
+        model(dir + "/model.bin"),
+        data([] {
+          Rng rng(41);
+          return data::GenerateNslKdd(200, rng);
+        }()),
+        ids(data.schema(), SmallIdsConfig()) {
+    ids.Train(data);
+    ids.Save(model);
+  }
+
+  static core::IdsConfig SmallIdsConfig() {
+    core::IdsConfig config;
+    config.n_blocks = 1;
+    config.channels = 8;
+    config.train.epochs = 1;
+    config.train.batch_size = 32;
+    return config;
+  }
+
+  [[nodiscard]] core::PelicanIds Fresh() const {
+    return core::PelicanIds(data.schema(), SmallIdsConfig());
+  }
+};
+
+TEST(PreSidecar, VersionedRoundTripRestoresPredictions) {
+  PreFixture fx;
+  const std::string bytes = ReadFileBytes(fx.model + ".pre");
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes.substr(0, 4), "PPRE");
+
+  auto restored = fx.Fresh();
+  restored.Load(fx.model);
+  EXPECT_EQ(restored.Classify(fx.data), fx.ids.Classify(fx.data));
+}
+
+TEST(PreSidecar, AnySingleBitFlipRejected) {
+  PreFixture fx;
+  const auto clean = fx.model + ".pre";
+  const auto size = fs::file_size(clean);
+  // Magic, version, width, payload spread, CRC footer.
+  for (const std::size_t off :
+       {std::size_t{0}, std::size_t{5}, std::size_t{12}, size / 2,
+        size - 1}) {
+    fs::copy_file(clean, fx.dir + "/flip.pre",
+                  fs::copy_options::overwrite_existing);
+    fs::copy_file(fx.model, fx.dir + "/flip",
+                  fs::copy_options::overwrite_existing);
+    common::CorruptFile(fx.dir + "/flip.pre",
+                        {.flip_offset = off, .flip_mask = 0x08});
+    auto victim = fx.Fresh();
+    EXPECT_THROW(victim.Load(fx.dir + "/flip"), CheckError)
+        << "bit flip at offset " << off << " was not rejected";
+  }
+}
+
+TEST(PreSidecar, TruncationRejected) {
+  PreFixture fx;
+  const auto clean = fx.model + ".pre";
+  const auto size = fs::file_size(clean);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, size / 2, size - 1}) {
+    fs::copy_file(clean, fx.dir + "/trunc.pre",
+                  fs::copy_options::overwrite_existing);
+    fs::copy_file(fx.model, fx.dir + "/trunc",
+                  fs::copy_options::overwrite_existing);
+    fs::resize_file(fx.dir + "/trunc.pre", keep);
+    auto victim = fx.Fresh();
+    EXPECT_THROW(victim.Load(fx.dir + "/trunc"), CheckError)
+        << "truncation to " << keep << " bytes was not rejected";
+  }
+}
+
+TEST(PreSidecar, LegacyHeaderlessLayoutStillLoads) {
+  PreFixture fx;
+  // Rewrite the v1 sidecar in the original layout: u64 width, then the
+  // raw mean/stddev floats — no magic, no CRC.
+  const std::string v1 = ReadFileBytes(fx.model + ".pre");
+  constexpr std::size_t kHeader = 4 + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  const std::string stats =
+      v1.substr(kHeader, v1.size() - kHeader - sizeof(std::uint32_t));
+  std::string legacy = v1.substr(8, sizeof(std::uint64_t));  // the width
+  legacy += stats;
+  fs::copy_file(fx.model, fx.dir + "/legacy",
+                fs::copy_options::overwrite_existing);
+  AtomicWriteFile(fx.dir + "/legacy.pre", legacy);
+
+  auto restored = fx.Fresh();
+  restored.Load(fx.dir + "/legacy");
+  EXPECT_EQ(restored.Classify(fx.data), fx.ids.Classify(fx.data));
+
+  // The legacy path still rejects a truncated stats block.
+  AtomicWriteFile(fx.dir + "/legacy.pre",
+                          legacy.substr(0, legacy.size() - 3));
+  auto victim = fx.Fresh();
+  EXPECT_THROW(victim.Load(fx.dir + "/legacy"), CheckError);
+}
+
+TEST(PreSidecar, InvalidScalerStatisticsRejected) {
+  PreFixture fx;
+  const std::string v1 = ReadFileBytes(fx.model + ".pre");
+  constexpr std::size_t kHeader = 4 + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  const std::string stats =
+      v1.substr(kHeader, v1.size() - kHeader - sizeof(std::uint32_t));
+  const std::size_t width_bytes = stats.size() / 2;
+
+  // Poison one float at a time through the legacy (checksum-free) path:
+  // a NaN mean, an inf stddev, and a negative stddev must all be
+  // rejected — Fit can never produce them, so they are corruption even
+  // when the bytes parse.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float negative = -1.0F;
+  struct Poison {
+    std::size_t offset;  // into the stats block
+    float value;
+    const char* what;
+  };
+  const Poison poisons[] = {
+      {0, nan, "NaN mean"},
+      {width_bytes, inf, "inf stddev"},
+      {width_bytes + sizeof(float), negative, "negative stddev"},
+  };
+  for (const auto& p : poisons) {
+    std::string legacy = v1.substr(8, sizeof(std::uint64_t));
+    legacy += stats;
+    std::memcpy(legacy.data() + sizeof(std::uint64_t) + p.offset, &p.value,
+                sizeof(float));
+    fs::copy_file(fx.model, fx.dir + "/poison",
+                  fs::copy_options::overwrite_existing);
+    AtomicWriteFile(fx.dir + "/poison.pre", legacy);
+    auto victim = fx.Fresh();
+    EXPECT_THROW(victim.Load(fx.dir + "/poison"), CheckError)
+        << p.what << " was not rejected";
+  }
 }
 
 }  // namespace

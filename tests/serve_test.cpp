@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -817,14 +818,20 @@ TEST(ScoringServer, ExportsCountersAndLatencyHistograms) {
   ObsOff guard;
   obs::EnableMetrics(true);
   auto& reg = obs::Registry::Global();
-  const auto records0 = reg.CounterValue("pelican_serve_records_total");
-  const auto ok0 = reg.CounterValue("pelican_serve_ok_total");
+  // Every pelican_serve_* series carries the predict-engine label.
+  const obs::Labels fp32{{"engine", "fp32"}};
+  const auto records0 =
+      reg.CounterValue("pelican_serve_records_total", fp32);
+  const auto ok0 = reg.CounterValue("pelican_serve_ok_total", fp32);
   const auto quarantined0 =
-      reg.CounterValue("pelican_serve_quarantined_total");
-  const auto lat0 = reg.HistogramValue("pelican_serve_record_seconds").count;
-  const auto rows0 = reg.HistogramValue("pelican_serve_batch_rows").count;
+      reg.CounterValue("pelican_serve_quarantined_total", fp32);
+  const auto lat0 =
+      reg.HistogramValue("pelican_serve_record_seconds", fp32).count;
+  const auto rows0 =
+      reg.HistogramValue("pelican_serve_batch_rows", fp32).count;
 
   serve::ScoringServer server(TrainedIds());
+  EXPECT_EQ(server.Engine(), "fp32");
   server.Start();
   const int fd = ConnectTo(server.Port());
   ASSERT_GE(fd, 0);
@@ -833,17 +840,163 @@ TEST(ScoringServer, ExportsCountersAndLatencyHistograms) {
   ::close(fd);
   server.Drain();
 
-  EXPECT_EQ(reg.CounterValue("pelican_serve_records_total") - records0, 3u);
-  EXPECT_EQ(reg.CounterValue("pelican_serve_ok_total") - ok0, 2u);
+  EXPECT_EQ(reg.CounterValue("pelican_serve_records_total", fp32) - records0,
+            3u);
+  EXPECT_EQ(reg.CounterValue("pelican_serve_ok_total", fp32) - ok0, 2u);
+  EXPECT_EQ(reg.CounterValue("pelican_serve_quarantined_total", fp32) -
+                quarantined0,
+            1u);
   EXPECT_EQ(
-      reg.CounterValue("pelican_serve_quarantined_total") - quarantined0, 1u);
-  EXPECT_EQ(reg.HistogramValue("pelican_serve_record_seconds").count - lat0,
-            2u);
-  EXPECT_GE(reg.HistogramValue("pelican_serve_batch_rows").count, rows0 + 1);
+      reg.HistogramValue("pelican_serve_record_seconds", fp32).count - lat0,
+      2u);
+  EXPECT_GE(reg.HistogramValue("pelican_serve_batch_rows", fp32).count,
+            rows0 + 1);
 
   const auto json = server.StatsJson();
+  EXPECT_NE(json.find("\"engine\": \"fp32\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"records\": 3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"quarantined\": 1"), std::string::npos) << json;
+}
+
+// ---- hash-indexed wire parser (satellite) ----------------------------------
+
+void ExpectSameParse(const serve::ParsedRecord& a,
+                     const serve::ParsedRecord& b, const std::string& what) {
+  ASSERT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.error, b.error) << what;
+  EXPECT_EQ(a.row, b.row) << what;
+  EXPECT_EQ(a.truth, b.truth) << what;
+}
+
+TEST(Wire, HashParserMatchesLinearScanReference) {
+  const auto& schema = TrainedIds().schema();
+  const serve::WireParser parser(schema);
+
+  // Every valid fixture line, labeled and unlabeled.
+  for (const auto& line : DataLines()) {
+    ExpectSameParse(parser.Parse(line), serve::ParseRecordLine(schema, line),
+                    "line: " + line);
+    const std::string unlabeled = line.substr(0, line.rfind(','));
+    ExpectSameParse(parser.Parse(unlabeled),
+                    serve::ParseRecordLine(schema, unlabeled),
+                    "unlabeled: " + unlabeled);
+  }
+
+  // The malformed corpus: every quarantine reason token.
+  std::vector<std::string> malformed = {
+      "", "   ", "total,garbage", DataLines()[0] + ",ExtraField,More"};
+  {
+    std::string bad_cat = DataLines()[0];
+    const auto comma = bad_cat.find(',');
+    bad_cat.replace(0, comma, "no_such_protocol");
+    malformed.push_back(bad_cat);
+    std::string bad_label = DataLines()[0];
+    bad_label.replace(bad_label.rfind(',') + 1, std::string::npos,
+                      "NoSuchClass");
+    malformed.push_back(bad_label);
+    std::string bad_number = DataLines()[0];
+    bad_number.replace(bad_number.find(",") + 1, 0, "x");
+    malformed.push_back(bad_number);
+  }
+  for (const auto& line : malformed) {
+    ExpectSameParse(parser.Parse(line), serve::ParseRecordLine(schema, line),
+                    "malformed: " + line);
+  }
+
+  // Seeded byte-mutation fuzz: both parsers must agree on every mutant
+  // (same corpus recipe as the server-quarantine fuzz above).
+  Rng rng(1333);
+  for (int round = 0; round < 400; ++round) {
+    std::string line = DataLines()[static_cast<std::size_t>(round) %
+                                   DataLines().size()];
+    const int mutations = 1 + static_cast<int>(rng.Below(3));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(rng.Below(line.size()));
+      switch (rng.Below(3)) {
+        case 0:
+          line[pos] = static_cast<char>(rng.Below(256));
+          break;
+        case 1:
+          line.insert(pos, 1, static_cast<char>(rng.Below(256)));
+          break;
+        default:
+          line.erase(pos, 1);
+          break;
+      }
+      if (line.empty()) line = ",";
+    }
+    std::erase_if(line, [](char ch) { return ch == '\n' || ch == '\r'; });
+    ExpectSameParse(parser.Parse(line), serve::ParseRecordLine(schema, line),
+                    "mutant: " + line);
+  }
+}
+
+// ---- quantized scoring path (tentpole) -------------------------------------
+
+// A second model instance running the int8 engine, restored through the
+// `.quant` sidecar so the test covers serialize → load → serve.
+const core::PelicanIds& QuantizedIds() {
+  static const core::PelicanIds* ids = [] {
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) / "pelican_serve_quant";
+    std::filesystem::create_directories(dir);
+    const auto path = (dir / "model.bin").string();
+    TrainedIds().Save(path);
+    core::IdsConfig config;
+    config.n_blocks = 2;
+    config.channels = 8;
+    config.train.epochs = 2;
+    config.train.batch_size = 32;
+    config.train.seed = 7;
+    auto* restored = new core::PelicanIds(data::NslKddSchema(), config);
+    restored->Load(path);
+    restored->EnableQuantized(true);
+    return restored;
+  }();
+  return *ids;
+}
+
+TEST(ScoringServer, QuantizedVerdictsMatchQuantizedBatchByteForByte) {
+  serve::ScoringServer server(QuantizedIds());
+  EXPECT_EQ(server.Engine(), "int8");
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, JoinLines(DataLines())));
+  const auto replies = ReadLines(fd, DataLines().size());
+  ::close(fd);
+  ASSERT_EQ(replies.size(), DataLines().size());
+
+  const auto verdicts = QuantizedIds().InspectAll(WireRows());
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    // Byte equality with the batch CLI's --quantized --verdicts-out
+    // path, and the exact `ok,<class>,<%.6f>` wire format.
+    EXPECT_EQ(replies[i], serve::RenderVerdict(verdicts[i])) << "row " << i;
+    ASSERT_EQ(replies[i].rfind("ok,", 0), 0u) << replies[i];
+    const auto last_comma = replies[i].rfind(',');
+    const std::string confidence = replies[i].substr(last_comma + 1);
+    ASSERT_EQ(confidence.size(), 8u) << replies[i];  // d.dddddd
+    EXPECT_EQ(confidence[1], '.') << replies[i];
+  }
+
+  const auto json = server.StatsJson();
+  EXPECT_NE(json.find("\"engine\": \"int8\""), std::string::npos) << json;
+  server.Drain();
+  ExpectConservation(server.Stats());
+}
+
+TEST(ScoringServer, QuantizedAndFp32EnginesAgreeOnVerdictClasses) {
+  const auto fp32 = TrainedIds().InspectAll(WireRows());
+  const auto int8 = QuantizedIds().InspectAll(WireRows());
+  ASSERT_EQ(fp32.size(), int8.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < fp32.size(); ++i) {
+    if (fp32[i].label == int8[i].label) ++agree;
+  }
+  // Small 2-epoch fixture model: tolerate a couple of boundary flips
+  // but nothing systematic.
+  EXPECT_GE(agree * 10, fp32.size() * 9)
+      << agree << "/" << fp32.size() << " labels agree";
 }
 
 // ---- HTTP control plane under EINTR (satellite) ----------------------------

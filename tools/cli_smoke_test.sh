@@ -160,4 +160,48 @@ wait "$SCORE_PID"    # graceful drain must exit 0 (set -e enforces it)
 grep -q "draining scoring server" "$WORK_DIR/score_serve.log"
 grep -q "drained: " "$WORK_DIR/score_serve.log"
 
+# Quantized inference: train emits the .quant sidecar alongside the
+# model; int8 verdict labels must agree with fp32 on >= 99.5% of
+# records, and `serve --quantized` must match `classify --quantized`
+# byte-for-byte on the same CSV.
+"$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
+    --blocks 2 --channels 8 --epochs 6 --out "$WORK_DIR/model_q.bin"
+test -s "$WORK_DIR/model_q.bin.quant"
+"$PELICAN_BIN" generate --dataset nsl --records 400 --seed 13 \
+    --out "$WORK_DIR/quant_flows.csv"
+"$PELICAN_BIN" classify --model "$WORK_DIR/model_q.bin" \
+    --csv "$WORK_DIR/quant_flows.csv" --limit 1 \
+    --verdicts-out "$WORK_DIR/fp32_verdicts.txt" > /dev/null
+"$PELICAN_BIN" classify --model "$WORK_DIR/model_q.bin" --quantized \
+    --csv "$WORK_DIR/quant_flows.csv" --limit 1 \
+    --verdicts-out "$WORK_DIR/int8_verdicts.txt" > /dev/null
+TOTAL="$(wc -l < "$WORK_DIR/fp32_verdicts.txt")"
+test "$TOTAL" -eq 400
+AGREE="$(paste -d'|' "$WORK_DIR/fp32_verdicts.txt" \
+        "$WORK_DIR/int8_verdicts.txt" \
+    | awk -F'|' '{split($1,a,","); split($2,b,",");
+                  if (a[2] == b[2]) n++} END {print n+0}')"
+test $((AGREE * 1000)) -ge $((TOTAL * 995))
+
+"$PELICAN_BIN" serve --model "$WORK_DIR/model_q.bin" --quantized --port 0 \
+    > "$WORK_DIR/quant_serve.log" 2>&1 &
+QUANT_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+    PORT="$(sed -n \
+        's/.*scoring server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+        "$WORK_DIR/quant_serve.log")"
+    [ -n "$PORT" ] && break
+    sleep 0.05
+    i=$((i + 1))
+done
+test -n "$PORT"
+grep -q "engine int8" "$WORK_DIR/quant_serve.log"
+"$PELICAN_BIN" score --port "$PORT" --csv "$WORK_DIR/quant_flows.csv" \
+    --out "$WORK_DIR/quant_serve_verdicts.txt"
+cmp "$WORK_DIR/quant_serve_verdicts.txt" "$WORK_DIR/int8_verdicts.txt"
+kill -TERM "$QUANT_PID"
+wait "$QUANT_PID"
+
 echo "cli smoke test passed"

@@ -240,7 +240,7 @@ int CmdTrain(const Flags& flags) {
               history.back().train_accuracy * 100.0F);
   ids.Save(out);
   WriteMeta(out, meta);
-  std::printf("saved model to %s (+ .pre, .meta)\n", out.c_str());
+  std::printf("saved model to %s (+ .pre, .quant, .meta)\n", out.c_str());
   return 0;
 }
 
@@ -252,6 +252,7 @@ int CmdEval(const Flags& flags) {
 
   core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
   ids.Load(model);
+  if (flags.Has("quantized")) ids.EnableQuantized(true);
   if (g_server != nullptr) g_server->SetReady(true);
 
   const auto predictions = ids.Classify(ds);
@@ -277,6 +278,7 @@ int CmdClassify(const Flags& flags) {
 
   core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
   ids.Load(model);
+  if (flags.Has("quantized")) ids.EnableQuantized(true);
   if (g_server != nullptr) g_server->SetReady(true);
 
   // Batch verdicts in the serve wire format, for byte-for-byte
@@ -380,6 +382,7 @@ int CmdServe(const Flags& flags) {
   const auto meta = ReadMeta(model);
   core::PelicanIds ids(SchemaFor(meta.schema), ConfigFrom(meta, flags));
   ids.Load(model);
+  if (flags.Has("quantized")) ids.EnableQuantized(true);
 
   serve::ScoringServerConfig sc;
   sc.port = static_cast<std::uint16_t>(flags.GetLong("port", 0));
@@ -398,8 +401,10 @@ int CmdServe(const Flags& flags) {
       static_cast<int>(flags.GetLong("write-timeout-ms", 5000));
   serve::ScoringServer server(ids, sc);
   server.Start();
-  std::printf("scoring server listening on 127.0.0.1:%u (schema %s)\n",
-              static_cast<unsigned>(server.Port()), meta.schema.c_str());
+  std::printf("scoring server listening on 127.0.0.1:%u (schema %s, "
+              "engine %s)\n",
+              static_cast<unsigned>(server.Port()), meta.schema.c_str(),
+              server.Engine().c_str());
   std::fflush(stdout);
 
   if (g_server != nullptr) {
@@ -563,14 +568,15 @@ int Usage() {
       "            [--checkpoint-keep N] [--resume]\n"
       "            [--divergence-retries N] --out model.bin\n"
       "  eval      --model model.bin [--csv f|--official f|--records N]\n"
+      "            [--quantized]\n"
       "  classify  --model model.bin [--csv f|--records N] [--limit 20]\n"
       "            [--labels-for-quality] [--drift-threshold 6.0]\n"
-      "            [--stream-window 256] [--verdicts-out f]\n"
+      "            [--stream-window 256] [--verdicts-out f] [--quantized]\n"
       "  serve     --model model.bin [--port 0] [--queue-depth 1024]\n"
       "            [--batch-max 64] [--batch-linger-ms 1]\n"
       "            [--max-connections 32] [--read-deadline-ms 5000]\n"
       "            [--idle-timeout-ms 30000] [--score-deadline-ms 2000]\n"
-      "            [--write-timeout-ms 5000]\n"
+      "            [--write-timeout-ms 5000] [--quantized]\n"
       "            scoring data plane: line-delimited CSV records in,\n"
       "            one verdict line per record out; SIGTERM/SIGINT\n"
       "            drains gracefully (no accepted record is lost)\n"
@@ -594,6 +600,11 @@ int Usage() {
       "                    (0 = ephemeral; implies metrics + tracing;\n"
       "                     endpoints: /healthz /readyz /buildinfo\n"
       "                     /metrics /metrics.json /trace /stream)\n"
+      "inference flags:\n"
+      "  --quantized       eval/classify/serve: score with the int8\n"
+      "                    post-training-quantized predict path (reads\n"
+      "                    the model's .quant sidecar; training and the\n"
+      "                    fp32 model bytes are untouched)\n"
       "classify quality flags:\n"
       "  --labels-for-quality  feed dataset labels into the rolling\n"
       "                        DR/ACC/FAR quality window\n"
