@@ -20,6 +20,7 @@
 // rather than absolute throughput.
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -62,6 +63,11 @@ int ConnectTo(std::uint16_t port) {
     ::close(fd);
     return -1;
   }
+  // Lockstep chunks are exactly the Nagle + delayed-ACK worst case:
+  // without this, a 1-client closed loop serializes on the peer's
+  // ~40ms delayed ACK instead of the scorer.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return fd;
 }
 
@@ -146,8 +152,9 @@ Fixture BuildFixture() {
 // ---- result rows -----------------------------------------------------------
 
 struct ServeRow {
-  std::string arm;         // "closed" / "overload"
+  std::string arm;         // "closed" / "overload" / "scaling"
   std::size_t clients = 0;
+  std::size_t scorers = 0; // resolved scorer-thread count
   double seconds = 0.0;
   double flows_per_sec = 0.0;   // verdicts served (ok replies) per second
   double offered_per_sec = 0.0; // records pushed at the server per second
@@ -168,13 +175,14 @@ void WriteServeJson(const std::string& path,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ServeRow& r = rows[i];
     std::fprintf(f,
-                 "  {\"arm\": \"%s\", \"clients\": %zu, \"seconds\": %.2f, "
+                 "  {\"arm\": \"%s\", \"clients\": %zu, \"scorers\": %zu, "
+                 "\"seconds\": %.2f, "
                  "\"flows_per_sec\": %.1f, \"offered_per_sec\": %.1f, "
                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
                  "\"shed_pct\": %.2f, \"late_pct\": %.2f}%s\n",
-                 r.arm.c_str(), r.clients, r.seconds, r.flows_per_sec,
-                 r.offered_per_sec, r.p50_ms, r.p99_ms, r.shed_pct,
-                 r.late_pct, i + 1 < rows.size() ? "," : "");
+                 r.arm.c_str(), r.clients, r.scorers, r.seconds,
+                 r.flows_per_sec, r.offered_per_sec, r.p50_ms, r.p99_ms,
+                 r.shed_pct, r.late_pct, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -221,6 +229,7 @@ double HistogramQuantile(const obs::Registry::HistogramSnapshot& before,
 ServeRow ClosedLoopArm(const Fixture& fx, std::size_t clients) {
   serve::ScoringServer server(*fx.ids);
   server.Start();
+  const std::size_t n_scorers = server.ScorerCount();
 
   std::mutex mu;
   std::vector<double> latencies_ms;  // one sample per chunk, RTT/kChunk
@@ -262,6 +271,7 @@ ServeRow ClosedLoopArm(const Fixture& fx, std::size_t clients) {
   ServeRow row;
   row.arm = "closed";
   row.clients = clients;
+  row.scorers = n_scorers;
   row.seconds = elapsed;
   row.flows_per_sec = static_cast<double>(stats.ok) / elapsed;
   row.offered_per_sec = static_cast<double>(stats.records) / elapsed;
@@ -276,14 +286,21 @@ ServeRow ClosedLoopArm(const Fixture& fx, std::size_t clients) {
 
 // Open-loop blast: writers push records with no reply pacing (readers
 // drain so TCP flow control can't throttle the offer). On loopback
-// this offers far more than the single scorer can absorb — the 2×+
+// this offers far more than the scorer pool can absorb — the 2×+
 // overload arm. Shedding + deadlines must keep the served p99 bounded.
+// `scorers` = 0 uses the server default (min(4, cores)); explicit
+// counts drive the scorers-1/2/4 scaling arm.
 ServeRow OverloadArm(const Fixture& fx, std::size_t writers,
+                     std::size_t scorers, const char* arm_name,
                      serve::ServeStats* out_stats) {
   const bool had_metrics = obs::MetricsEnabled();
   obs::EnableMetrics(true);
   auto& reg = obs::Registry::Global();
-  const auto hist_before = reg.HistogramValue("pelican_serve_record_seconds");
+  // Serve series carry the predict-engine label; the registry lookup is
+  // exact-match, so an unlabeled query would see an empty histogram.
+  const obs::Labels engine_labels{{"engine", "fp32"}};
+  const auto hist_before =
+      reg.HistogramValue("pelican_serve_record_seconds", engine_labels);
 
   serve::ScoringServerConfig cfg;
   // The per-connection pipeline bound (max_pipeline records in flight
@@ -293,8 +310,10 @@ ServeRow OverloadArm(const Fixture& fx, std::size_t writers,
   // for — TryPush failures surface as busy,queue_full sheds.
   cfg.queue_depth = 128;
   cfg.max_connections = writers + 4;
+  cfg.scorers = scorers;
   serve::ScoringServer server(*fx.ids, cfg);
   server.Start();
+  const std::size_t n_scorers = server.ScorerCount();
 
   const auto deadline =
       Clock::now() + std::chrono::duration<double>(g_arm_seconds);
@@ -332,12 +351,14 @@ ServeRow OverloadArm(const Fixture& fx, std::size_t writers,
   const auto stats = server.Stats();
   if (out_stats != nullptr) *out_stats = stats;
 
-  const auto hist_after = reg.HistogramValue("pelican_serve_record_seconds");
+  const auto hist_after =
+      reg.HistogramValue("pelican_serve_record_seconds", engine_labels);
   obs::EnableMetrics(had_metrics);
 
   ServeRow row;
-  row.arm = "overload";
+  row.arm = arm_name;
   row.clients = writers;
+  row.scorers = n_scorers;
   row.seconds = elapsed;
   row.flows_per_sec = static_cast<double>(stats.ok) / elapsed;
   row.offered_per_sec = static_cast<double>(stats.records) / elapsed;
@@ -373,23 +394,35 @@ int main(int argc, char** argv) {
     rows.push_back(ClosedLoopArm(fx, clients));
   }
   serve::ServeStats overload_stats;
-  rows.push_back(OverloadArm(fx, 4, &overload_stats));
+  rows.push_back(OverloadArm(fx, 4, 0, "overload", &overload_stats));
+  const ServeRow over = rows.back();
+
+  // Scorer-scaling arm: the same 4-writer overload workload against an
+  // explicit 1/2/4-thread scorer pool. On a multi-core host the served
+  // flows/sec climbs and the shed fraction falls with the pool size; on
+  // a single core the rows record honestly that there is nothing to
+  // scale into.
+  std::vector<ServeRow> scaling;
+  for (const std::size_t scorers : {1u, 2u, 4u}) {
+    rows.push_back(OverloadArm(fx, 4, scorers, "scaling", nullptr));
+    scaling.push_back(rows.back());
+  }
 
   WriteServeJson(json_path, rows);
-  std::printf("%-10s %8s %14s %14s %10s %10s %9s %9s\n", "arm", "clients",
-              "flows/s", "offered/s", "p50 ms", "p99 ms", "shed %",
-              "late %");
+  std::printf("%-10s %8s %8s %14s %14s %10s %10s %9s %9s\n", "arm",
+              "clients", "scorers", "flows/s", "offered/s", "p50 ms",
+              "p99 ms", "shed %", "late %");
   for (const auto& r : rows) {
-    std::printf("%-10s %8zu %14.1f %14.1f %10.3f %10.3f %9.2f %9.2f\n",
-                r.arm.c_str(), r.clients, r.flows_per_sec, r.offered_per_sec,
-                r.p50_ms, r.p99_ms, r.shed_pct, r.late_pct);
+    std::printf("%-10s %8zu %8zu %14.1f %14.1f %10.3f %10.3f %9.2f %9.2f\n",
+                r.arm.c_str(), r.clients, r.scorers, r.flows_per_sec,
+                r.offered_per_sec, r.p50_ms, r.p99_ms, r.shed_pct,
+                r.late_pct);
   }
 
   // Robustness acceptance: every accepted record was answered exactly
   // once even while overloaded, and the latency of what WAS served
   // stays bounded by the scoring deadline (admission control + late
   // dropping prevent unbounded queue-wait inflation).
-  const auto& over = rows.back();
   bool pass = true;
   if (overload_stats.records !=
       overload_stats.ok + overload_stats.quarantined + overload_stats.shed +
@@ -408,6 +441,19 @@ int main(int argc, char** argv) {
       over.offered_per_sec < 2.0 * rows[0].flows_per_sec) {
     // The full run must actually demonstrate the overload regime.
     std::fprintf(stderr, "FAIL: overload arm never overloaded the server\n");
+    pass = false;
+  }
+  // Multi-scorer must not serve fewer flows than a single scorer on the
+  // overload workload. Only asserted when there is real parallelism to
+  // claim: on a single hardware core a 4-thread pool just time-slices,
+  // so the rows are recorded but the bound is not enforced. A 15%
+  // tolerance absorbs run-to-run loopback jitter.
+  if (std::thread::hardware_concurrency() > 1 &&
+      scaling.back().flows_per_sec < 0.85 * scaling.front().flows_per_sec) {
+    std::fprintf(stderr,
+                 "FAIL: 4-scorer overload throughput %.1f below "
+                 "1-scorer %.1f\n",
+                 scaling.back().flows_per_sec, scaling.front().flows_per_sec);
     pass = false;
   }
   if (!pass) return 1;

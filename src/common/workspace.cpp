@@ -41,8 +41,10 @@ Workspace& Workspace::Tls() {
   return ws;
 }
 
-Workspace::Scope::Scope()
-    : ws_(Tls()),
+Workspace::Scope::Scope() : Scope(Tls()) {}
+
+Workspace::Scope::Scope(Workspace& ws)
+    : ws_(ws),
       block_(ws_.active_),
       used_(ws_.blocks_.empty() ? 0 : ws_.blocks_[ws_.active_].used) {}
 

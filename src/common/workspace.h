@@ -40,10 +40,13 @@ class Workspace {
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
-  // RAII mark/release of the calling thread's arena.
+  // RAII mark/release of an arena — the calling thread's TLS arena by
+  // default, or an explicitly supplied one (e.g. an
+  // nn::InferenceContext's private arena).
   class Scope {
    public:
     Scope();
+    explicit Scope(Workspace& ws);
     ~Scope();
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;

@@ -30,10 +30,11 @@ int NeuralClassifier::Predict(std::span<const float> row) const {
 
 std::vector<int> NeuralClassifier::PredictAll(const Tensor& x) const {
   PELICAN_CHECK(trainer_ != nullptr, "PredictAll before Fit");
-  // Batched path: the trainer forwards full mini-batches, and the layer
-  // kernels shard each batch across the thread pool. This must NOT use
-  // the row-parallel ml::Classifier default — concurrent Forward calls
-  // would race on the network's layer caches.
+  // Batched path: the trainer scores full mini-batches through the
+  // reentrant Score path (per-thread inference contexts, no layer-cache
+  // writes), and the layer kernels shard each batch across the thread
+  // pool. Batching beats the row-parallel ml::Classifier default here
+  // because wide GEMMs amortize far better than N single-row forwards.
   return trainer_->Predict(x);
 }
 

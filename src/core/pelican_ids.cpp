@@ -105,8 +105,11 @@ void PelicanIds::CalibrateQuantized(const Tensor& x) {
     const auto src = x.Row(i * stride);
     std::copy(src.begin(), src.end(), slice.Row(i).begin());
   }
+  // Calibration must run through Forward, not the reentrant Score path:
+  // Score is const and never feeds the activation observers (Observe
+  // mutates them, which would race across scorer threads).
   network_->SetQuantMode(quant::Mode::kCalibrate);
-  (void)trainer_->PredictProbabilities(slice);   // feed the observers
+  (void)network_->Forward(slice, /*training=*/false);  // feed the observers
   network_->SetQuantMode(quant::Mode::kInt8);    // freeze scales + weights
   network_->SetQuantMode(quant::Mode::kOff);     // back to fp32 default
 }

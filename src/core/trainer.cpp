@@ -534,6 +534,19 @@ TrainHistory Trainer::Fit(const Tensor& x, std::span<const int> y,
   return history;
 }
 
+namespace {
+// One inference context per thread: the arena grows to the model's
+// steady-state footprint on the first batch and is reused afterwards.
+// Predict/PredictProbabilities/Evaluate never nest on one thread, so a
+// single context per thread is always idle when they are entered —
+// that is what makes these const methods safe to call concurrently
+// (the multi-scorer serve plane relies on it).
+nn::InferenceContext& InferenceCtx() {
+  static thread_local nn::InferenceContext ctx;
+  return ctx;
+}
+}  // namespace
+
 std::vector<int> Trainer::Predict(const Tensor& x) const {
   PELICAN_CHECK(x.rank() == 2, "Predict expects (N, D)");
   const std::int64_t n = x.dim(0);
@@ -545,9 +558,11 @@ std::vector<int> Trainer::Predict(const Tensor& x) const {
     std::copy(x.data().begin() + start * x.dim(1),
               x.data().begin() + (start + len) * x.dim(1),
               slice.data().begin());
-    // The forward pass parallelizes inside the layers; rows of the
-    // resulting logits argmax independently.
-    Tensor logits = network_->Forward(slice, /*training=*/false);
+    // The scoring pass parallelizes inside the layers; rows of the
+    // resulting logits argmax independently. Score (not Forward) keeps
+    // this method reentrant: each thread scores through its own
+    // context, so concurrent callers never touch shared layer caches.
+    Tensor logits = network_->Score(slice, InferenceCtx());
     ParallelFor(
         0, static_cast<std::size_t>(len),
         [&](std::size_t i) {
@@ -570,7 +585,7 @@ Tensor Trainer::PredictProbabilities(const Tensor& x) const {
     std::copy(x.data().begin() + start * x.dim(1),
               x.data().begin() + (start + len) * x.dim(1),
               slice.data().begin());
-    Tensor logits = network_->Forward(slice, /*training=*/false);
+    Tensor logits = network_->Score(slice, InferenceCtx());
     Tensor batch_probs = SoftmaxRows(logits);
     if (probs.empty()) {
       probs = Tensor({n, batch_probs.dim(1)});
@@ -599,7 +614,7 @@ Trainer::Evaluation Trainer::Evaluate(const Tensor& x,
               slice.data().begin());
     std::span<const int> labels{y.data() + start,
                                 static_cast<std::size_t>(len)};
-    Tensor logits = network_->Forward(slice, /*training=*/false);
+    Tensor logits = network_->Score(slice, InferenceCtx());
     loss_sum += static_cast<double>(nn::SoftmaxCrossEntropyLoss(logits,
                                                                 labels)) *
                 static_cast<double>(len);

@@ -8,6 +8,13 @@ Tensor ActivationLayer::Forward(const Tensor& x, bool /*training*/) {
   return y_;
 }
 
+Tensor ActivationLayer::Score(const Tensor& x,
+                              InferenceContext& /*ctx*/) const {
+  Tensor y = x;
+  for (auto& v : y.data()) v = Apply(kind_, v);
+  return y;
+}
+
 Tensor ActivationLayer::Backward(const Tensor& dy) {
   PELICAN_CHECK(dy.SameShape(y_), "activation backward shape mismatch");
   Tensor dx = dy;

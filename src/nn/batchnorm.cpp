@@ -119,6 +119,41 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+// Score is the inference branch of Forward with every cache (xhat_,
+// inv_std_, shape bookkeeping) replaced by locals: running statistics
+// in, affine map out, identical loop shape and expression order, so the
+// output bytes match Forward(x, false) exactly.
+Tensor BatchNorm::Score(const Tensor& x, InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() == 2 || x.rank() == 3, "BatchNorm expects rank 2/3");
+  const std::int64_t c = x.dim(x.rank() - 1);
+  PELICAN_CHECK(c == channels_, "BatchNorm channel mismatch");
+  const std::int64_t rows = x.size() / c;
+  const float* xp = x.data().data();
+
+  Tensor inv_std({c});
+  for (std::int64_t j = 0; j < c; ++j) {
+    inv_std[j] = 1.0F / std::sqrt(running_var_[j] + eps_);
+  }
+
+  Tensor y(x.shape());
+  float* yp = y.data().data();
+  const float* mp = running_mean_.data().data();
+  const float* sp = inv_std.data().data();
+  const float* gp = gamma_.data().data();
+  const float* betap = beta_.data().data();
+  ParallelFor(
+      0, static_cast<std::size_t>(rows),
+      [&](std::size_t r) {
+        const std::int64_t base = static_cast<std::int64_t>(r) * c;
+        for (std::int64_t j = 0; j < c; ++j) {
+          const float xh = (xp[base + j] - mp[j]) * sp[j];
+          yp[base + j] = gp[j] * xh + betap[j];
+        }
+      },
+      RowGrain(c));
+  return y;
+}
+
 Tensor BatchNorm::Backward(const Tensor& dy) {
   PELICAN_CHECK(dy.shape() == in_shape_, "BatchNorm backward shape mismatch");
   const std::int64_t c = channels_;

@@ -139,6 +139,39 @@ Tensor Conv1D::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+// Score mirrors Forward's inference branches operation for operation —
+// same Im2Col, same GEMM shapes and operands — so verdicts are
+// bit-identical; only the scratch arena differs (the caller's context
+// instead of the TLS workspace) and no member is written.
+Tensor Conv1D::Score(const Tensor& x, InferenceContext& ctx) const {
+  PELICAN_CHECK(x.rank() == 3 && x.dim(2) == in_channels_,
+                "Conv1D expects (N, L, C_in)");
+  const std::int64_t n = x.dim(0), len = x.dim(1);
+  const std::int64_t cin = in_channels_, f = filters_;
+  const auto [kk_lo, keff] = ValidTaps(kernel_, len, pad_left_);
+  const std::int64_t rows = n * len, kc = keff * cin;
+
+  Tensor y({n, len, f});
+  Workspace::Scope scope(ctx.workspace());
+  float* col = ctx.Alloc(static_cast<std::size_t>(rows * kc));
+  {
+    obs::TraceSpan span("conv1d_im2col", "kernel");
+    Im2Col(x.data().data(), n, len, cin, keff, kk_lo, pad_left_, col);
+  }
+  if (quant_mode_ == quant::Mode::kInt8) {
+    obs::TraceSpan span("conv1d_gemm_int8_fwd", "kernel");
+    quant::QuantizedMatMul(col, rows, kc, qop_, kk_lo * cin, y.data().data(),
+                           f);
+  } else {
+    obs::TraceSpan span("conv1d_gemm_fwd", "kernel");
+    kernels::Gemm(false, false, rows, f, kc, col, kc,
+                  w_.data().data() + kk_lo * cin * f, f, y.data().data(), f,
+                  /*accumulate=*/false);
+  }
+  AddRowBias(y.data().data(), rows, f, b_.data().data());
+  return y;
+}
+
 // Backward is three GEMMs over the same im2col lowering:
 //   dW(K·C_in, F) += colᵀ · dy      db += Σ rows(dy)
 //   dcol(N·L, K·C_in) = dy · Wᵀ     dx = col2im(dcol)

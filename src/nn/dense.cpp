@@ -36,6 +36,20 @@ Tensor Dense::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor Dense::Score(const Tensor& x, InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() == 2 && x.dim(1) == in_,
+                "Dense expects (N, in_features)");
+  Tensor y({x.dim(0), out_});
+  if (quant_mode_ == quant::Mode::kInt8) {
+    quant::QuantizedMatMul(x.data().data(), x.dim(0), in_, qop_, 0,
+                           y.data().data(), out_);
+  } else {
+    y = MatMul(x, w_);
+  }
+  AddRowBias(y, b_);
+  return y;
+}
+
 void Dense::SetQuantMode(quant::Mode mode) {
   if (mode == quant::Mode::kInt8 && !qop_.Ready()) {
     PELICAN_CHECK(qop_.observer.Seen(),

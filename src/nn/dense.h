@@ -12,6 +12,7 @@ class Dense final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  Tensor Score(const Tensor& x, InferenceContext& ctx) const override;
   std::vector<ParamRef> Params() override;
   [[nodiscard]] std::string Name() const override { return "Dense"; }
   [[nodiscard]] int ParameterLayerCount() const override { return 1; }

@@ -13,6 +13,10 @@ class Dropout final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  // Inference dropout is the identity; nothing to cache, nothing to do.
+  Tensor Score(const Tensor& x, InferenceContext& /*ctx*/) const override {
+    return x;
+  }
   [[nodiscard]] std::string Name() const override { return "Dropout"; }
   void SetRng(Rng* rng) override { rng_ = rng; }
 

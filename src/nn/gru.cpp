@@ -180,6 +180,105 @@ Tensor Gru::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+// Score is Forward's inference path with every mutable member replaced
+// by context scratch. The fused [Wz|Wr|Wh] / [Uz|Ur] / [bz|br|bh]
+// panels are rebuilt into the caller's arena from the per-gate masters
+// on every call — the same interleaving RefreshFusedPanels produces, so
+// the GEMMs see bit-identical operands — which keeps Score const (the
+// member panels may be stale relative to optimizer updates; the masters
+// never are). Same GEMM shapes, same elementwise formulas, same
+// parallel grain: verdicts match Forward(x, false) byte for byte.
+Tensor Gru::Score(const Tensor& x, InferenceContext& ctx) const {
+  PELICAN_CHECK(x.rank() == 3 && x.dim(2) == input_size_,
+                "GRU expects (N, L, C_in)");
+  const std::int64_t n = x.dim(0), len = x.dim(1);
+  const std::int64_t c = input_size_;
+  const std::int64_t h = units_, h3 = 3 * units_;
+
+  Workspace::Scope scope(ctx.workspace());
+  // Fused panels, rebuilt from the masters (layout == RefreshFusedPanels).
+  float* w_zrh = ctx.Alloc(static_cast<std::size_t>(c * h3));
+  float* u_zr = ctx.Alloc(static_cast<std::size_t>(h * 2 * h));
+  float* b_zrh = ctx.Alloc(static_cast<std::size_t>(h3));
+  for (std::int64_t i = 0; i < c; ++i) {
+    float* dst = w_zrh + i * h3;
+    std::copy_n(wz_.data().data() + i * h, h, dst);
+    std::copy_n(wr_.data().data() + i * h, h, dst + h);
+    std::copy_n(wh_.data().data() + i * h, h, dst + 2 * h);
+  }
+  for (std::int64_t i = 0; i < h; ++i) {
+    float* dst = u_zr + i * 2 * h;
+    std::copy_n(uz_.data().data() + i * h, h, dst);
+    std::copy_n(ur_.data().data() + i * h, h, dst + h);
+  }
+  std::copy_n(bz_.data().data(), h, b_zrh);
+  std::copy_n(br_.data().data(), h, b_zrh + h);
+  std::copy_n(bh_.data().data(), h, b_zrh + 2 * h);
+
+  float* proj = ctx.Alloc(static_cast<std::size_t>(n * len * h3));
+  if (quant_mode_ == quant::Mode::kInt8) {
+    quant::QuantizedMatMul(x.data().data(), n * len, input_size_, qop_, 0,
+                           proj, h3);
+  } else {
+    kernels::Gemm(false, false, n * len, h3, input_size_, x.data().data(),
+                  input_size_, w_zrh, h3, proj, h3, /*accumulate=*/false);
+  }
+  AddRowBias(proj, n * len, h3, b_zrh);
+
+  Tensor y = return_sequences_ ? Tensor({n, len, h}) : Tensor({n, h});
+  Tensor hprev({n, h});  // h_0 = 0
+  const std::int64_t ld = len * h3;  // row stride of one step's sub-view
+  for (std::int64_t t = 0; t < len; ++t) {
+    const float* hpv = hprev.data().data();
+    float* pt = proj + t * h3;
+
+    // pre_z/pre_r += h_{t-1} · [Uz|Ur] in one GEMM.
+    kernels::Gemm(false, false, n, 2 * h, h, hpv, h, u_zr, 2 * h, pt, ld,
+                  /*accumulate=*/true);
+
+    Tensor z({n, h}), rh({n, h});
+    {
+      float* zp = z.data().data();
+      float* rhp = rh.data().data();
+      ParallelApplyFlat(static_cast<std::size_t>(n * h), [&](std::size_t ui) {
+        const auto idx = static_cast<std::int64_t>(ui);
+        const std::int64_t i = idx / h, j = idx % h;
+        const float* row = pt + i * ld;
+        zp[idx] = HardSigmoidF(row[j]);
+        const float rv = HardSigmoidF(row[h + j]);
+        rhp[idx] = rv * hpv[idx];
+      });
+    }
+
+    // pre_h += (r ⊙ h_{t-1}) · Uh, then tanh.
+    kernels::Gemm(false, false, n, h, h, rh.data().data(), h,
+                  uh_.data().data(), h, pt + 2 * h, ld, /*accumulate=*/true);
+
+    Tensor hnew({n, h});
+    {
+      float* hn = hnew.data().data();
+      const float* zp = z.data().data();
+      ParallelApplyFlat(static_cast<std::size_t>(n * h), [&](std::size_t ui) {
+        const auto idx = static_cast<std::int64_t>(ui);
+        const std::int64_t i = idx / h, j = idx % h;
+        const float cv = TanhF(pt[i * ld + 2 * h + j]);
+        hn[idx] = zp[idx] * hpv[idx] + (1.0F - zp[idx]) * cv;
+      });
+    }
+
+    if (return_sequences_) {
+      float* yp = y.data().data();
+      const float* hp = hnew.data().data();
+      for (std::int64_t i = 0; i < n; ++i) {
+        std::copy(hp + i * h, hp + (i + 1) * h, yp + (i * len + t) * h);
+      }
+    }
+    hprev = std::move(hnew);
+  }
+  if (!return_sequences_) return hprev;
+  return y;
+}
+
 // Backward mirrors the fused forward: per step the three gate
 // pre-activation gradients are assembled into one (N, 3H) panel `g` =
 // [da_z | da_r | da_h], so the weight-gradient GEMMs against x/h_{t-1}

@@ -1,0 +1,42 @@
+// nn::InferenceContext — per-caller activation scratchpad for the
+// reentrant Layer::Score path.
+//
+// Score never touches layer members, so the only state a forward pass
+// needs — im2col buffers, fused GRU panels, per-step projections — has
+// to live somewhere the caller controls. Each context owns a private
+// Workspace arena (NOT the thread-local one), so:
+//
+//   * N scorer threads can run Score concurrently on ONE model, each
+//     with its own context — no shared mutable state anywhere;
+//   * two contexts interleaved on one thread stay independent (their
+//     arenas never alias), which the nn test suite asserts;
+//   * steady-state scoring performs zero scratch allocations: the
+//     arena's blocks are reused call after call, exactly like the
+//     training path's TLS workspace.
+//
+// A context is NOT thread-safe: one context, one thread at a time.
+// Layers open a Workspace::Scope on the context's arena per Score call,
+// so all scratch is released on return and pointers never escape.
+#pragma once
+
+#include "common/workspace.h"
+
+namespace pelican::nn {
+
+class InferenceContext {
+ public:
+  InferenceContext() = default;
+  InferenceContext(const InferenceContext&) = delete;
+  InferenceContext& operator=(const InferenceContext&) = delete;
+
+  [[nodiscard]] Workspace& workspace() { return ws_; }
+
+  // Floats of scratch valid until the innermost enclosing
+  // Workspace::Scope on this context's arena closes.
+  float* Alloc(std::size_t n) { return ws_.Alloc(n); }
+
+ private:
+  Workspace ws_;
+};
+
+}  // namespace pelican::nn

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/inference_context.h"
 #include "quant/quantize.h"
 #include "tensor/tensor.h"
 
@@ -46,6 +47,17 @@ class Layer {
   // returns the gradient w.r.t. that Forward's input. Must be called at
   // most once per Forward.
   virtual Tensor Backward(const Tensor& dy) = 0;
+
+  // Reentrant inference: computes the same bytes as Forward(x, false)
+  // but reads weights only and never mutates layer state, so any number
+  // of threads may Score one model concurrently, each with its own
+  // context (scratch arena). Differences from Forward(x, false):
+  //   * no activation caches are written (Backward stays paired with
+  //     Forward, untouched);
+  //   * calibration observers are NOT fed (kCalibrate scores as fp32;
+  //     calibration feeds observers through Forward);
+  //   * kInt8 runs the frozen quantized path, identical to Forward's.
+  virtual Tensor Score(const Tensor& x, InferenceContext& ctx) const = 0;
 
   // Trainable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> Params() { return {}; }

@@ -119,6 +119,46 @@ Tensor Lstm::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+// Forward with rotating local h/c states instead of the cached state
+// vectors — same SliceStep/Gate helpers, same elementwise recurrence,
+// so outputs match Forward(x, false) byte for byte.
+Tensor Lstm::Score(const Tensor& x, InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() == 3 && x.dim(2) == input_size_,
+                "LSTM expects (N, L, C_in)");
+  const std::int64_t n = x.dim(0), len = x.dim(1), h = units_;
+
+  Tensor y = return_sequences_ ? Tensor({n, len, h}) : Tensor({n, h});
+  Tensor hprev({n, h});
+  Tensor cprev({n, h});
+  for (std::int64_t t = 0; t < len; ++t) {
+    Tensor xt = SliceStep(x, t);
+
+    Tensor ig = Gate(xt, wi_, hprev, ui_, bi_, Activation::kHardSigmoid);
+    Tensor fg = Gate(xt, wf_, hprev, uf_, bf_, Activation::kHardSigmoid);
+    Tensor gg = Gate(xt, wg_, hprev, ug_, bg_, Activation::kTanh);
+    Tensor og = Gate(xt, wo_, hprev, uo_, bo_, Activation::kHardSigmoid);
+
+    Tensor cnew({n, h});
+    Tensor hnew({n, h});
+    for (std::int64_t i = 0; i < cnew.size(); ++i) {
+      cnew[i] = fg[i] * cprev[i] + ig[i] * gg[i];
+      hnew[i] = og[i] * TanhF(cnew[i]);
+    }
+
+    if (return_sequences_) {
+      float* yp = y.data().data();
+      const float* hp = hnew.data().data();
+      for (std::int64_t i = 0; i < n; ++i) {
+        std::copy(hp + i * h, hp + (i + 1) * h, yp + (i * len + t) * h);
+      }
+    }
+    hprev = std::move(hnew);
+    cprev = std::move(cnew);
+  }
+  if (!return_sequences_) return hprev;
+  return y;
+}
+
 Tensor Lstm::Backward(const Tensor& dy) {
   PELICAN_CHECK(!xs_.empty(), "Backward before Forward");
   const auto len = static_cast<std::int64_t>(xs_.size());

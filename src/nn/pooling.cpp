@@ -43,6 +43,32 @@ Tensor MaxPool1D::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+// Forward minus the argmax/shape bookkeeping — same windowing, same
+// comparison order, so outputs match byte for byte.
+Tensor MaxPool1D::Score(const Tensor& x, InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() == 3, "MaxPool1D expects (N, L, C)");
+  const std::int64_t n = x.dim(0), len = x.dim(1), c = x.dim(2);
+  const std::int64_t out_len = OutputLength(len);
+  const std::int64_t window = (len < pool_) ? len : pool_;
+  Tensor y({n, out_len, c});
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t t = 0; t < out_len; ++t) {
+      const std::int64_t start = t * window;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        float best_v = xp[(in * len + start) * c + ch];
+        for (std::int64_t k = 1; k < window; ++k) {
+          const std::int64_t idx = (in * len + start + k) * c + ch;
+          if (xp[idx] > best_v) best_v = xp[idx];
+        }
+        yp[(in * out_len + t) * c + ch] = best_v;
+      }
+    }
+  }
+  return y;
+}
+
 Tensor MaxPool1D::Backward(const Tensor& dy) {
   PELICAN_CHECK(!in_shape_.empty(), "Backward before Forward");
   PELICAN_CHECK(dy.size() == static_cast<std::int64_t>(argmax_.size()),
@@ -88,6 +114,28 @@ Tensor AvgPool1D::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor AvgPool1D::Score(const Tensor& x, InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() == 3, "AvgPool1D expects (N, L, C)");
+  const std::int64_t n = x.dim(0), len = x.dim(1), c = x.dim(2);
+  const std::int64_t out_len = OutputLength(len);
+  const std::int64_t window = (len < pool_) ? len : pool_;
+  Tensor y({n, out_len, c});
+  const float inv = 1.0F / static_cast<float>(window);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t t = 0; t < out_len; ++t) {
+      const std::int64_t start = t * window;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        float sum = 0.0F;
+        for (std::int64_t k = 0; k < window; ++k) {
+          sum += x.At(in, start + k, ch);
+        }
+        y.At(in, t, ch) = sum * inv;
+      }
+    }
+  }
+  return y;
+}
+
 Tensor AvgPool1D::Backward(const Tensor& dy) {
   PELICAN_CHECK(!in_shape_.empty(), "Backward before Forward");
   const std::int64_t n = in_shape_[0], len = in_shape_[1], c = in_shape_[2];
@@ -114,6 +162,22 @@ Tensor AvgPool1D::Backward(const Tensor& dy) {
 Tensor GlobalAvgPool1D::Forward(const Tensor& x, bool /*training*/) {
   PELICAN_CHECK(x.rank() == 3, "GlobalAvgPool1D expects (N, L, C)");
   in_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), len = x.dim(1), c = x.dim(2);
+  Tensor y({n, c});
+  const float inv = 1.0F / static_cast<float>(len);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t t = 0; t < len; ++t) {
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        y.At(in, ch) += x.At(in, t, ch) * inv;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool1D::Score(const Tensor& x,
+                              InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() == 3, "GlobalAvgPool1D expects (N, L, C)");
   const std::int64_t n = x.dim(0), len = x.dim(1), c = x.dim(2);
   Tensor y({n, c});
   const float inv = 1.0F / static_cast<float>(len);

@@ -17,6 +17,7 @@ class MaxPool1D final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  Tensor Score(const Tensor& x, InferenceContext& ctx) const override;
   [[nodiscard]] std::string Name() const override { return "MaxPool1D"; }
 
   // Output length for a given input length under this layer's rules.
@@ -36,6 +37,7 @@ class AvgPool1D final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  Tensor Score(const Tensor& x, InferenceContext& ctx) const override;
   [[nodiscard]] std::string Name() const override { return "AvgPool1D"; }
 
   [[nodiscard]] std::int64_t OutputLength(std::int64_t input_length) const;
@@ -51,6 +53,7 @@ class GlobalAvgPool1D final : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  Tensor Score(const Tensor& x, InferenceContext& ctx) const override;
   [[nodiscard]] std::string Name() const override { return "GlobalAvgPool1D"; }
 
  private:

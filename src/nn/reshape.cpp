@@ -17,6 +17,15 @@ Tensor Reshape::Forward(const Tensor& x, bool /*training*/) {
   return x.Reshaped(std::move(out));
 }
 
+Tensor Reshape::Score(const Tensor& x, InferenceContext& /*ctx*/) const {
+  PELICAN_CHECK(x.rank() >= 1, "Reshape expects batched input");
+  Tensor::Shape out{x.dim(0)};
+  out.insert(out.end(), target_.begin(), target_.end());
+  PELICAN_CHECK(NumElements(out) == x.size(),
+                "Reshape target incompatible with input size");
+  return x.Reshaped(std::move(out));
+}
+
 Tensor Reshape::Backward(const Tensor& dy) {
   PELICAN_CHECK(!in_shape_.empty(), "Backward before Forward");
   PELICAN_CHECK(dy.size() == NumElements(in_shape_),

@@ -14,6 +14,7 @@ class Reshape final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  Tensor Score(const Tensor& x, InferenceContext& ctx) const override;
   [[nodiscard]] std::string Name() const override { return "Reshape"; }
 
  private:

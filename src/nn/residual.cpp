@@ -23,6 +23,18 @@ Tensor ResidualWrap::Forward(const Tensor& x, bool training) {
   return post_ ? post_->Forward(v, training) : v;
 }
 
+Tensor ResidualWrap::Score(const Tensor& x, InferenceContext& ctx) const {
+  Tensor u = pre_ ? pre_->Score(x, ctx) : x;
+  Tensor v = body_->Score(u, ctx);
+  Tensor s = shortcut_ ? shortcut_->Score(u, ctx) : u;
+  PELICAN_CHECK(v.SameShape(s),
+                "residual add shape mismatch: body " + v.ShapeString() +
+                    " vs shortcut " + s.ShapeString() +
+                    " (use a projection shortcut)");
+  v.Add(s);
+  return post_ ? post_->Score(v, ctx) : v;
+}
+
 Tensor ResidualWrap::Backward(const Tensor& dy) {
   Tensor d = post_ ? post_->Backward(dy) : dy;
   // d flows into both the body and the shortcut.

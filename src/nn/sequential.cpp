@@ -89,6 +89,16 @@ Tensor Sequential::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+// Score skips the per-layer instrumentation entirely: EnsureObs()
+// mutates lazily-built state, which would race across scorer threads,
+// and the serving plane has its own end-to-end latency metrics. The
+// chain itself is the uninstrumented Forward fast path.
+Tensor Sequential::Score(const Tensor& x, InferenceContext& ctx) const {
+  Tensor y = x;
+  for (const auto& layer : layers_) y = layer->Score(y, ctx);
+  return y;
+}
+
 Tensor Sequential::Backward(const Tensor& dy) {
   if (!obs::MetricsEnabled() && !obs::TracingEnabled()) {
     Tensor d = dy;

@@ -16,6 +16,7 @@ class Sequential final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& dy) override;
+  Tensor Score(const Tensor& x, InferenceContext& ctx) const override;
   std::vector<ParamRef> Params() override;
   std::vector<BufferRef> Buffers() override;
   [[nodiscard]] std::string Name() const override { return "Sequential"; }

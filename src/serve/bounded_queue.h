@@ -1,12 +1,15 @@
 // serve::BoundedQueue — the admission-controlled hand-off between
-// connection readers (producers) and the single scorer thread.
+// connection readers (producers) and the scorer pool (consumers; any
+// number of scorer threads may pop concurrently).
 //
 // The queue IS the backpressure policy: TryPush never blocks and never
 // grows past the configured capacity, so an overloaded server sheds
 // work at the front door (the caller answers BUSY) instead of
 // buffering itself to death. PopBatch blocks for the first item, then
 // lingers briefly to fill a micro-batch — amortizing the GEMM without
-// adding unbounded latency.
+// adding unbounded latency. One mutex guards both ends, so concurrent
+// consumers each pop disjoint batches and the termination contract
+// (empty result == closed-and-drained) holds for every one of them.
 #pragma once
 
 #include <chrono>

@@ -2,9 +2,11 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -140,6 +142,12 @@ ScoringServer::ScoringServer(const core::PelicanIds& ids,
 
 ScoringServer::~ScoringServer() { Drain(); }
 
+std::size_t ScoringServer::ScorerCount() const {
+  if (config_.scorers > 0) return config_.scorers;
+  const std::size_t cores = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(4, std::max<std::size_t>(1, cores));
+}
+
 void ScoringServer::Start() {
   PELICAN_CHECK(!running_.load(), "ScoringServer already started");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -172,7 +180,11 @@ void ScoringServer::Start() {
 
   draining_.store(false);
   running_.store(true);
-  scorer_ = std::thread([this] { ScorerLoop(); });
+  const std::size_t n_scorers = ScorerCount();
+  scorers_.reserve(n_scorers);
+  for (std::size_t i = 0; i < n_scorers; ++i) {
+    scorers_.emplace_back([this] { ScorerLoop(); });
+  }
   listener_ = std::thread([this] { ListenLoop(); });
 }
 
@@ -180,12 +192,15 @@ void ScoringServer::Drain() {
   if (!running_.exchange(false)) return;
   draining_.store(true);
   // Order matters: the listener joins every connection thread, each of
-  // which may still be waiting on verdicts — so the scorer must keep
+  // which may still be waiting on verdicts — so the scorers must keep
   // running until all connections have flushed. Only then is the queue
-  // closed (scorer drains the remainder and exits).
+  // closed (the scorers drain the remainder between them and exit).
   if (listener_.joinable()) listener_.join();
   queue_.Close();
-  if (scorer_.joinable()) scorer_.join();
+  for (std::thread& scorer : scorers_) {
+    if (scorer.joinable()) scorer.join();
+  }
+  scorers_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -244,6 +259,12 @@ void ScoringServer::HandleConnection(int fd) {
   tv.tv_sec = config_.write_timeout_ms / 1000;
   tv.tv_usec = (config_.write_timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  // Verdict payloads are small and latency-bound: without TCP_NODELAY,
+  // Nagle holds each reply until the client's delayed ACK (~40ms),
+  // collapsing closed-loop clients to ~25 chunks/sec regardless of how
+  // fast the scorers are.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
   const auto score_deadline = std::chrono::milliseconds(
       config_.score_deadline_ms);
@@ -424,6 +445,13 @@ void ScoringServer::FulfillSlot(const QueueItem& item, std::string reply) {
   if (--chunk.pending == 0) chunk.done.notify_one();
 }
 
+// Runs on every scorer thread. PopBatch is multi-consumer-safe (one
+// mutex guards the queue), InspectAll routes through the reentrant
+// Score path with a per-thread inference context, and FulfillSlot
+// serializes on the owning chunk's mutex — so any number of scorers
+// can run this loop concurrently against the shared trained model.
+// Counters are atomics; the queue_depth gauge is last-write-wins,
+// which is fine for a sampled depth.
 void ScoringServer::ScorerLoop() {
   const bool metrics_on = config_.observe && obs::MetricsEnabled();
   const auto linger = std::chrono::milliseconds(config_.batch_linger_ms);
@@ -505,6 +533,7 @@ std::string ScoringServer::StatsJson() const {
   const ServeStats s = Stats();
   obs::Json json;
   json.Set("engine", engine_);
+  json.Set("scorers", static_cast<std::uint64_t>(ScorerCount()));
   json.Set("running", running_.load());
   json.Set("draining", draining_.load());
   json.Set("queue_depth", static_cast<std::uint64_t>(queue_.Depth()));

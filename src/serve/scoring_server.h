@@ -10,7 +10,7 @@
 //                sheds excess clients the same way.
 //   deadlines    per-connection read deadline (a peer stalled
 //                mid-record is cut loose, counted) and a per-record
-//                scoring deadline (work the scorer can't reach in time
+//                scoring deadline (work no scorer can reach in time
 //                is answered `late`, counted, never silently stalled).
 //   quarantine   malformed lines get one `err,<reason>` reply via the
 //                StreamDetector rejection predicate; one bad line
@@ -20,16 +20,20 @@
 //                socket I/O is EINTR-safe (obs/net_util) and routed
 //                through a SocketOps seam for fault injection.
 //   drain        Drain() stops accepting, lets in-flight chunks
-//                finish, flushes the queue through the scorer, then
+//                finish, flushes the queue through the scorers, then
 //                joins — no accepted record is lost (Stats() shows
 //                records == replies after drain).
 //
 // Threads: one listener, one thread per connection (bounded by
-// max_connections), exactly ONE scorer — Sequential::Forward mutates
-// per-layer activation caches, so the model must never be run
-// concurrently. Verdicts stay bit-identical to the batch CLI because
-// the blocked GEMM's accumulation order is independent of batch
-// composition.
+// max_connections), and N scorers (`scorers`, default min(4, cores))
+// pulling micro-batches off the shared queue concurrently. Parallel
+// scoring is safe because every scorer runs the const, reentrant
+// Score path (per-thread inference contexts; weights are read-only
+// after training), never the cache-mutating Forward. Verdicts stay
+// bit-identical to the batch CLI — and across any scorer count —
+// because the blocked GEMM's accumulation order is independent of
+// batch composition, and the reply-slot protocol keeps per-connection
+// ordering regardless of which scorer answers which record.
 #pragma once
 
 #include <atomic>
@@ -65,9 +69,10 @@ struct ScoringServerConfig {
   int idle_timeout_ms = 30000;         // quiet connection → close
   int score_deadline_ms = 2000;        // older queued work → late
   int write_timeout_ms = 5000;         // slow reader → drop + close
+  std::size_t scorers = 0;             // scorer threads; 0 = min(4, cores)
   bool observe = true;                 // publish pelican_serve_* metrics
   obs::SocketOps ops;                  // test seam: fault injection
-  // Test seam: runs on the scorer thread at the top of every loop
+  // Test seam: runs on each scorer thread at the top of every loop
   // iteration, before it pops a batch — blocking here holds the queue
   // at a deterministic depth for shed/deadline tests.
   std::function<void()> before_batch_hook;
@@ -101,12 +106,12 @@ class ScoringServer {
   ScoringServer(const ScoringServer&) = delete;
   ScoringServer& operator=(const ScoringServer&) = delete;
 
-  // Binds, listens, launches listener + scorer. Throws CheckError when
-  // the socket can't be set up.
+  // Binds, listens, launches listener + scorers. Throws CheckError
+  // when the socket can't be set up.
   void Start();
 
   // Graceful shutdown: stop accepting, finish in-flight chunks, drain
-  // the queue through the scorer, join everything. Blocking,
+  // the queue through the scorers, join everything. Blocking,
   // idempotent, called by the destructor.
   void Drain();
 
@@ -125,6 +130,10 @@ class ScoringServer {
   // quantized inference enabled at construction, else "fp32". Also the
   // `engine` label on every pelican_serve_* series.
   [[nodiscard]] const std::string& Engine() const { return engine_; }
+
+  // The resolved scorer-thread count this server runs with (config
+  // value, or min(4, hardware cores) when the config left it 0).
+  [[nodiscard]] std::size_t ScorerCount() const;
 
  private:
   struct PendingChunk;
@@ -157,7 +166,7 @@ class ScoringServer {
   std::unique_ptr<ServeMetrics> metrics_;
 
   std::thread listener_;
-  std::thread scorer_;
+  std::vector<std::thread> scorers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> active_connections_{0};

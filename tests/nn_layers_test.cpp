@@ -4,12 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <thread>
 
 #include "nn/nn.h"
 #include "tensor/ops.h"
 
 namespace pelican {
 namespace {
+
+// Byte-level equality — the Score contract is bit-identical outputs,
+// not merely close ones.
+bool SameBytes(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
 
 TEST(Dense, OutputShapeAndBias) {
   Rng rng(1);
@@ -454,6 +464,96 @@ TEST(Residual, ShapeMismatchIsDiagnosed) {
   nn::ResidualWrap block(nullptr, std::move(body), nullptr, nullptr);
   EXPECT_THROW(block.Forward(Tensor::RandomNormal({2, 3}, rng, 0, 1), false),
                CheckError);
+}
+
+// A small network exercising every layer kind the paper's topology
+// uses (conv, BN, activations, GRU, reshape, residual, pooling,
+// dropout, dense) so the Score-vs-Forward contract is checked through
+// real composition, not per-layer in isolation.
+std::unique_ptr<nn::Sequential> BuildScoreNet(Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Conv1D>(3, 4, 3, rng));
+  net->Add(std::make_unique<nn::BatchNorm>(4));
+  net->Add(nn::Relu());
+  auto body = std::make_unique<nn::Sequential>();
+  body->Add(std::make_unique<nn::Conv1D>(4, 4, 3, rng));
+  body->Add(std::make_unique<nn::Dropout>(0.4F));
+  net->Add(std::make_unique<nn::ResidualWrap>(
+      std::make_unique<nn::BatchNorm>(4), std::move(body), nullptr,
+      nn::Relu()));
+  net->Add(std::make_unique<nn::Gru>(4, 4, rng, /*return_sequences=*/true));
+  net->Add(std::make_unique<nn::Reshape>(Tensor::Shape{5, 4}));
+  net->Add(std::make_unique<nn::MaxPool1D>(2));
+  net->Add(std::make_unique<nn::GlobalAvgPool1D>());
+  net->Add(std::make_unique<nn::Dense>(4, 2, rng));
+  return net;
+}
+
+TEST(InferenceContext, ScoreMatchesInferenceForwardByteForByte) {
+  Rng rng(31);
+  auto net = BuildScoreNet(rng);
+  net->SetRng(&rng);
+  // A few training steps move the BN running stats off their init so
+  // the comparison exercises non-trivial statistics.
+  for (int i = 0; i < 3; ++i) {
+    (void)net->Forward(Tensor::RandomNormal({4, 5, 3}, rng, 0, 1), true);
+  }
+  const auto x = Tensor::RandomNormal({6, 5, 3}, rng, 0, 1);
+  const Tensor want = net->Forward(x, /*training=*/false);
+  nn::InferenceContext ctx;
+  const Tensor got = net->Score(x, ctx);
+  EXPECT_TRUE(SameBytes(want, got));
+  // Arena reuse: the second call recycles the grown arena.
+  const Tensor again = net->Score(x, ctx);
+  EXPECT_TRUE(SameBytes(want, again));
+}
+
+TEST(InferenceContext, TwoContextsOnOneModelInterleaveIndependently) {
+  Rng rng(32);
+  auto net = BuildScoreNet(rng);
+  (void)net->Forward(Tensor::RandomNormal({4, 5, 3}, rng, 0, 1), true);
+  const auto xa = Tensor::RandomNormal({3, 5, 3}, rng, 0, 1);
+  const auto xb = Tensor::RandomNormal({5, 5, 3}, rng, 0, 1);
+  const Tensor want_a = net->Forward(xa, false);
+  const Tensor want_b = net->Forward(xb, false);
+
+  // Interleave two private contexts on one thread against the same
+  // model: neither call may disturb the other's scratch, and both must
+  // reproduce the sequential reference exactly.
+  nn::InferenceContext ctx_a;
+  nn::InferenceContext ctx_b;
+  for (int round = 0; round < 3; ++round) {
+    const Tensor ya = net->Score(xa, ctx_a);
+    const Tensor yb = net->Score(xb, ctx_b);
+    EXPECT_TRUE(SameBytes(want_a, ya)) << "round " << round;
+    EXPECT_TRUE(SameBytes(want_b, yb)) << "round " << round;
+  }
+}
+
+TEST(InferenceContext, ConcurrentScorersProduceIdenticalBytes) {
+  Rng rng(33);
+  auto net = BuildScoreNet(rng);
+  (void)net->Forward(Tensor::RandomNormal({4, 5, 3}, rng, 0, 1), true);
+  const auto x = Tensor::RandomNormal({4, 5, 3}, rng, 0, 1);
+  const Tensor want = net->Forward(x, false);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      nn::InferenceContext ctx;  // per-thread, as the serve plane does
+      for (int r = 0; r < kRounds; ++r) {
+        if (!SameBytes(want, net->Score(x, ctx))) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
 }
 
 TEST(Loss, PerfectPredictionHasLowLoss) {

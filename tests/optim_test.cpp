@@ -16,6 +16,9 @@ class ScalarParam final : public nn::Layer {
  public:
   Tensor Forward(const Tensor& x, bool) override { return x; }
   Tensor Backward(const Tensor& dy) override { return dy; }
+  Tensor Score(const Tensor& x, nn::InferenceContext&) const override {
+    return x;
+  }
   std::vector<nn::ParamRef> Params() override {
     return {{"w", &w_, &g_}};
   }

@@ -999,6 +999,146 @@ TEST(ScoringServer, QuantizedAndFp32EnginesAgreeOnVerdictClasses) {
       << agree << "/" << fp32.size() << " labels agree";
 }
 
+// ---- multi-scorer parallel serve plane (tentpole) --------------------------
+
+// Streams every fixture line through one connection of a server running
+// `scorers` threads and returns the joined reply stream.
+std::string VerdictStreamWithScorers(const core::PelicanIds& ids,
+                                     std::size_t scorers) {
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = scorers;
+  serve::ScoringServer server(ids, cfg);
+  server.Start();
+  EXPECT_EQ(server.ScorerCount(), scorers);
+  const int fd = ConnectTo(server.Port());
+  EXPECT_GE(fd, 0);
+  EXPECT_TRUE(SendStr(fd, JoinLines(DataLines())));
+  const auto replies = ReadLines(fd, DataLines().size());
+  ::close(fd);
+  EXPECT_EQ(replies.size(), DataLines().size());
+  server.Drain();
+  ExpectConservation(server.Stats());
+  return JoinLines(replies);
+}
+
+// The determinism contract the issue pins down: verdict bytes are a
+// function of the input stream alone, not of how many scorer threads
+// happened to race over the queue — for both predict engines.
+TEST(ScoringServer, VerdictStreamByteIdenticalAcrossScorerCounts) {
+  const std::string fp32_one = VerdictStreamWithScorers(TrainedIds(), 1);
+  for (const std::size_t scorers : {2u, 4u}) {
+    const std::string got = VerdictStreamWithScorers(TrainedIds(), scorers);
+    ASSERT_EQ(got.size(), fp32_one.size()) << "scorers=" << scorers;
+    EXPECT_EQ(std::memcmp(got.data(), fp32_one.data(), got.size()), 0)
+        << "fp32 verdict stream diverged at scorers=" << scorers;
+  }
+  const std::string int8_one = VerdictStreamWithScorers(QuantizedIds(), 1);
+  for (const std::size_t scorers : {2u, 4u}) {
+    const std::string got = VerdictStreamWithScorers(QuantizedIds(), scorers);
+    ASSERT_EQ(got.size(), int8_one.size()) << "scorers=" << scorers;
+    EXPECT_EQ(std::memcmp(got.data(), int8_one.data(), got.size()), 0)
+        << "int8 verdict stream diverged at scorers=" << scorers;
+  }
+}
+
+// N scorers × M clients hammering the queue concurrently; the
+// PELICAN_SANITIZE=thread build runs this under TSan. Small max_batch
+// forces many micro-batches so distinct scorers interleave on the same
+// connections' reply slots.
+TEST(ScoringServer, MultiScorerConcurrentClientsKeepOrderAndConserve) {
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = 4;
+  cfg.max_batch = 4;
+  cfg.batch_linger_ms = 0;
+  cfg.queue_depth = 512;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+  ASSERT_EQ(server.ScorerCount(), 4u);
+
+  const auto expected = TrainedIds().InspectAll(WireRows());
+  constexpr int kClients = 6;
+  constexpr int kChunks = 4;
+  constexpr int kPerChunk = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &expected, &mismatches, c] {
+      const int fd = ConnectTo(server.Port());
+      ASSERT_GE(fd, 0);
+      for (int chunk = 0; chunk < kChunks; ++chunk) {
+        std::string payload;
+        std::vector<std::size_t> sent;
+        for (int j = 0; j < kPerChunk; ++j) {
+          const std::size_t idx =
+              (c * 11 + chunk * kPerChunk + j) % DataLines().size();
+          sent.push_back(idx);
+          payload += DataLines()[idx];
+          payload += '\n';
+        }
+        ASSERT_TRUE(SendStr(fd, payload));
+        const auto replies = ReadLines(fd, kPerChunk);
+        ASSERT_EQ(replies.size(), static_cast<std::size_t>(kPerChunk));
+        // Per-connection reply order must track send order exactly, no
+        // matter which scorer answered each record.
+        for (int j = 0; j < kPerChunk; ++j) {
+          if (replies[static_cast<std::size_t>(j)] !=
+              serve::RenderVerdict(expected[sent[static_cast<std::size_t>(j)]]))
+            mismatches.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.records,
+            static_cast<std::uint64_t>(kClients * kChunks * kPerChunk));
+  EXPECT_EQ(stats.ok, stats.records);
+  ExpectConservation(stats);
+}
+
+// Drain lands while several scorers still have queued work from live
+// connections: every accepted record must still be answered exactly
+// once before the join.
+TEST(ScoringServer, MultiScorerDrainUnderLoadConservesAcceptedRecords) {
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = 4;
+  cfg.max_batch = 4;
+  cfg.batch_linger_ms = 0;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  server.Start();
+
+  constexpr int kClients = 3;
+  constexpr int kRows = 16;
+  std::vector<int> fds;
+  for (int c = 0; c < kClients; ++c) {
+    const int fd = ConnectTo(server.Port());
+    ASSERT_GE(fd, 0);
+    std::string payload;
+    for (int i = 0; i < kRows; ++i) payload += DataLines()[i] + "\n";
+    ASSERT_TRUE(SendStr(fd, payload));
+    fds.push_back(fd);
+  }
+  ASSERT_TRUE(Eventually(
+      [&] { return server.Stats().records >= kClients * kRows; }));
+
+  server.Drain();  // races the scorer pool against in-flight chunks
+
+  for (const int fd : fds) {
+    EXPECT_EQ(ReadLines(fd, kRows, 2s).size(), static_cast<std::size_t>(kRows));
+    ::close(fd);
+  }
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.records, static_cast<std::uint64_t>(kClients * kRows));
+  EXPECT_EQ(stats.ok, stats.records);
+  ExpectConservation(stats);
+  EXPECT_FALSE(server.Running());
+}
+
 // ---- HTTP control plane under EINTR (satellite) ----------------------------
 
 TEST(HttpServer, AnswersThroughInjectedEintrAndShortIo) {

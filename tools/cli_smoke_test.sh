@@ -160,6 +160,31 @@ wait "$SCORE_PID"    # graceful drain must exit 0 (set -e enforces it)
 grep -q "draining scoring server" "$WORK_DIR/score_serve.log"
 grep -q "drained: " "$WORK_DIR/score_serve.log"
 
+# Multi-scorer determinism: the verdict stream must be byte-identical
+# no matter how many scorer threads race over the queue.
+for N in 2 4; do
+    "$PELICAN_BIN" serve --model "$WORK_DIR/model.bin" --port 0 \
+        --scorers "$N" > "$WORK_DIR/score_serve_$N.log" 2>&1 &
+    SCORE_PID=$!
+    PORT=""
+    i=0
+    while [ $i -lt 100 ]; do
+        PORT="$(sed -n \
+            's/.*scoring server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+            "$WORK_DIR/score_serve_$N.log")"
+        [ -n "$PORT" ] && break
+        sleep 0.05
+        i=$((i + 1))
+    done
+    test -n "$PORT"
+    grep -q "scorers $N" "$WORK_DIR/score_serve_$N.log"
+    "$PELICAN_BIN" score --port "$PORT" --csv "$WORK_DIR/score_flows.csv" \
+        --out "$WORK_DIR/serve_verdicts_$N.txt"
+    cmp "$WORK_DIR/serve_verdicts_$N.txt" "$WORK_DIR/serve_verdicts.txt"
+    kill -TERM "$SCORE_PID"
+    wait "$SCORE_PID"
+done
+
 # Quantized inference: train emits the .quant sidecar alongside the
 # model; int8 verdict labels must agree with fp32 on >= 99.5% of
 # records, and `serve --quantized` must match `classify --quantized`
@@ -201,6 +226,28 @@ grep -q "engine int8" "$WORK_DIR/quant_serve.log"
 "$PELICAN_BIN" score --port "$PORT" --csv "$WORK_DIR/quant_flows.csv" \
     --out "$WORK_DIR/quant_serve_verdicts.txt"
 cmp "$WORK_DIR/quant_serve_verdicts.txt" "$WORK_DIR/int8_verdicts.txt"
+kill -TERM "$QUANT_PID"
+wait "$QUANT_PID"
+
+# int8 engine is deterministic across scorer counts too.
+"$PELICAN_BIN" serve --model "$WORK_DIR/model_q.bin" --quantized --port 0 \
+    --scorers 4 > "$WORK_DIR/quant_serve_4.log" 2>&1 &
+QUANT_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+    PORT="$(sed -n \
+        's/.*scoring server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+        "$WORK_DIR/quant_serve_4.log")"
+    [ -n "$PORT" ] && break
+    sleep 0.05
+    i=$((i + 1))
+done
+test -n "$PORT"
+grep -q "scorers 4" "$WORK_DIR/quant_serve_4.log"
+"$PELICAN_BIN" score --port "$PORT" --csv "$WORK_DIR/quant_flows.csv" \
+    --out "$WORK_DIR/quant_serve_verdicts_4.txt"
+cmp "$WORK_DIR/quant_serve_verdicts_4.txt" "$WORK_DIR/int8_verdicts.txt"
 kill -TERM "$QUANT_PID"
 wait "$QUANT_PID"
 

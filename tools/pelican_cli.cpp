@@ -16,6 +16,7 @@
 // network without flags.
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -399,12 +400,13 @@ int CmdServe(const Flags& flags) {
       static_cast<int>(flags.GetLong("score-deadline-ms", 2000));
   sc.write_timeout_ms =
       static_cast<int>(flags.GetLong("write-timeout-ms", 5000));
+  sc.scorers = static_cast<std::size_t>(flags.GetLong("scorers", 0));
   serve::ScoringServer server(ids, sc);
   server.Start();
   std::printf("scoring server listening on 127.0.0.1:%u (schema %s, "
-              "engine %s)\n",
+              "engine %s, scorers %zu)\n",
               static_cast<unsigned>(server.Port()), meta.schema.c_str(),
-              server.Engine().c_str());
+              server.Engine().c_str(), server.ScorerCount());
   std::fflush(stdout);
 
   if (g_server != nullptr) {
@@ -485,6 +487,10 @@ int CmdScore(const Flags& flags) {
     PELICAN_CHECK(false, "cannot connect to " + host + ":" +
                              std::to_string(port));
   }
+  // The lockstep write-then-read pattern below is exactly what Nagle +
+  // delayed ACK punishes; disable it so each chunk departs immediately.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
   std::ofstream out_file;
   const auto out_path = flags.Get("out");
@@ -577,6 +583,7 @@ int Usage() {
       "            [--max-connections 32] [--read-deadline-ms 5000]\n"
       "            [--idle-timeout-ms 30000] [--score-deadline-ms 2000]\n"
       "            [--write-timeout-ms 5000] [--quantized]\n"
+      "            [--scorers N (0 = min(4, cores))]\n"
       "            scoring data plane: line-delimited CSV records in,\n"
       "            one verdict line per record out; SIGTERM/SIGINT\n"
       "            drains gracefully (no accepted record is lost)\n"
