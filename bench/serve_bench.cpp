@@ -198,29 +198,9 @@ double Quantile(std::vector<double>& values, double q) {
   return values[idx];
 }
 
-// Linear interpolation inside the bucket that crosses the q-mass of
-// the delta between two snapshots of a cumulative histogram series.
-double HistogramQuantile(const obs::Registry::HistogramSnapshot& before,
-                         const obs::Registry::HistogramSnapshot& after,
-                         double q) {
-  const std::uint64_t total = after.count - before.count;
-  if (total == 0) return -1.0;
-  const double target = q * static_cast<double>(total);
-  double cum = 0.0;
-  for (std::size_t i = 0; i < after.bucket_counts.size(); ++i) {
-    const std::uint64_t b =
-        i < before.bucket_counts.size() ? before.bucket_counts[i] : 0;
-    const double d = static_cast<double>(after.bucket_counts[i] - b);
-    if (cum + d >= target && d > 0.0) {
-      const double lo = i == 0 ? 0.0 : after.upper_bounds[i - 1];
-      // +Inf bucket: report its lower edge rather than inventing mass.
-      if (i >= after.upper_bounds.size()) return lo;
-      return lo + (after.upper_bounds[i] - lo) * (target - cum) / d;
-    }
-    cum += d;
-  }
-  return after.upper_bounds.empty() ? -1.0 : after.upper_bounds.back();
-}
+// Histogram-delta quantiles come from obs::HistogramQuantileDelta —
+// the same reader the /serve JSON summary uses, so the bench and the
+// live endpoint can't silently diverge.
 
 // ---- arms ------------------------------------------------------------------
 
@@ -362,8 +342,8 @@ ServeRow OverloadArm(const Fixture& fx, std::size_t writers,
   row.seconds = elapsed;
   row.flows_per_sec = static_cast<double>(stats.ok) / elapsed;
   row.offered_per_sec = static_cast<double>(stats.records) / elapsed;
-  row.p50_ms = 1e3 * HistogramQuantile(hist_before, hist_after, 0.50);
-  row.p99_ms = 1e3 * HistogramQuantile(hist_before, hist_after, 0.99);
+  row.p50_ms = 1e3 * obs::HistogramQuantileDelta(hist_before, hist_after, 0.50);
+  row.p99_ms = 1e3 * obs::HistogramQuantileDelta(hist_before, hist_after, 0.99);
   row.shed_pct = 100.0 * static_cast<double>(stats.shed) /
                  static_cast<double>(std::max<std::uint64_t>(1, stats.records));
   row.late_pct = 100.0 * static_cast<double>(stats.late) /

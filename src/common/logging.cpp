@@ -2,19 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <mutex>
 
 #include "common/check.h"
-#include "obs/run_log.h"  // Iso8601Now
-#include "obs/trace.h"    // CurrentThreadId
+#include "obs/line_sink.h"  // the shared atomic file sink
+#include "obs/run_log.h"    // Iso8601Now
+#include "obs/trace.h"      // CurrentThreadId
 
 namespace pelican {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_sink_mu;
-std::ofstream* g_file_sink = nullptr;  // guarded by g_sink_mu; leaked
+obs::LineSink* g_file_sink = nullptr;  // guarded by g_sink_mu; leaked
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
@@ -32,10 +32,9 @@ std::string_view LogLevelName(LogLevel level) {
 }
 
 void SetLogFile(const std::string& path) {
-  std::unique_ptr<std::ofstream> sink;
+  std::unique_ptr<obs::LineSink> sink;
   if (!path.empty()) {
-    sink = std::make_unique<std::ofstream>(path, std::ios::app);
-    PELICAN_CHECK(sink->is_open(), "cannot open log file: " + path);
+    sink = std::make_unique<obs::LineSink>(path, /*truncate=*/false);
   }
   std::lock_guard lock(g_sink_mu);
   delete g_file_sink;
@@ -63,12 +62,13 @@ LogMessage::~LogMessage() {
   // One fwrite per sink: the full line lands contiguously even when
   // several threads log at once (the mutex serializes sinks; the
   // single write keeps the line whole even against foreign writers).
+  // The file copy rides the shared LineSink (which appends the '\n'
+  // itself), the same path run logs and serve access logs go through.
   std::lock_guard lock(g_sink_mu);
   std::fwrite(line.data(), 1, line.size(), stderr);
   if (g_file_sink != nullptr) {
-    g_file_sink->write(line.data(),
-                       static_cast<std::streamsize>(line.size()));
-    g_file_sink->flush();
+    g_file_sink->WriteLine(
+        std::string_view(line.data(), line.size() - 1));
   }
 }
 

@@ -47,6 +47,10 @@ void UpdateProcessMetrics() {
          {"flags", BuildFlags()}});
     static Gauge up = reg.GetGauge("process_uptime_seconds",
                                    "Seconds since process start");
+    // Registration only: the tracer increments it at drop time. Eager
+    // here so a scrape shows an explicit 0 before the first overflow.
+    reg.GetCounter("pelican_trace_dropped_total",
+                   "Trace events dropped by per-thread buffer overflow");
     build_info = &bi;
     uptime = &up;
   });

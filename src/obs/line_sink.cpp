@@ -1,0 +1,47 @@
+#include "obs/line_sink.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace pelican::obs {
+
+struct LineSink::State {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::string path;
+
+  ~State() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+LineSink::LineSink(const std::string& path, bool truncate)
+    : state_(std::make_shared<State>()) {
+  state_->path = path;
+  state_->file = std::fopen(path.c_str(), truncate ? "w" : "a");
+  PELICAN_CHECK(state_->file != nullptr, "cannot open line sink: " + path);
+}
+
+const std::string& LineSink::path() const {
+  static const std::string empty;
+  return state_ == nullptr ? empty : state_->path;
+}
+
+bool LineSink::WriteLine(std::string_view line) {
+  if (state_ == nullptr) return false;
+  std::lock_guard lock(state_->mu);
+  // Stage the newline into one buffer so the line lands in a single
+  // fwrite — the whole point of this sink.
+  std::string staged;
+  staged.reserve(line.size() + 1);
+  staged.append(line);
+  staged.push_back('\n');
+  const bool ok =
+      std::fwrite(staged.data(), 1, staged.size(), state_->file) ==
+      staged.size();
+  return ok && std::fflush(state_->file) == 0;
+}
+
+}  // namespace pelican::obs

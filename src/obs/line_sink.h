@@ -1,0 +1,44 @@
+// pelican::obs — the atomic line-oriented file sink every structured
+// writer shares: the PELICAN_LOG file mirror, the run-log JSONL, and
+// the serve access log all land their records through one of these.
+//
+// The contract is "one line, one write": WriteLine emits the full line
+// (newline appended) as a SINGLE fwrite under the sink's mutex and
+// flushes, so any number of threads — or several sinks layered on the
+// same fd by a parent process — can interleave writers without ever
+// tearing a line in half. That is the same guarantee PELICAN_LOG has
+// carried since PR 4, extracted so it can't be re-implemented subtly
+// differently per writer.
+//
+// A LineSink is a cheap shared handle (copy = same file + same mutex);
+// a default-constructed one is inactive and WriteLine is a no-op that
+// returns false.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pelican::obs {
+
+class LineSink {
+ public:
+  LineSink() = default;  // inactive
+
+  // Opens `path` ("a" append or "w" truncate). Throws CheckError when
+  // the file can't be opened.
+  LineSink(const std::string& path, bool truncate);
+
+  [[nodiscard]] bool active() const { return state_ != nullptr; }
+  [[nodiscard]] const std::string& path() const;
+
+  // Appends `line` + '\n' as one fwrite, flushed. Returns false when
+  // inactive or the write failed (callers decide whether that throws).
+  bool WriteLine(std::string_view line);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pelican::obs

@@ -30,9 +30,11 @@ std::atomic<std::size_t>& NextSeriesId() {
 
 // One thread's shard of one series. Only the owning thread writes; a
 // scrape reads the atomics with relaxed loads. Counters use slot 0.
-// Histograms use [0, nb) per-bucket counts (nb includes +Inf), slot nb
-// for the total count and slot nb+1 for the sum's double bits (owner
-// load/store — never a RMW, so a plain relaxed pair suffices).
+// Histograms use [0, nb) per-bucket counts (nb includes +Inf) and slot
+// nb for the sum's double bits (owner load/store — never a RMW, so a
+// plain relaxed pair suffices). The observation count is not stored:
+// it is the sum of the bucket counts, derived at merge time, which
+// keeps the hot Observe path at one RMW.
 struct Cell {
   explicit Cell(std::size_t slots) : u(slots) {}
   std::vector<std::atomic<std::uint64_t>> u;
@@ -53,7 +55,7 @@ struct Series {
   std::atomic<std::uint64_t> gauge_bits{0};
 
   [[nodiscard]] std::size_t CellSlots() const {
-    return kind == Kind::kHistogram ? buckets.size() + 3 : 1;
+    return kind == Kind::kHistogram ? buckets.size() + 2 : 1;
   }
 
   Cell& LocalCell();
@@ -105,12 +107,60 @@ void Histogram::Observe(double value) {
   std::size_t idx = 0;
   while (idx < bounds.size() && value > bounds[idx]) ++idx;
   cell.u[idx].fetch_add(1, std::memory_order_relaxed);
-  cell.u[nb].fetch_add(1, std::memory_order_relaxed);
   // Sum slot: owner-only load/store (no RMW needed).
   const double sum =
-      detail::BitsToDouble(cell.u[nb + 1].load(std::memory_order_relaxed));
-  cell.u[nb + 1].store(detail::DoubleToBits(sum + value),
-                       std::memory_order_relaxed);
+      detail::BitsToDouble(cell.u[nb].load(std::memory_order_relaxed));
+  cell.u[nb].store(detail::DoubleToBits(sum + value),
+                   std::memory_order_relaxed);
+}
+
+HistogramBatch::HistogramBatch(Histogram h) : series_(h.series_) {
+  if (series_ != nullptr && series_->buckets.size() + 1 <= kSlots) {
+    bounds_ = &series_->buckets;
+  }
+}
+
+void HistogramBatch::Observe(double value) {
+  if (series_ == nullptr) return;
+  if (bounds_ == nullptr) {  // oversized histogram: straight through
+    Histogram(series_).Observe(value);
+    return;
+  }
+  // A burst's values cluster: most land in the same bucket as the
+  // previous observation, so test that slot before the linear scan.
+  const auto& bounds = *bounds_;
+  std::size_t idx = last_idx_;
+  if (idx >= bounds.size() || value > bounds[idx] ||
+      (idx > 0 && value <= bounds[idx - 1])) {
+    idx = 0;
+    while (idx < bounds.size() && value > bounds[idx]) ++idx;
+    last_idx_ = idx;
+  }
+  ++counts_[idx];
+  sum_ += value;
+  ++n_;
+}
+
+void HistogramBatch::Flush() {
+  if (n_ == 0 || series_ == nullptr || bounds_ == nullptr) return;
+  if (MetricsEnabled()) {
+    detail::Cell& cell = series_->LocalCell();
+    const std::size_t nb = bounds_->size() + 1;
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (counts_[i] != 0) {
+        cell.u[i].fetch_add(counts_[i], std::memory_order_relaxed);
+        counts_[i] = 0;
+      }
+    }
+    const double sum =
+        detail::BitsToDouble(cell.u[nb].load(std::memory_order_relaxed));
+    cell.u[nb].store(detail::DoubleToBits(sum + sum_),
+                     std::memory_order_relaxed);
+  } else {
+    for (std::size_t i = 0; i < kSlots; ++i) counts_[i] = 0;
+  }
+  sum_ = 0.0;
+  n_ = 0;
 }
 
 std::vector<double> DefaultTimeBuckets() {
@@ -290,10 +340,10 @@ struct Registry::Impl {
         for (std::size_t i = 0; i < nb; ++i) {
           m.bucket_counts[i] += cell->u[i].load(std::memory_order_relaxed);
         }
-        m.count += cell->u[nb].load(std::memory_order_relaxed);
         m.sum += detail::BitsToDouble(
-            cell->u[nb + 1].load(std::memory_order_relaxed));
+            cell->u[nb].load(std::memory_order_relaxed));
       }
+      for (const std::uint64_t c : m.bucket_counts) m.count += c;
       return m;
     }
     for (const auto& cell : s.cells) {
@@ -454,6 +504,28 @@ Registry::HistogramSnapshot Registry::HistogramValue(const std::string& name,
 std::size_t Registry::SeriesCount() {
   std::lock_guard lock(impl_->mu);
   return impl_->series.size();
+}
+
+double HistogramQuantileDelta(const Registry::HistogramSnapshot& before,
+                              const Registry::HistogramSnapshot& after,
+                              double q) {
+  const std::uint64_t total = after.count - before.count;
+  if (total == 0) return -1.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < after.bucket_counts.size(); ++i) {
+    const std::uint64_t b =
+        i < before.bucket_counts.size() ? before.bucket_counts[i] : 0;
+    const double d = static_cast<double>(after.bucket_counts[i] - b);
+    if (cum + d >= target && d > 0.0) {
+      const double lo = i == 0 ? 0.0 : after.upper_bounds[i - 1];
+      // +Inf bucket: report its lower edge rather than inventing mass.
+      if (i >= after.upper_bounds.size()) return lo;
+      return lo + (after.upper_bounds[i] - lo) * (target - cum) / d;
+    }
+    cum += d;
+  }
+  return after.upper_bounds.empty() ? -1.0 : after.upper_bounds.back();
 }
 
 void Registry::Reset() {

@@ -77,8 +77,36 @@ class Histogram {
 
  private:
   friend class Registry;
+  friend class HistogramBatch;
   explicit Histogram(detail::Series* series) : series_(series) {}
   detail::Series* series_ = nullptr;
+};
+
+// Stack accumulator for a burst of observations into one histogram
+// from one thread. Observe() only bumps a local table — no atomics —
+// and Flush() (or the destructor) lands the burst on the shared shard
+// with at most one RMW per non-empty bucket. The serve reader drains
+// a whole micro-batch of stage latencies per histogram this way.
+// Histograms wider than the local table (more than 31 bounds;
+// DefaultTimeBuckets has 12) fall back to per-value Observe.
+class HistogramBatch {
+ public:
+  explicit HistogramBatch(Histogram h);
+  ~HistogramBatch() { Flush(); }
+  HistogramBatch(const HistogramBatch&) = delete;
+  HistogramBatch& operator=(const HistogramBatch&) = delete;
+
+  void Observe(double value);
+  void Flush();
+
+ private:
+  static constexpr std::size_t kSlots = 32;  // buckets incl. +Inf
+  detail::Series* series_ = nullptr;
+  const std::vector<double>* bounds_ = nullptr;  // null → fallback
+  std::size_t last_idx_ = 0;  // bucket hint: bursts cluster in one bucket
+  double sum_ = 0.0;
+  std::uint32_t n_ = 0;
+  std::uint32_t counts_[kSlots] = {};
 };
 
 // Exponential seconds buckets, 1 µs .. 4 s, for latency histograms.
@@ -135,5 +163,22 @@ class Registry {
   struct Impl;
   Impl* impl_;
 };
+
+// Linear-interpolated quantile (q in [0,1]) of the observation mass
+// added between two snapshots of one cumulative-bucket histogram
+// series; -1 when no mass was added. Mass landing in the +Inf bucket
+// reports that bucket's lower edge rather than inventing an upper
+// bound. This is THE quantile reader — serve_bench and the /serve
+// JSON summary both call it, so the two can't silently diverge when
+// series labels or buckets change.
+double HistogramQuantileDelta(const Registry::HistogramSnapshot& before,
+                              const Registry::HistogramSnapshot& after,
+                              double q);
+
+// From-zero read of a single snapshot.
+inline double HistogramQuantile(const Registry::HistogramSnapshot& snap,
+                                double q) {
+  return HistogramQuantileDelta({}, snap, q);
+}
 
 }  // namespace pelican::obs

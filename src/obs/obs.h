@@ -8,6 +8,7 @@
 #include "obs/http_server.h"  // IWYU pragma: export
 #include "obs/introspect.h"   // IWYU pragma: export
 #include "obs/json.h"         // IWYU pragma: export
+#include "obs/line_sink.h"    // IWYU pragma: export
 #include "obs/metrics.h"      // IWYU pragma: export
 #include "obs/run_log.h"      // IWYU pragma: export
 #include "obs/trace.h"        // IWYU pragma: export

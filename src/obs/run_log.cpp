@@ -16,20 +16,15 @@
 namespace pelican::obs {
 
 RunLog::RunLog(const std::string& path)
-    : out_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
-  PELICAN_CHECK(out_->is_open(), "cannot open run log: " + path);
-}
+    : sink_(path, /*truncate=*/true) {}
 
 void RunLog::Write(const Json& event) {
-  if (out_ == nullptr) return;
-  *out_ << event.Str() << '\n';
-  out_->flush();
-  PELICAN_CHECK(out_->good(), "run log write failed");
+  if (!sink_.active()) return;
+  PELICAN_CHECK(sink_.WriteLine(event.Str()), "run log write failed");
 }
 
-std::string Iso8601Now() {
+std::string Iso8601(std::chrono::system_clock::time_point now) {
   using namespace std::chrono;
-  const auto now = system_clock::now();
   const auto ms =
       duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
   const std::time_t t = system_clock::to_time_t(now);
@@ -41,6 +36,8 @@ std::string Iso8601Now() {
                 tm.tm_min, tm.tm_sec, static_cast<int>(ms));
   return buf;
 }
+
+std::string Iso8601Now() { return Iso8601(std::chrono::system_clock::now()); }
 
 std::string BuildCompiler() {
 #if defined(__clang__)

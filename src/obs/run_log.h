@@ -5,13 +5,15 @@
 // completed line. core::Trainer::Fit writes a run_start manifest
 // (config, seed, thread count, build provenance), one "epoch" event
 // per epoch, and a run_end manifest — see DESIGN.md §9 for the schema.
+// Events land through the shared atomic LineSink, so a run log can
+// share its file with other line writers without tearing.
 #pragma once
 
-#include <fstream>
-#include <memory>
+#include <chrono>
 #include <string>
 
 #include "obs/json.h"
+#include "obs/line_sink.h"
 
 namespace pelican::obs {
 
@@ -22,16 +24,19 @@ class RunLog {
   // Opens (truncates) `path`. Throws CheckError when it can't.
   explicit RunLog(const std::string& path);
 
-  [[nodiscard]] bool active() const { return out_ != nullptr; }
+  [[nodiscard]] bool active() const { return sink_.active(); }
 
-  // Appends one event as a single line and flushes.
+  // Appends one event as a single atomic line and flushes.
   void Write(const Json& event);
 
  private:
-  std::unique_ptr<std::ofstream> out_;
+  LineSink sink_;
 };
 
-// Current UTC wall-clock time as "YYYY-MM-DDTHH:MM:SS.mmmZ".
+// UTC wall-clock time as "YYYY-MM-DDTHH:MM:SS.mmmZ". Formatting costs
+// ~1µs (gmtime + snprintf) — hot paths should capture the time_point
+// and format lazily at render time (the slow ring does).
+std::string Iso8601(std::chrono::system_clock::time_point t);
 std::string Iso8601Now();
 
 // Build provenance baked in at compile time (obs/CMakeLists.txt).

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pelican::obs {
 
 namespace detail {
@@ -32,6 +34,8 @@ struct Event {
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = 0;
   int tid = 0;
+  char ph = 'X';                 // 'X' span, 's'/'t'/'f' flow point
+  std::uint64_t flow_id = 0;     // flow events only
   const char* category = nullptr;
   char name[detail::kSpanNameCap];
 };
@@ -76,6 +80,21 @@ Buffer& LocalBuffer() {
   return *t_buffer;
 }
 
+// Counts one buffer-overflow drop. The metric handle is registered on
+// the first drop that happens with metrics enabled, so a process that
+// never drops (or never scrapes) registers nothing extra here;
+// UpdateProcessMetrics also registers the series eagerly so scrapers
+// see an explicit 0 before the first overflow.
+void NoteDrop(Buffer& buffer) {
+  ++buffer.dropped;
+  if (MetricsEnabled()) {
+    static Counter dropped = Registry::Global().GetCounter(
+        "pelican_trace_dropped_total",
+        "Trace events dropped by per-thread buffer overflow");
+    dropped.Inc();
+  }
+}
+
 std::string JsonEscape(const char* s) {
   std::string out;
   for (; *s != '\0'; ++s) {
@@ -103,8 +122,24 @@ void EnableTracing(bool on) {
   detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<bool> g_kernel_tracing{true};
+}  // namespace
+
+void EnableKernelTracing(bool on) {
+  g_kernel_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool KernelTracingEnabled() {
+  return g_kernel_tracing.load(std::memory_order_relaxed);
+}
+
 TraceSpan::TraceSpan(std::string_view name, const char* category) {
   if (!TracingEnabled()) return;
+  if (!g_kernel_tracing.load(std::memory_order_relaxed) &&
+      std::strcmp(category, "kernel") == 0) {
+    return;
+  }
   active_ = true;
   category_ = category;
   const std::size_t n =
@@ -120,7 +155,7 @@ TraceSpan::~TraceSpan() {
   Buffer& buffer = LocalBuffer();
   std::lock_guard lock(buffer.mu);  // uncontended except during a write
   if (buffer.events.size() >= buffer.capacity) {
-    ++buffer.dropped;
+    NoteDrop(buffer);
     return;
   }
   Event& e = buffer.events.emplace_back();
@@ -129,6 +164,28 @@ TraceSpan::~TraceSpan() {
   e.tid = buffer.tid;
   e.category = category_;
   std::memcpy(e.name, name_, detail::kSpanNameCap);
+}
+
+void TraceFlow(FlowPhase phase, std::uint64_t flow_id, std::string_view name,
+               const char* category) {
+  if (!TracingEnabled()) return;
+  const std::int64_t now_ns = NowNs();
+  Buffer& buffer = LocalBuffer();
+  std::lock_guard lock(buffer.mu);
+  if (buffer.events.size() >= buffer.capacity) {
+    NoteDrop(buffer);
+    return;
+  }
+  Event& e = buffer.events.emplace_back();
+  e.start_ns = now_ns;
+  e.tid = buffer.tid;
+  e.ph = phase == FlowPhase::kStart ? 's'
+                                    : phase == FlowPhase::kStep ? 't' : 'f';
+  e.flow_id = flow_id;
+  e.category = category;
+  const std::size_t n = std::min(name.size(), detail::kSpanNameCap - 1);
+  std::memcpy(e.name, name.data(), n);
+  e.name[n] = '\0';
 }
 
 std::string TraceJson() {
@@ -162,15 +219,30 @@ std::string TraceJson() {
     out += line;
   }
   for (const Event& e : events) {
-    std::snprintf(line, sizeof line,
-                  "%s{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"cat\": \"%s\", "
-                  "\"name\": \"%s\"}",
-                  first ? "" : ",\n", e.tid,
-                  static_cast<double>(e.start_ns) / 1e3,
-                  static_cast<double>(e.dur_ns) / 1e3,
-                  e.category != nullptr ? e.category : "",
-                  JsonEscape(e.name).c_str());
+    if (e.ph == 'X') {
+      std::snprintf(line, sizeof line,
+                    "%s{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"cat\": \"%s\", "
+                    "\"name\": \"%s\"}",
+                    first ? "" : ",\n", e.tid,
+                    static_cast<double>(e.start_ns) / 1e3,
+                    static_cast<double>(e.dur_ns) / 1e3,
+                    e.category != nullptr ? e.category : "",
+                    JsonEscape(e.name).c_str());
+    } else {
+      // Flow point. The end gets "bp":"e" (bind to enclosing slice) so
+      // the arrow terminates inside the reply span, not after it.
+      std::snprintf(line, sizeof line,
+                    "%s{\"ph\": \"%c\", \"pid\": 1, \"tid\": %d, "
+                    "\"ts\": %.3f, \"cat\": \"%s\", \"name\": \"%s\", "
+                    "\"id\": \"0x%llx\"%s}",
+                    first ? "" : ",\n", e.ph, e.tid,
+                    static_cast<double>(e.start_ns) / 1e3,
+                    e.category != nullptr ? e.category : "",
+                    JsonEscape(e.name).c_str(),
+                    static_cast<unsigned long long>(e.flow_id),
+                    e.ph == 'f' ? ", \"bp\": \"e\"" : "");
+    }
     first = false;
     out += line;
   }

@@ -41,10 +41,30 @@ inline bool TracingEnabled() {
   return detail::g_tracing_enabled.load(std::memory_order_relaxed);
 }
 
+// Gate for "kernel"-category spans (per-GEMM / im2col slices). On by
+// default: a training step amortizes them over a whole epoch's worth
+// of rows. The serving data plane turns them off while a server is
+// live — a micro-batch of a few rows would pay several kernel spans
+// per ~50µs of work, dominating the serve tracing budget — and
+// restores the previous value on drain. Spans in every other category
+// are unaffected.
+void EnableKernelTracing(bool on);
+bool KernelTracingEnabled();
+
 // Stable small integer id for the calling thread (1-based, assigned on
 // first use). Shared by the tracer ("tid") and the logger ("tid=") so
 // log lines and trace rows cross-reference.
 int CurrentThreadId();
+
+// Flow events: arrows between slices on different threads. A flow is a
+// chain start ("s") → zero or more steps ("t") → end ("f") sharing one
+// id; viewers bind each point to the duration slice that encloses its
+// timestamp on the emitting thread, so ALWAYS emit inside an open
+// TraceSpan. The serve plane uses one flow per ingest chunk to link
+// connection thread → scorer thread → reply write in Perfetto.
+enum class FlowPhase { kStart, kStep, kEnd };
+void TraceFlow(FlowPhase phase, std::uint64_t flow_id, std::string_view name,
+               const char* category);
 
 class TraceSpan {
  public:
@@ -72,7 +92,9 @@ class TraceSpan {
 // TraceJson() to a file. Returns false (and logs nothing) on I/O error.
 bool WriteTraceJson(const std::string& path);
 
-// Recorded / dropped event counts across all threads.
+// Recorded / dropped event counts across all threads. Drops are also
+// exported as the `pelican_trace_dropped_total` counter while metrics
+// are enabled, so a scraper sees buffer overflow without /trace.
 [[nodiscard]] std::size_t TraceEventCount();
 [[nodiscard]] std::uint64_t TraceDroppedCount();
 

@@ -9,11 +9,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include "common/check.h"
 #include "data/dataset.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pelican::serve {
 
@@ -71,18 +73,39 @@ void ExtractLines(std::string& buf, bool& discarding,
   }
 }
 
+// Ingest-chunk ids are process-wide (several servers can serve one
+// process — the multi-scorer plane does) so trace flow ids never
+// collide across engines.
+std::atomic<std::uint64_t> g_next_chunk_id{1};
+
 }  // namespace
+
+// Scorer-side lifecycle stamps for one reply slot, written under the
+// chunk mutex by FulfillSlot. `level` says how far the record got:
+// 0 = never reached a scorer (shed slots, or abandoned by the reader),
+// 1 = dequeued but not scored (late,deadline / err,internal),
+// 2 = ran the full pipeline. The reader turns the stamps into stage
+// durations after the reply bytes are written.
+struct ScoringServer::SlotTiming {
+  Clock::time_point dequeued{};
+  Clock::time_point assembled{};
+  Clock::time_point scored{};
+  std::uint8_t level = 0;
+};
 
 // The reply slots for one read chunk. Connection reader and scorer
 // meet here: the reader pre-fills quarantine/shed slots, the scorer
 // fills verdicts, and `pending` counts unfilled enqueued slots. When
 // the reader gives up waiting (scorer wedged past every deadline) it
 // flips `abandoned` so late verdicts are dropped instead of racing the
-// reply write.
+// reply write. Once the reader's wait ends (pending == 0, or abandoned
+// set under the mutex), no scorer writes again, so the reader may read
+// replies and timings lock-free while finalizing.
 struct ScoringServer::PendingChunk {
   std::mutex mu;
   std::condition_variable done;
   std::vector<std::string> replies;
+  std::vector<SlotTiming> timings;
   std::size_t pending = 0;
   bool abandoned = false;
 };
@@ -97,6 +120,13 @@ struct ScoringServer::ServeMetrics {
   obs::Counter shed;
   obs::Counter late;
   obs::Histogram record_seconds;
+  // The four lifecycle stages of record_seconds, telescoping from one
+  // clock: queue + batch + score + reply == total, exactly (tests
+  // assert the sums reconcile to float rounding).
+  obs::Histogram stage_queue;
+  obs::Histogram stage_batch;
+  obs::Histogram stage_score;
+  obs::Histogram stage_reply;
   obs::Histogram batch_rows;
   obs::Gauge queue_depth;
 };
@@ -105,6 +135,15 @@ ScoringServer::ServeMetrics& ScoringServer::Metrics() {
   std::call_once(metrics_once_, [this] {
     auto& reg = obs::Registry::Global();
     const obs::Labels labels{{"engine", engine_}};
+    const char* stage_help =
+        "Per-stage slice of pelican_serve_record_seconds "
+        "(admission->dequeue->assemble->score->reply)";
+    const auto stage = [&](const char* name) {
+      obs::Labels stage_labels = labels;
+      stage_labels.emplace_back("stage", name);
+      return reg.GetHistogram("pelican_serve_stage_seconds", stage_help,
+                              obs::DefaultTimeBuckets(), stage_labels);
+    };
     metrics_ = std::make_unique<ServeMetrics>(ServeMetrics{
         reg.GetCounter("pelican_serve_records_total",
                        "Flow records accepted off the wire", labels),
@@ -117,8 +156,9 @@ ScoringServer::ServeMetrics& ScoringServer::Metrics() {
         reg.GetCounter("pelican_serve_late_total",
                        "Records dropped past the scoring deadline", labels),
         reg.GetHistogram("pelican_serve_record_seconds",
-                         "Enqueue-to-verdict latency per scored record",
+                         "Admission-to-reply-write latency per scored record",
                          obs::DefaultTimeBuckets(), labels),
+        stage("queue"), stage("batch"), stage("score"), stage("reply"),
         reg.GetHistogram("pelican_serve_batch_rows",
                          "Rows per scorer micro-batch",
                          {1, 2, 4, 8, 16, 32, 64, 128, 256}, labels),
@@ -134,10 +174,17 @@ ScoringServer::ScoringServer(const core::PelicanIds& ids,
       config_(std::move(config)),
       parser_(ids.schema()),
       engine_(ids.quantized() ? "int8" : "fp32"),
-      queue_(config_.queue_depth) {
+      queue_(config_.queue_depth),
+      slow_ring_(config_.slow_top_k, config_.sample_every, engine_) {
   PELICAN_CHECK(ids.Trained(), "ScoringServer needs a trained model");
   PELICAN_CHECK(config_.queue_depth >= 1 && config_.max_batch >= 1 &&
                 config_.max_pipeline >= 1 && config_.max_connections >= 1);
+  if (!config_.access_log_path.empty()) {
+    // Throws CheckError when the path can't be opened — better to fail
+    // construction than to silently serve without the requested log.
+    slow_ring_.SetAccessLog(
+        obs::LineSink(config_.access_log_path, /*truncate=*/true));
+  }
 }
 
 ScoringServer::~ScoringServer() { Drain(); }
@@ -180,10 +227,21 @@ void ScoringServer::Start() {
 
   draining_.store(false);
   running_.store(true);
+  serve_start_ = Clock::now();
+  // Serving keeps chunk/batch/flow spans but drops per-GEMM kernel
+  // spans: a micro-batch of a few rows would pay several kernel spans
+  // per ~50µs of score work — the single biggest line in the serve
+  // tracing budget, for slices too thin to read in Perfetto anyway.
+  prev_kernel_tracing_ = obs::KernelTracingEnabled();
+  obs::EnableKernelTracing(false);
   const std::size_t n_scorers = ScorerCount();
+  scorer_busy_count_ = n_scorers;
+  scorer_busy_ns_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(n_scorers);
+  for (std::size_t i = 0; i < n_scorers; ++i) scorer_busy_ns_[i].store(0);
   scorers_.reserve(n_scorers);
   for (std::size_t i = 0; i < n_scorers; ++i) {
-    scorers_.emplace_back([this] { ScorerLoop(); });
+    scorers_.emplace_back([this, i] { ScorerLoop(i); });
   }
   listener_ = std::thread([this] { ListenLoop(); });
 }
@@ -205,6 +263,7 @@ void ScoringServer::Drain() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  obs::EnableKernelTracing(prev_kernel_tracing_);
 }
 
 void ScoringServer::ListenLoop() {
@@ -362,47 +421,66 @@ void ScoringServer::HandleConnection(int fd) {
       counters_.records.fetch_add(chunk.lines.size());
       if (metrics_on) Metrics().records.Inc(chunk.lines.size());
 
+      const std::uint64_t chunk_id =
+          g_next_chunk_id.fetch_add(1, std::memory_order_relaxed);
       auto pending = std::make_shared<PendingChunk>();
       pending->replies.resize(chunk.lines.size());
-      const auto now = Clock::now();
-      const auto deadline = now + score_deadline;
-      for (std::size_t i = 0; i < chunk.lines.size(); ++i) {
-        const ChunkLine& line = chunk.lines[i];
-        if (line.oversized) {
-          pending->replies[i] = std::string{kErrOversizedReply};
-          counters_.quarantined.fetch_add(1);
-          if (metrics_on) Metrics().quarantined.Inc();
-          continue;
-        }
-        ParsedRecord parsed = parser_.Parse(line.text);
-        if (!parsed.ok) {
-          pending->replies[i] = "err," + parsed.error;
-          counters_.quarantined.fetch_add(1);
-          if (metrics_on) Metrics().quarantined.Inc();
-          continue;
-        }
-        QueueItem item;
-        item.chunk = pending;
-        item.index = i;
-        item.row = std::move(parsed.row);
-        item.enqueued = now;
-        item.deadline = deadline;
-        {
-          std::lock_guard lock(pending->mu);
-          ++pending->pending;
-        }
-        if (!queue_.TryPush(std::move(item))) {
+      pending->timings.resize(chunk.lines.size());
+      std::vector<char> enqueued_slot(chunk.lines.size(), 0);
+      std::size_t enqueued_count = 0;
+      const auto admitted = Clock::now();
+      const auto deadline = admitted + score_deadline;
+      {
+        obs::TraceSpan ingest("serve ingest", "serve");
+        for (std::size_t i = 0; i < chunk.lines.size(); ++i) {
+          const ChunkLine& line = chunk.lines[i];
+          if (line.oversized) {
+            pending->replies[i] = std::string{kErrOversizedReply};
+            counters_.quarantined.fetch_add(1);
+            if (metrics_on) Metrics().quarantined.Inc();
+            continue;
+          }
+          ParsedRecord parsed = parser_.Parse(line.text);
+          if (!parsed.ok) {
+            pending->replies[i] = "err," + parsed.error;
+            counters_.quarantined.fetch_add(1);
+            if (metrics_on) Metrics().quarantined.Inc();
+            continue;
+          }
+          QueueItem item;
+          item.chunk = pending;
+          item.index = i;
+          item.flow_id = chunk_id;
+          item.row = std::move(parsed.row);
+          item.enqueued = admitted;
+          item.deadline = deadline;
           {
             std::lock_guard lock(pending->mu);
-            --pending->pending;
-            pending->replies[i] = std::string{kBusyQueueReply};
+            ++pending->pending;
           }
-          counters_.shed.fetch_add(1);
-          if (metrics_on) Metrics().shed.Inc();
+          if (!queue_.TryPush(std::move(item))) {
+            {
+              std::lock_guard lock(pending->mu);
+              --pending->pending;
+              pending->replies[i] = std::string{kBusyQueueReply};
+            }
+            counters_.shed.fetch_add(1);
+            if (metrics_on) Metrics().shed.Inc();
+          } else {
+            enqueued_slot[i] = 1;
+            ++enqueued_count;
+          }
+        }
+        // One flow per ingest chunk: start here (bound to this ingest
+        // slice), stepped by whichever scorer batches it, ended in the
+        // reply slice below — the Perfetto arrow across threads.
+        if (enqueued_count > 0) {
+          obs::TraceFlow(obs::FlowPhase::kStart, chunk_id, "chunk", "serve");
         }
       }
 
       {
+        obs::TraceSpan wait("serve wait", "serve");
         std::unique_lock lock(pending->mu);
         const bool flushed =
             pending->done.wait_until(lock, deadline + reply_slack, [&] {
@@ -419,17 +497,80 @@ void ScoringServer::HandleConnection(int fd) {
           }
         }
       }
+      // From here no scorer writes into `pending` (pending == 0, or
+      // abandoned was set under the mutex), so replies/timings are
+      // safe to read without the lock.
 
       std::string payload;
       for (const auto& reply : pending->replies) {
         payload += reply;
         payload += '\n';
       }
-      if (!obs::SendAll(config_.ops, fd, payload)) {
+      bool sent = false;
+      {
+        obs::TraceSpan reply_span("serve reply", "serve");
+        if (enqueued_count > 0) {
+          obs::TraceFlow(obs::FlowPhase::kEnd, chunk_id, "chunk", "serve");
+        }
+        sent = obs::SendAll(config_.ops, fd, payload);
+      }
+      if (!sent) {
         counters_.write_errors.fetch_add(1);
         break;
       }
       counters_.replies.fetch_add(pending->replies.size());
+
+      // Finalize lifecycles now that the reply bytes are on the wire.
+      // Stage durations telescope from one clock — queue + batch +
+      // score + reply == total exactly — so the stage histograms
+      // reconcile against record_seconds.
+      if (enqueued_count > 0) {
+        const auto written = Clock::now();
+        const auto secs = [](Clock::duration d) {
+          return std::chrono::duration<double>(d).count();
+        };
+        // Stage latencies accumulate into stack-local bucket tables
+        // (HistogramBatch) and land on the shared shards once per
+        // chunk — the whole micro-batch costs each series one flush.
+        struct LifecycleBatches {
+          obs::HistogramBatch total, queue, batch, score, reply;
+          explicit LifecycleBatches(ServeMetrics& m)
+              : total(m.record_seconds),
+                queue(m.stage_queue),
+                batch(m.stage_batch),
+                score(m.stage_score),
+                reply(m.stage_reply) {}
+        };
+        std::optional<LifecycleBatches> batches;
+        if (metrics_on) batches.emplace(Metrics());
+        for (std::size_t i = 0; i < pending->replies.size(); ++i) {
+          if (enqueued_slot[i] == 0) continue;
+          const SlotTiming& t = pending->timings[i];
+          RecordLifecycle rec;
+          rec.chunk = chunk_id;
+          rec.index = static_cast<std::uint32_t>(i);
+          rec.total_s = secs(written - admitted);
+          if (t.level >= 1) rec.queue_s = secs(t.dequeued - admitted);
+          if (t.level >= 2) {
+            rec.verdict = "ok";
+            rec.batch_s = secs(t.assembled - t.dequeued);
+            rec.score_s = secs(t.scored - t.assembled);
+            rec.reply_s = secs(written - t.scored);
+            if (batches) {
+              batches->total.Observe(rec.total_s);
+              batches->queue.Observe(rec.queue_s);
+              batches->batch.Observe(rec.batch_s);
+              batches->score.Observe(rec.score_s);
+              batches->reply.Observe(rec.reply_s);
+            }
+          } else {
+            rec.verdict =
+                pending->replies[i].rfind("err", 0) == 0 ? "err" : "late";
+          }
+          slow_ring_.Record(rec);
+        }
+        batches.reset();  // flush the chunk's observations
+      }
     }
 
     if (chunk.eof || chunk.deadline || chunk.idle || chunk.io_error) break;
@@ -437,11 +578,13 @@ void ScoringServer::HandleConnection(int fd) {
   obs::LingeringClose(config_.ops, fd, config_.max_line_bytes);
 }
 
-void ScoringServer::FulfillSlot(const QueueItem& item, std::string reply) {
+void ScoringServer::FulfillSlot(const QueueItem& item, std::string reply,
+                                const SlotTiming* timing) {
   PendingChunk& chunk = *item.chunk;
   std::lock_guard lock(chunk.mu);
   if (chunk.abandoned) return;  // reader gave up; reply already written
   chunk.replies[item.index] = std::move(reply);
+  if (timing != nullptr) chunk.timings[item.index] = *timing;
   if (--chunk.pending == 0) chunk.done.notify_one();
 }
 
@@ -452,27 +595,70 @@ void ScoringServer::FulfillSlot(const QueueItem& item, std::string reply) {
 // can run this loop concurrently against the shared trained model.
 // Counters are atomics; the queue_depth gauge is last-write-wins,
 // which is fine for a sampled depth.
-void ScoringServer::ScorerLoop() {
+void ScoringServer::ScorerLoop(std::size_t scorer_index) {
   const bool metrics_on = config_.observe && obs::MetricsEnabled();
   const auto linger = std::chrono::milliseconds(config_.batch_linger_ms);
+  obs::Gauge busy_gauge;
+  if (metrics_on) {
+    busy_gauge = obs::Registry::Global().GetGauge(
+        "pelican_serve_scorer_busy_ratio",
+        "Fraction of wall time this scorer thread spent processing "
+        "batches (vs blocked on the ingest queue)",
+        obs::Labels{{"engine", engine_},
+                    {"scorer", std::to_string(scorer_index)}});
+  }
+  std::atomic<std::uint64_t>& busy_ns = scorer_busy_ns_[scorer_index];
   for (;;) {
     if (config_.before_batch_hook) config_.before_batch_hook();
     std::vector<QueueItem> batch = queue_.PopBatch(config_.max_batch, linger);
     if (batch.empty()) break;  // closed and drained
-    counters_.batches.fetch_add(1);
+    // Everything between here and the loop bottom is "busy": the queue
+    // pop above is where an idle scorer parks.
+    const auto dequeued_at = Clock::now();
+    const std::uint64_t batch_seq = counters_.batches.fetch_add(1);
     if (metrics_on) {
       auto& m = Metrics();
       m.batch_rows.Observe(static_cast<double>(batch.size()));
-      m.queue_depth.Set(static_cast<double>(queue_.Depth()));
+      // Depth takes the queue mutex and the busy ratio moves slowly,
+      // so refresh both gauges on a 1-in-16 batch sample instead of
+      // paying for them on every micro-batch.
+      if (batch_seq % 16 == 0) {
+        m.queue_depth.Set(static_cast<double>(queue_.Depth()));
+      }
     }
 
-    const auto now = Clock::now();
+    obs::TraceSpan batch_span("serve batch", "serve");
+    if (obs::TracingEnabled()) {
+      // Step each distinct ingest chunk's flow through this batch
+      // slice; batches mix chunks, so dedupe. A batch rarely spans
+      // more than a few chunks — a full stack array just skips the
+      // dedupe and emits duplicate steps, which Perfetto tolerates.
+      std::uint64_t seen[16];
+      std::size_t n_seen = 0;
+      for (const QueueItem& item : batch) {
+        bool dup = false;
+        for (std::size_t s = 0; s < n_seen; ++s) {
+          if (seen[s] == item.flow_id) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        if (n_seen < 16) seen[n_seen++] = item.flow_id;
+        obs::TraceFlow(obs::FlowPhase::kStep, item.flow_id, "chunk",
+                       "serve");
+      }
+    }
+
     data::RawDataset rows(ids_->schema());
     std::vector<std::size_t> live;
     live.reserve(batch.size());
+    SlotTiming late_timing;
+    late_timing.dequeued = dequeued_at;
+    late_timing.level = 1;
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (batch[i].deadline < now) {
-        FulfillSlot(batch[i], std::string{kLateDeadlineReply});
+      if (batch[i].deadline < dequeued_at) {
+        FulfillSlot(batch[i], std::string{kLateDeadlineReply}, &late_timing);
         counters_.late.fetch_add(1);
         if (metrics_on) Metrics().late.Inc();
         continue;
@@ -481,33 +667,57 @@ void ScoringServer::ScorerLoop() {
       rows.Add(std::move(batch[i].row), 0);
       live.push_back(i);
     }
-    if (live.empty()) continue;
+    const auto finish_batch = [&] {
+      const std::uint64_t spent = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now() - dequeued_at)
+              .count());
+      const std::uint64_t total =
+          busy_ns.fetch_add(spent, std::memory_order_relaxed) + spent;
+      if (metrics_on && batch_seq % 16 == 0) {
+        const double elapsed = std::chrono::duration<double>(
+                                   Clock::now() - serve_start_)
+                                   .count();
+        if (elapsed > 0) {
+          busy_gauge.Set(static_cast<double>(total) / 1e9 / elapsed);
+        }
+      }
+    };
+    if (live.empty()) {
+      finish_batch();
+      continue;
+    }
+    const auto assembled_at = Clock::now();
 
     // The wire parser validates every row before admission, so this
     // only trips on a genuine internal bug — which must cost one batch
     // an err reply, not the whole server an abort.
     try {
-      const auto verdicts = ids_->InspectAll(rows);
+      std::vector<core::PelicanIds::Verdict> verdicts;
+      {
+        obs::TraceSpan score_span("serve score", "serve");
+        verdicts = ids_->InspectAll(rows);
+      }
       const auto scored_at = Clock::now();
+      SlotTiming timing;
+      timing.dequeued = dequeued_at;
+      timing.assembled = assembled_at;
+      timing.scored = scored_at;
+      timing.level = 2;
       for (std::size_t j = 0; j < live.size(); ++j) {
         const QueueItem& item = batch[live[j]];
-        FulfillSlot(item, RenderVerdict(verdicts[j]));
-        counters_.ok.fetch_add(1);
-        if (metrics_on) {
-          auto& m = Metrics();
-          m.ok.Inc();
-          m.record_seconds.Observe(
-              std::chrono::duration<double>(scored_at - item.enqueued)
-                  .count());
-        }
+        FulfillSlot(item, RenderVerdict(verdicts[j]), &timing);
       }
+      counters_.ok.fetch_add(live.size());
+      if (metrics_on) Metrics().ok.Inc(live.size());
     } catch (const std::exception&) {
       for (const std::size_t i : live) {
-        FulfillSlot(batch[i], "err,internal");
+        FulfillSlot(batch[i], "err,internal", &late_timing);
         counters_.quarantined.fetch_add(1);
         if (metrics_on) Metrics().quarantined.Inc();
       }
     }
+    finish_batch();
   }
 }
 
@@ -527,6 +737,20 @@ ServeStats ScoringServer::Stats() const {
   s.write_errors = counters_.write_errors.load();
   s.io_errors = counters_.io_errors.load();
   return s;
+}
+
+double ScoringServer::ScorerBusyRatio() const {
+  if (scorer_busy_count_ == 0) return 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - serve_start_).count();
+  if (elapsed <= 0) return 0.0;
+  double busy_s = 0.0;
+  for (std::size_t i = 0; i < scorer_busy_count_; ++i) {
+    busy_s +=
+        static_cast<double>(scorer_busy_ns_[i].load(std::memory_order_relaxed)) /
+        1e9;
+  }
+  return busy_s / (static_cast<double>(scorer_busy_count_) * elapsed);
 }
 
 std::string ScoringServer::StatsJson() const {
@@ -551,6 +775,36 @@ std::string ScoringServer::StatsJson() const {
   json.Set("truncated", s.truncated);
   json.Set("write_errors", s.write_errors);
   json.Set("io_errors", s.io_errors);
+  json.Set("scorer_busy_ratio", ScorerBusyRatio());
+  json.Set("trace_dropped", obs::TraceDroppedCount());
+  json.Set("slow_recorded", slow_ring_.Recorded());
+  json.Set("access_log_active", slow_ring_.AccessLogActive());
+  json.Set("access_log_failures", slow_ring_.AccessLogFailures());
+  // Latency summary read through THE shared quantile helper (the same
+  // one serve_bench uses), -1 when the histogram has no mass (metrics
+  // off, or nothing scored yet).
+  auto& reg = obs::Registry::Global();
+  const obs::Labels labels{{"engine", engine_}};
+  const auto q_ms = [](const obs::Registry::HistogramSnapshot& snap,
+                       double q) {
+    const double v = obs::HistogramQuantile(snap, q);
+    return v < 0 ? -1.0 : v * 1e3;
+  };
+  const auto total = reg.HistogramValue("pelican_serve_record_seconds", labels);
+  json.Set("p50_ms", q_ms(total, 0.5));
+  json.Set("p99_ms", q_ms(total, 0.99));
+  obs::Json stages;
+  for (const char* name : {"queue", "batch", "score", "reply"}) {
+    obs::Labels stage_labels = labels;
+    stage_labels.emplace_back("stage", name);
+    const auto snap =
+        reg.HistogramValue("pelican_serve_stage_seconds", stage_labels);
+    obs::Json stage;
+    stage.Set("p50_ms", q_ms(snap, 0.5));
+    stage.Set("p99_ms", q_ms(snap, 0.99));
+    stages.Set(name, stage);
+  }
+  json.Set("stages", stages);
   return json.Str();
 }
 

@@ -23,6 +23,14 @@
 //                finish, flushes the queue through the scorers, then
 //                joins — no accepted record is lost (Stats() shows
 //                records == replies after drain).
+//   lifecycle    every enqueued record is stamped at admission,
+//                dequeue, batch assembly, score, and reply write; the
+//                deltas telescope into the per-stage latency
+//                histograms pelican_serve_stage_seconds{stage=queue|
+//                batch|score|reply}, one trace flow per ingest chunk
+//                links connection thread → scorer → reply in
+//                Perfetto, and the slowest records surface in /slow
+//                and the optional access log (DESIGN.md §13).
 //
 // Threads: one listener, one thread per connection (bounded by
 // max_connections), and N scorers (`scorers`, default min(4, cores))
@@ -51,6 +59,7 @@
 #include "core/pelican_ids.h"
 #include "obs/net_util.h"
 #include "serve/bounded_queue.h"
+#include "serve/slow_ring.h"
 #include "serve/wire.h"
 
 namespace pelican::serve {
@@ -71,6 +80,9 @@ struct ScoringServerConfig {
   int write_timeout_ms = 5000;         // slow reader → drop + close
   std::size_t scorers = 0;             // scorer threads; 0 = min(4, cores)
   bool observe = true;                 // publish pelican_serve_* metrics
+  std::size_t slow_top_k = 32;         // /slow slowest-record slots
+  std::uint64_t sample_every = 0;      // 1-in-N access sampling; 0 = off
+  std::string access_log_path;         // JSONL access-log sink; "" = off
   obs::SocketOps ops;                  // test seam: fault injection
   // Test seam: runs on each scorer thread at the top of every loop
   // iteration, before it pops a batch — blocking here holds the queue
@@ -126,6 +138,15 @@ class ScoringServer {
   [[nodiscard]] ServeStats Stats() const;
   [[nodiscard]] std::string StatsJson() const;  // the /serve payload
 
+  // The /slow payload: slowest records (descending total latency) then
+  // the 1-in-N sampled recents, one JSON object per line.
+  [[nodiscard]] std::string SlowJsonl() const { return slow_ring_.Jsonl(); }
+  [[nodiscard]] const SlowRecordRing& SlowRing() const { return slow_ring_; }
+
+  // Fraction of wall time the scorer threads spent processing batches
+  // (sum over scorers / (scorers × elapsed)); 0 before Start().
+  [[nodiscard]] double ScorerBusyRatio() const;
+
   // Which predict engine answers verdicts: "int8" when the model had
   // quantized inference enabled at construction, else "fp32". Also the
   // `engine` label on every pelican_serve_* series.
@@ -138,9 +159,11 @@ class ScoringServer {
  private:
   struct PendingChunk;
   struct ServeMetrics;
+  struct SlotTiming;
   struct QueueItem {
     std::shared_ptr<PendingChunk> chunk;
-    std::size_t index = 0;  // reply slot within the chunk
+    std::size_t index = 0;       // reply slot within the chunk
+    std::uint64_t flow_id = 0;   // ingest-chunk id (trace flow + /slow)
     std::vector<double> row;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
@@ -148,8 +171,9 @@ class ScoringServer {
 
   void ListenLoop();
   void HandleConnection(int fd);
-  void ScorerLoop();
-  void FulfillSlot(const QueueItem& item, std::string reply);
+  void ScorerLoop(std::size_t scorer_index);
+  void FulfillSlot(const QueueItem& item, std::string reply,
+                   const SlotTiming* timing);
   ServeMetrics& Metrics();
 
   const core::PelicanIds* ids_;
@@ -165,8 +189,19 @@ class ScoringServer {
   std::once_flag metrics_once_;
   std::unique_ptr<ServeMetrics> metrics_;
 
+  // Tail-latency attribution (DESIGN.md §13): the slowest-record ring
+  // plus 1-in-N samples behind /slow and the optional access log.
+  SlowRecordRing slow_ring_;
+
   std::thread listener_;
   std::vector<std::thread> scorers_;
+  // Nanoseconds each scorer spent processing batches (not blocked in
+  // PopBatch), indexed by scorer. Sized at Start(), read by
+  // ScorerBusyRatio(); unique_ptr array because atomics don't move.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> scorer_busy_ns_;
+  std::size_t scorer_busy_count_ = 0;
+  std::chrono::steady_clock::time_point serve_start_{};
+  bool prev_kernel_tracing_ = true;  // restored by Drain()
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> active_connections_{0};

@@ -3,4 +3,5 @@
 
 #include "serve/bounded_queue.h"     // IWYU pragma: export
 #include "serve/scoring_server.h"    // IWYU pragma: export
+#include "serve/slow_ring.h"         // IWYU pragma: export
 #include "serve/wire.h"              // IWYU pragma: export

@@ -1,7 +1,8 @@
 // pelican::obs tests: disabled-path silence, on-vs-off weight
 // determinism, multi-threaded metric merges, Prometheus/JSON rendering,
-// trace validity + balanced nesting, run-log JSONL structure, history
-// round-trips, and the logging sink/format.
+// the shared histogram-quantile reader, trace validity + balanced
+// nesting, flow events, the atomic line sink under contention, run-log
+// JSONL structure, history round-trips, and the logging sink/format.
 //
 // Test order matters for the first two suites: they assert on the
 // *global* registry/tracer before any test enables observability, so
@@ -311,6 +312,34 @@ TEST(MetricsRegistry, FamilyKindAndHelpMustAgreeAcrossLabelSets) {
                CheckError);
 }
 
+// The shared quantile reader (serve_bench and the /serve JSON both call
+// it): linear interpolation inside the crossing bucket, the +Inf bucket
+// reports its lower edge, and zero added mass reports -1.
+TEST(MetricsRegistry, HistogramQuantileDeltaInterpolatesAndHandlesEdges) {
+  obs::Registry::HistogramSnapshot snap;
+  snap.upper_bounds = {1.0, 2.0, 4.0};
+  snap.bucket_counts = {2, 0, 6, 2};  // last entry is the +Inf bucket
+  snap.count = 10;
+
+  // No mass: empty snapshot, or identical before/after.
+  EXPECT_EQ(obs::HistogramQuantile(obs::Registry::HistogramSnapshot{}, 0.5),
+            -1.0);
+  EXPECT_EQ(obs::HistogramQuantileDelta(snap, snap, 0.5), -1.0);
+
+  // target 2 lands exactly at the top of bucket [0, 1).
+  EXPECT_NEAR(obs::HistogramQuantile(snap, 0.2), 1.0, 1e-12);
+  // target 5: 2 below the crossing bucket [2, 4) holding 6 → 2 + 2*3/6.
+  EXPECT_NEAR(obs::HistogramQuantile(snap, 0.5), 3.0, 1e-12);
+  // target 9.5 crosses into +Inf → its lower edge, not an invented UB.
+  EXPECT_NEAR(obs::HistogramQuantile(snap, 0.95), 4.0, 1e-12);
+
+  // Delta form: only mass added between the snapshots counts.
+  obs::Registry::HistogramSnapshot after = snap;
+  after.bucket_counts = {2, 4, 6, 2};
+  after.count = 14;
+  EXPECT_NEAR(obs::HistogramQuantileDelta(snap, after, 0.5), 1.5, 1e-12);
+}
+
 // ---- tracing ---------------------------------------------------------------
 
 // Returns the "X" (complete) events of `json`, grouped by tid.
@@ -401,8 +430,11 @@ TEST(Trace, JsonIsValidAndSpansNestPerThread) {
 TEST(Trace, OverflowCountsDropsInsteadOfGrowing) {
   ObsOff guard;
   obs::EnableTracing(true);
+  obs::EnableMetrics(true);  // drops must also surface to scrapers
   obs::ResetTrace();
   obs::SetTraceCapacity(4);
+  const auto dropped0 =
+      obs::Registry::Global().CounterValue("pelican_trace_dropped_total");
   // A fresh thread gets a buffer created under the new cap.
   std::thread worker([] {
     for (int i = 0; i < 10; ++i) {
@@ -412,7 +444,112 @@ TEST(Trace, OverflowCountsDropsInsteadOfGrowing) {
   worker.join();
   EXPECT_EQ(obs::TraceEventCount(), 4U);
   EXPECT_EQ(obs::TraceDroppedCount(), 6U);
+  // The same drops via the pelican_trace_dropped_total counter — a
+  // scraper sees buffer overflow without fetching /trace.
+  EXPECT_EQ(obs::Registry::Global().CounterValue(
+                "pelican_trace_dropped_total") - dropped0,
+            6U);
   obs::SetTraceCapacity(1U << 20);
+}
+
+// Flow events (the serve plane's cross-thread arrows) serialize as
+// valid JSON rows sharing one hex id; the end point binds to its
+// enclosing slice.
+TEST(Trace, FlowEventsRenderValidJsonAndShareIds) {
+  ObsOff guard;
+  obs::EnableTracing(true);
+  obs::ResetTrace();
+
+  {
+    obs::TraceSpan span("producer", "test");
+    obs::TraceFlow(obs::FlowPhase::kStart, 0xbeef, "chunk", "test");
+  }
+  std::thread consumer([] {
+    obs::TraceSpan span("consumer", "test");
+    obs::TraceFlow(obs::FlowPhase::kStep, 0xbeef, "chunk", "test");
+    obs::TraceFlow(obs::FlowPhase::kEnd, 0xbeef, "chunk", "test");
+  });
+  consumer.join();
+
+  const auto doc = obs::ParseJson(obs::TraceJson());
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  double start_tid = -1, step_tid = -1;
+  int flow_points = 0;
+  for (const auto& ev : events->array) {
+    const obs::JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr ||
+        (ph->str != "s" && ph->str != "t" && ph->str != "f")) {
+      continue;
+    }
+    ++flow_points;
+    const obs::JsonValue* id = ev.Find("id");
+    ASSERT_TRUE(id != nullptr && id->IsString());
+    EXPECT_EQ(id->str, "0xbeef");
+    ASSERT_TRUE(ev.Find("ts") != nullptr && ev.Find("ts")->IsNumber());
+    ASSERT_TRUE(ev.Find("tid") != nullptr && ev.Find("tid")->IsNumber());
+    if (ph->str == "s") start_tid = ev.Find("tid")->number;
+    if (ph->str == "t") step_tid = ev.Find("tid")->number;
+    if (ph->str == "f") {
+      const obs::JsonValue* bp = ev.Find("bp");
+      ASSERT_TRUE(bp != nullptr && bp->IsString());
+      EXPECT_EQ(bp->str, "e");  // bind to the enclosing slice
+    }
+  }
+  EXPECT_EQ(flow_points, 3);
+  EXPECT_NE(start_tid, step_tid);  // the arrow crosses threads
+
+  // Disabled, TraceFlow records nothing.
+  const auto before = obs::TraceEventCount();
+  obs::EnableTracing(false);
+  obs::TraceFlow(obs::FlowPhase::kStart, 0xdead, "noop", "test");
+  EXPECT_EQ(obs::TraceEventCount(), before);
+}
+
+// ---- line sink --------------------------------------------------------------
+
+// The "one line, one write" contract under contention: four writers
+// hammer one sink (and a copy, which shares the file and mutex); every
+// line on disk is exactly one writer's payload, never a splice.
+TEST(LineSink, ConcurrentWritersNeverTearLines) {
+  const auto path = TempPath("obs_line_sink_tear.txt");
+  obs::LineSink sink(path, /*truncate=*/true);
+  ASSERT_TRUE(sink.active());
+  EXPECT_EQ(sink.path(), path);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] {
+      obs::LineSink handle = sink;  // copies share file + mutex
+      const std::string payload(100, static_cast<char>('a' + t));
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(handle.WriteLine(payload));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const auto lines = Lines(ReadAll(path));
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::map<char, int> per_writer;
+  for (const auto& line : lines) {
+    ASSERT_EQ(line.size(), 100U);
+    ASSERT_EQ(line.find_first_not_of(line[0]), std::string::npos)
+        << "torn line: " << line;
+    ++per_writer[line[0]];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_writer[static_cast<char>('a' + t)], kPerThread);
+  }
+
+  // A default-constructed sink is inactive and refuses quietly.
+  obs::LineSink inactive;
+  EXPECT_FALSE(inactive.active());
+  EXPECT_FALSE(inactive.WriteLine("dropped"));
 }
 
 // ---- run log ---------------------------------------------------------------

@@ -4,9 +4,11 @@
 // resync, socket-level fault injection (short reads, EINTR, EAGAIN,
 // ECONNRESET, mid-record truncation), graceful drain conservation
 // (no accepted record lost), a concurrent-clients stress pass (the
-// TSan build exercises it), serve metrics export, the HTTP control
-// plane under injected EINTR, and the StreamDetector quarantine
-// counter/JSON satellite.
+// TSan build exercises it), serve metrics export, the record lifecycle
+// (stage-histogram telescoping, slow-ring top-K under concurrency,
+// /slow + access-log JSONL schema, cross-thread trace flows), the HTTP
+// control plane under injected EINTR, and the StreamDetector
+// quarantine counter/JSON satellite.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -19,7 +21,9 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -201,6 +205,17 @@ std::string JoinLines(const std::vector<std::string>& lines) {
     out += '\n';
   }
   return out;
+}
+
+// Inverse of JoinLines: non-empty lines of a blob (JSONL payloads).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
 }
 
 // Polls a predicate with a deadline (for cross-thread counters).
@@ -1137,6 +1152,309 @@ TEST(ScoringServer, MultiScorerDrainUnderLoadConservesAcceptedRecords) {
   EXPECT_EQ(stats.ok, stats.records);
   ExpectConservation(stats);
   EXPECT_FALSE(server.Running());
+}
+
+// ---- request lifecycle & tail-latency attribution (tentpole) ---------------
+
+// Serves every fixture line through `cfg` and returns the server after
+// Drain() so callers can inspect its lifecycle exports.
+void ServeAllLines(serve::ScoringServer& server) {
+  server.Start();
+  const int fd = ConnectTo(server.Port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendStr(fd, JoinLines(DataLines())));
+  ASSERT_EQ(ReadLines(fd, DataLines().size()).size(), DataLines().size());
+  ::close(fd);
+  server.Drain();
+  ExpectConservation(server.Stats());
+}
+
+// The reconciliation law the issue pins down: the four stage histograms
+// are slices of ONE telescoping clock read per record (admission →
+// dequeue → assemble → score → reply write), so their deltas must carry
+// the same observation count as pelican_serve_record_seconds and their
+// sums must add back up to its sum (float rounding only).
+TEST(ScoringServer, StageHistogramsTelescopeIntoRecordSeconds) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  auto& reg = obs::Registry::Global();
+  const obs::Labels fp32{{"engine", "fp32"}};
+  constexpr const char* kStages[] = {"queue", "batch", "score", "reply"};
+  const auto total0 = reg.HistogramValue("pelican_serve_record_seconds", fp32);
+  std::vector<obs::Registry::HistogramSnapshot> stage0;
+  for (const char* stage : kStages) {
+    stage0.push_back(reg.HistogramValue(
+        "pelican_serve_stage_seconds",
+        obs::Labels{{"engine", "fp32"}, {"stage", stage}}));
+  }
+
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = 2;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  ServeAllLines(server);
+
+  const auto total1 = reg.HistogramValue("pelican_serve_record_seconds", fp32);
+  const auto scored = total1.count - total0.count;
+  EXPECT_EQ(scored, DataLines().size());
+  double stage_sum = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto after = reg.HistogramValue(
+        "pelican_serve_stage_seconds",
+        obs::Labels{{"engine", "fp32"}, {"stage", kStages[i]}});
+    EXPECT_EQ(after.count - stage0[i].count, scored) << kStages[i];
+    stage_sum += after.sum - stage0[i].sum;
+  }
+  const double total_sum = total1.sum - total0.sum;
+  EXPECT_GT(total_sum, 0.0);
+  EXPECT_NEAR(stage_sum, total_sum, 1e-9 + 1e-9 * total_sum);
+}
+
+// The slow ring's top-K is exact even when writers race: the atomic
+// floor is only a fast-path filter (re-checked under the lock), so the
+// K largest totals always survive. The PELICAN_SANITIZE=thread build
+// runs this under TSan.
+TEST(SlowRecordRing, KeepsExactTopKUnderConcurrentWriters) {
+  constexpr std::size_t kTopK = 8;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 256;
+  serve::SlowRecordRing ring(kTopK, 0, "fp32");
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::RecordLifecycle rec;
+        rec.chunk = static_cast<std::uint64_t>(t);
+        rec.index = static_cast<std::uint32_t>(i);
+        rec.verdict = "ok";
+        // All totals distinct across threads, so the winning set is
+        // unambiguous no matter how the races resolve.
+        rec.total_s = static_cast<double>(t * kPerThread + i) * 1e-6;
+        rec.queue_s = rec.total_s;
+        ring.Record(rec);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  constexpr int kTotal = kThreads * kPerThread;
+  EXPECT_EQ(ring.Recorded(), static_cast<std::uint64_t>(kTotal));
+  auto slow = ring.SlowSnapshot();
+  ASSERT_EQ(slow.size(), kTopK);
+  std::sort(slow.begin(), slow.end(),
+            [](const serve::RecordLifecycle& a,
+               const serve::RecordLifecycle& b) { return a.total_s < b.total_s; });
+  for (std::size_t i = 0; i < kTopK; ++i) {
+    EXPECT_NEAR(slow[i].total_s,
+                static_cast<double>(kTotal - static_cast<int>(kTopK) +
+                                    static_cast<int>(i)) * 1e-6,
+                1e-12);
+  }
+
+  // Jsonl orders slow entries slowest-first.
+  const auto lines = Lines(ring.Jsonl());
+  ASSERT_EQ(lines.size(), kTopK);  // sampling off → slow entries only
+  double prev = std::numeric_limits<double>::infinity();
+  for (const auto& line : lines) {
+    const auto doc = obs::ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(doc->Find("kind")->str, "slow");
+    const double total_ms = doc->Find("total_ms")->number;
+    EXPECT_LE(total_ms, prev);
+    prev = total_ms;
+  }
+}
+
+// Shared schema check for one /slow or access-log JSONL line.
+void ExpectLifecycleLine(const std::string& line) {
+  const auto doc = obs::ParseJson(line);
+  ASSERT_TRUE(doc.has_value()) << line;
+  for (const char* key : {"time", "kind", "engine", "verdict"}) {
+    const auto* v = doc->Find(key);
+    ASSERT_TRUE(v != nullptr && v->IsString()) << key << ": " << line;
+  }
+  const std::string& kind = doc->Find("kind")->str;
+  EXPECT_TRUE(kind == "slow" || kind == "sample") << line;
+  EXPECT_EQ(doc->Find("engine")->str, "fp32") << line;
+  for (const char* key : {"chunk", "index", "total_ms"}) {
+    const auto* v = doc->Find(key);
+    ASSERT_TRUE(v != nullptr && v->IsNumber()) << key << ": " << line;
+  }
+  // Stage fields are numbers, or null when the stage never ran; when
+  // all four ran they telescope back into total_ms.
+  double staged = 0.0;
+  bool all_ran = true;
+  for (const char* key : {"queue_ms", "batch_ms", "score_ms", "reply_ms"}) {
+    const auto* v = doc->Find(key);
+    ASSERT_NE(v, nullptr) << key << ": " << line;
+    ASSERT_TRUE(v->IsNumber() || v->type == obs::JsonValue::Type::kNull)
+        << key << ": " << line;
+    if (v->IsNumber()) {
+      staged += v->number;
+    } else {
+      all_ran = false;
+    }
+  }
+  if (all_ran) {
+    EXPECT_NEAR(staged, doc->Find("total_ms")->number, 1e-5) << line;
+  }
+}
+
+// /slow payload + access log: every line round-trips through the JSON
+// parser with the documented schema, the access log carries one line
+// per finalized record at sample_every=1, and both ride the shared
+// LineSink (no torn lines even with two scorers appending).
+TEST(ScoringServer, SlowJsonlAndAccessLogRoundTripSchema) {
+  const auto log_path =
+      (std::filesystem::path(::testing::TempDir()) / "serve_access.jsonl")
+          .string();
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = 2;
+  cfg.slow_top_k = 4;
+  cfg.sample_every = 1;
+  cfg.access_log_path = log_path;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  ASSERT_TRUE(server.SlowRing().AccessLogActive());
+  ServeAllLines(server);
+
+  EXPECT_EQ(server.SlowRing().Recorded(), DataLines().size());
+  EXPECT_EQ(server.SlowRing().AccessLogFailures(), 0u);
+
+  // /slow: top-K slowest (descending) then every sampled record.
+  const auto jsonl = Lines(server.SlowJsonl());
+  ASSERT_EQ(jsonl.size(), 4u + DataLines().size());
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < jsonl.size(); ++i) {
+    ExpectLifecycleLine(jsonl[i]);
+    const auto doc = obs::ParseJson(jsonl[i]);
+    EXPECT_EQ(doc->Find("kind")->str, i < 4 ? "slow" : "sample") << jsonl[i];
+    if (i < 4) {
+      const double total_ms = doc->Find("total_ms")->number;
+      EXPECT_LE(total_ms, prev);
+      prev = total_ms;
+    }
+  }
+
+  // Access log: one well-formed line per finalized record.
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open()) << log_path;
+  std::vector<std::string> logged;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) logged.push_back(line);
+  }
+  ASSERT_EQ(logged.size(), DataLines().size());
+  for (const auto& entry : logged) ExpectLifecycleLine(entry);
+}
+
+// One trace flow per ingest chunk: its "s" start is emitted on the
+// connection thread, at least one "t" step lands on a scorer thread
+// (different tid), and the "f" end binds to the enclosing reply slice
+// ("bp": "e") back on the connection thread — the Perfetto-visible
+// cross-thread arrow the issue requires.
+TEST(ScoringServer, TraceFlowEventsLinkConnectionAndScorerThreads) {
+  ObsOff guard;
+  obs::EnableTracing(true);
+  obs::ResetTrace();
+
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = 2;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  ServeAllLines(server);
+  obs::EnableTracing(false);
+
+  const auto doc = obs::ParseJson(obs::TraceJson());
+  ASSERT_TRUE(doc.has_value());
+  const auto* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  struct Flow {
+    std::vector<double> start_tids, step_tids, end_tids;
+    bool end_binds_enclosing = false;
+  };
+  std::map<std::string, Flow> flows;
+  for (const auto& ev : events->array) {
+    const auto* ph = ev.Find("ph");
+    if (ph == nullptr ||
+        (ph->str != "s" && ph->str != "t" && ph->str != "f")) {
+      continue;
+    }
+    const auto* id = ev.Find("id");
+    ASSERT_TRUE(id != nullptr && id->IsString());
+    const auto* tid = ev.Find("tid");
+    ASSERT_TRUE(tid != nullptr && tid->IsNumber());
+    Flow& flow = flows[id->str];
+    if (ph->str == "s") {
+      flow.start_tids.push_back(tid->number);
+    } else if (ph->str == "t") {
+      flow.step_tids.push_back(tid->number);
+    } else {
+      flow.end_tids.push_back(tid->number);
+      const auto* bp = ev.Find("bp");
+      flow.end_binds_enclosing =
+          bp != nullptr && bp->IsString() && bp->str == "e";
+    }
+  }
+  ASSERT_FALSE(flows.empty());
+  bool crossed_threads = false;
+  for (const auto& [id, flow] : flows) {
+    ASSERT_EQ(flow.start_tids.size(), 1u) << id;
+    ASSERT_EQ(flow.end_tids.size(), 1u) << id;
+    ASSERT_FALSE(flow.step_tids.empty()) << id;
+    EXPECT_TRUE(flow.end_binds_enclosing) << id;
+    for (const double step_tid : flow.step_tids) {
+      if (step_tid != flow.start_tids[0]) crossed_threads = true;
+    }
+  }
+  EXPECT_TRUE(crossed_threads)
+      << "no flow stepped from a connection thread onto a scorer thread";
+}
+
+// The /serve JSON gains the lifecycle summary: scorer utilization, the
+// trace-drop counter, slow-ring totals, and per-stage p50/p99 read
+// through the shared quantile helper.
+TEST(ScoringServer, StatsJsonReportsLifecycleSummaries) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  serve::ScoringServerConfig cfg;
+  cfg.scorers = 2;
+  cfg.sample_every = 4;
+  serve::ScoringServer server(TrainedIds(), cfg);
+  ServeAllLines(server);
+
+  const auto doc = obs::ParseJson(server.StatsJson());
+  ASSERT_TRUE(doc.has_value());
+  const auto* busy = doc->Find("scorer_busy_ratio");
+  ASSERT_TRUE(busy != nullptr && busy->IsNumber());
+  EXPECT_GE(busy->number, 0.0);
+  EXPECT_LE(busy->number, 1.0);
+  EXPECT_GT(server.ScorerBusyRatio(), 0.0);  // it did score something
+
+  const auto* dropped = doc->Find("trace_dropped");
+  ASSERT_TRUE(dropped != nullptr && dropped->IsNumber());
+  const auto* slow_recorded = doc->Find("slow_recorded");
+  ASSERT_TRUE(slow_recorded != nullptr && slow_recorded->IsNumber());
+  EXPECT_EQ(slow_recorded->number,
+            static_cast<double>(DataLines().size()));
+  ASSERT_NE(doc->Find("access_log_active"), nullptr);
+  EXPECT_FALSE(doc->Find("access_log_active")->boolean);
+  ASSERT_NE(doc->Find("access_log_failures"), nullptr);
+
+  // End-to-end and per-stage quantiles come from the same global
+  // histograms, so with metrics on they must carry mass (> 0).
+  const auto* p99 = doc->Find("p99_ms");
+  ASSERT_TRUE(p99 != nullptr && p99->IsNumber());
+  EXPECT_GT(p99->number, 0.0);
+  const auto* stages = doc->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* name : {"queue", "batch", "score", "reply"}) {
+    const auto* stage = stages->Find(name);
+    ASSERT_NE(stage, nullptr) << name;
+    for (const char* q : {"p50_ms", "p99_ms"}) {
+      const auto* v = stage->Find(q);
+      ASSERT_TRUE(v != nullptr && v->IsNumber()) << name << "." << q;
+      EXPECT_GT(v->number, 0.0) << name << "." << q;
+    }
+  }
 }
 
 // ---- HTTP control plane under EINTR (satellite) ----------------------------

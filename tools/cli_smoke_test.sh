@@ -128,12 +128,17 @@ fi
     --out "$WORK_DIR/model_serve.bin" | grep -q "listening"
 cmp "$WORK_DIR/model.bin" "$WORK_DIR/model_serve.bin"
 
-# Scoring server round trip: pipe 100 records through `pelican serve`,
-# compare the verdicts byte-for-byte against the batch CLI on the same
-# CSV, then SIGTERM and assert a graceful drain with exit code 0.
+# Scoring server round trip: pipe 100 records through `pelican serve`
+# with the full lifecycle kit on (tracing, 1-in-1 access sampling, the
+# introspection plane), compare the verdicts byte-for-byte against the
+# batch CLI on the same CSV — instrumentation must not change a single
+# verdict byte — then SIGTERM and assert a graceful drain with exit 0.
 "$PELICAN_BIN" generate --dataset nsl --records 100 --seed 11 \
     --out "$WORK_DIR/score_flows.csv"
 "$PELICAN_BIN" serve --model "$WORK_DIR/model.bin" --port 0 \
+    --serve-port 0 --sample-every 1 --slow-top-k 8 \
+    --access-log "$WORK_DIR/access.jsonl" \
+    --trace-out "$WORK_DIR/serve_trace.json" \
     > "$WORK_DIR/score_serve.log" 2>&1 &
 SCORE_PID=$!
 PORT=""
@@ -155,10 +160,51 @@ test "$(grep -c '^ok,' "$WORK_DIR/serve_verdicts.txt")" -eq 100
     --csv "$WORK_DIR/score_flows.csv" --limit 1 \
     --verdicts-out "$WORK_DIR/batch_verdicts.txt" > /dev/null
 cmp "$WORK_DIR/serve_verdicts.txt" "$WORK_DIR/batch_verdicts.txt"
+
+# /slow mid-serve: the introspection plane answers with the slowest and
+# sampled records as JSONL while the data plane is still up.
+if command -v curl >/dev/null 2>&1; then
+    HTTP_PORT="$(sed -n \
+        's/.*introspection server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+        "$WORK_DIR/score_serve.log")"
+    test -n "$HTTP_PORT"
+    curl -fsS "http://127.0.0.1:$HTTP_PORT/slow" > "$WORK_DIR/slow.jsonl"
+    test -s "$WORK_DIR/slow.jsonl"
+    if command -v jq >/dev/null 2>&1; then
+        jq -e '.kind and .total_ms != null and .engine == "fp32"' \
+            "$WORK_DIR/slow.jsonl" > /dev/null
+    else
+        grep -q '"kind": "slow"' "$WORK_DIR/slow.jsonl"
+    fi
+    curl -fsS "http://127.0.0.1:$HTTP_PORT/serve" \
+        | grep -q '"scorer_busy_ratio"'
+fi
+
 kill -TERM "$SCORE_PID"
 wait "$SCORE_PID"    # graceful drain must exit 0 (set -e enforces it)
 grep -q "draining scoring server" "$WORK_DIR/score_serve.log"
 grep -q "drained: " "$WORK_DIR/score_serve.log"
+
+# Access log: sample-every 1 puts one atomic JSONL line per scored
+# record on disk, each with the lifecycle schema.
+test "$(wc -l < "$WORK_DIR/access.jsonl")" -eq 100
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.time and .verdict == "ok" and .queue_ms != null' \
+        "$WORK_DIR/access.jsonl" > /dev/null
+else
+    test "$(grep -c '"verdict": "ok"' "$WORK_DIR/access.jsonl")" -eq 100
+fi
+
+# The serve trace carries the cross-thread flow arrows (s → t → f).
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.traceEvents | map(select(.ph == "s")) | length > 0' \
+        "$WORK_DIR/serve_trace.json" > /dev/null
+    jq -e '.traceEvents | map(select(.ph == "f" and .bp == "e"))
+           | length > 0' "$WORK_DIR/serve_trace.json" > /dev/null
+else
+    grep -q '"ph": "s"' "$WORK_DIR/serve_trace.json"
+    grep -q '"ph": "f"' "$WORK_DIR/serve_trace.json"
+fi
 
 # Multi-scorer determinism: the verdict stream must be byte-identical
 # no matter how many scorer threads race over the queue.

@@ -401,6 +401,10 @@ int CmdServe(const Flags& flags) {
   sc.write_timeout_ms =
       static_cast<int>(flags.GetLong("write-timeout-ms", 5000));
   sc.scorers = static_cast<std::size_t>(flags.GetLong("scorers", 0));
+  sc.slow_top_k = static_cast<std::size_t>(flags.GetLong("slow-top-k", 32));
+  sc.sample_every =
+      static_cast<std::uint64_t>(flags.GetLong("sample-every", 0));
+  sc.access_log_path = flags.Get("access-log");
   serve::ScoringServer server(ids, sc);
   server.Start();
   std::printf("scoring server listening on 127.0.0.1:%u (schema %s, "
@@ -413,6 +417,9 @@ int CmdServe(const Flags& flags) {
     g_server->Handle("/serve", [&server](const obs::HttpRequest&) {
       return obs::HttpResponse{200, "application/json",
                                server.StatsJson() + "\n"};
+    });
+    g_server->Handle("/slow", [&server](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "application/json", server.SlowJsonl()};
     });
     g_server->SetReady(true);  // model loaded, data plane up
   }
@@ -434,10 +441,14 @@ int CmdServe(const Flags& flags) {
   server.Drain();
   const auto stats = server.Stats();
   if (g_server != nullptr) {
-    // The ScoringServer dies with this frame; leave a final snapshot.
+    // The ScoringServer dies with this frame; leave final snapshots.
     const std::string final_stats = server.StatsJson() + "\n";
     g_server->Handle("/serve", [final_stats](const obs::HttpRequest&) {
       return obs::HttpResponse{200, "application/json", final_stats};
+    });
+    const std::string final_slow = server.SlowJsonl();
+    g_server->Handle("/slow", [final_slow](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "application/json", final_slow};
     });
   }
   std::printf("drained: %llu records -> %llu ok, %llu quarantined, "
@@ -584,6 +595,8 @@ int Usage() {
       "            [--idle-timeout-ms 30000] [--score-deadline-ms 2000]\n"
       "            [--write-timeout-ms 5000] [--quantized]\n"
       "            [--scorers N (0 = min(4, cores))]\n"
+      "            [--slow-top-k 32] [--sample-every N (0 = off)]\n"
+      "            [--access-log f (JSONL slow/sampled records)]\n"
       "            scoring data plane: line-delimited CSV records in,\n"
       "            one verdict line per record out; SIGTERM/SIGINT\n"
       "            drains gracefully (no accepted record is lost)\n"
@@ -606,7 +619,8 @@ int Usage() {
       "  --serve-port N    live introspection server on 127.0.0.1:N\n"
       "                    (0 = ephemeral; implies metrics + tracing;\n"
       "                     endpoints: /healthz /readyz /buildinfo\n"
-      "                     /metrics /metrics.json /trace /stream)\n"
+      "                     /metrics /metrics.json /trace /stream,\n"
+      "                     plus /serve and /slow while serving)\n"
       "inference flags:\n"
       "  --quantized       eval/classify/serve: score with the int8\n"
       "                    post-training-quantized predict path (reads\n"
