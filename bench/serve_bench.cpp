@@ -15,6 +15,11 @@
 //                 Server-side latency comes from the
 //                 pelican_serve_record_seconds histogram delta.
 //
+// A closed_profiled row re-runs the 1-client closed loop with the
+// sampling CPU profiler armed at its default rate (profile_hz field);
+// the full run asserts its flows/sec and p99 stay within the same
+// noise tolerance the scaling arm uses.
+//
 // --smoke shrinks durations for ctest and asserts the robustness
 // invariants (reply conservation, bounded served p99 under overload)
 // rather than absolute throughput.
@@ -39,6 +44,7 @@
 #include "common/stopwatch.h"
 #include "harness.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "serve/serve.h"
 
 namespace {
@@ -152,9 +158,10 @@ Fixture BuildFixture() {
 // ---- result rows -----------------------------------------------------------
 
 struct ServeRow {
-  std::string arm;         // "closed" / "overload" / "scaling"
+  std::string arm;         // "closed" / "closed_profiled" / "overload" / ...
   std::size_t clients = 0;
   std::size_t scorers = 0; // resolved scorer-thread count
+  int profile_hz = 0;      // sampling profiler rate during the arm (0 = off)
   double seconds = 0.0;
   double flows_per_sec = 0.0;   // verdicts served (ok replies) per second
   double offered_per_sec = 0.0; // records pushed at the server per second
@@ -176,13 +183,14 @@ void WriteServeJson(const std::string& path,
     const ServeRow& r = rows[i];
     std::fprintf(f,
                  "  {\"arm\": \"%s\", \"clients\": %zu, \"scorers\": %zu, "
-                 "\"seconds\": %.2f, "
+                 "\"profile_hz\": %d, \"seconds\": %.2f, "
                  "\"flows_per_sec\": %.1f, \"offered_per_sec\": %.1f, "
                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
                  "\"shed_pct\": %.2f, \"late_pct\": %.2f}%s\n",
-                 r.arm.c_str(), r.clients, r.scorers, r.seconds,
-                 r.flows_per_sec, r.offered_per_sec, r.p50_ms, r.p99_ms,
-                 r.shed_pct, r.late_pct, i + 1 < rows.size() ? "," : "");
+                 r.arm.c_str(), r.clients, r.scorers, r.profile_hz,
+                 r.seconds, r.flows_per_sec, r.offered_per_sec, r.p50_ms,
+                 r.p99_ms, r.shed_pct, r.late_pct,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -373,6 +381,23 @@ int main(int argc, char** argv) {
   for (const std::size_t clients : {1u, 2u, 4u}) {
     rows.push_back(ClosedLoopArm(fx, clients));
   }
+  const ServeRow closed_plain = rows.front();  // 1-client baseline
+
+  // Profiler-on closed loop: the always-on sampler at its default rate
+  // must not move flows/sec or tail latency outside loopback noise.
+  // The scorer threads self-register (and get timers armed) when the
+  // server inside the arm spawns them.
+  obs::ProfilerConfig profiler_cfg;
+  profiler_cfg.hz = obs::kDefaultProfileHz;
+  obs::StartProfiler(profiler_cfg);
+  obs::ProfileRegisterCurrentThread();
+  rows.push_back(ClosedLoopArm(fx, 1));
+  obs::StopProfiler();
+  obs::ResetProfiler();
+  rows.back().arm = "closed_profiled";
+  rows.back().profile_hz = obs::kDefaultProfileHz;
+  const ServeRow closed_profiled = rows.back();
+
   serve::ServeStats overload_stats;
   rows.push_back(OverloadArm(fx, 4, 0, "overload", &overload_stats));
   const ServeRow over = rows.back();
@@ -428,6 +453,22 @@ int main(int argc, char** argv) {
   // claim: on a single hardware core a 4-thread pool just time-slices,
   // so the rows are recorded but the bound is not enforced. A 15%
   // tolerance absorbs run-to-run loopback jitter.
+  // The profiled closed loop must stay within loopback noise of the
+  // plain one. Only the full run's 2s arms average enough round trips
+  // to make the bound meaningful; the 0.3s smoke arms just record the
+  // row. 15% matches the scaling-arm jitter tolerance; p99 gets 2×
+  // because a single slow chunk moves a short arm's tail.
+  if (!smoke &&
+      (closed_profiled.flows_per_sec < 0.85 * closed_plain.flows_per_sec ||
+       (closed_plain.p99_ms > 0.0 &&
+        closed_profiled.p99_ms > 2.0 * closed_plain.p99_ms))) {
+    std::fprintf(stderr,
+                 "FAIL: profiled closed loop %.1f flows/s p99 %.3f ms vs "
+                 "plain %.1f flows/s p99 %.3f ms\n",
+                 closed_profiled.flows_per_sec, closed_profiled.p99_ms,
+                 closed_plain.flows_per_sec, closed_plain.p99_ms);
+    pass = false;
+  }
   if (std::thread::hardware_concurrency() > 1 &&
       scaling.back().flows_per_sec < 0.85 * scaling.front().flows_per_sec) {
     std::fprintf(stderr,

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace pelican {
@@ -108,6 +109,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::WorkerLoop() {
   t_in_worker = true;
+  // CPU-time sampling: workers burn the GEMM/conv cycles, so they are
+  // the threads the profiler most needs to see. Idle workers cost
+  // nothing (the timer counts consumed CPU, not wall time).
+  obs::ProfiledThreadScope profiled;
   for (;;) {
     std::packaged_task<void()> task;
     {

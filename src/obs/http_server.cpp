@@ -7,10 +7,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "obs/net_util.h"
+#include "obs/profiler.h"
 
 namespace pelican::obs {
 
@@ -100,6 +103,9 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::Serve() {
+  // Render work (Prometheus text, trace JSON, profile symbolization)
+  // burns CPU on this thread; sample it like any other.
+  ProfiledThreadScope profiled;
   while (!stop_.load()) {
     // Poll with a short timeout so Stop() is observed promptly even
     // when no client ever connects; accept itself never blocks.
@@ -124,21 +130,55 @@ void HttpServer::Serve() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  // Scrape self-observability: every answered request lands one
+  // observation in pelican_scrape_seconds{path} and one count in
+  // pelican_scrape_requests_total{path,code}, so a slow /metrics or a
+  // 30-second /profile window is itself visible on the next scrape.
+  // The path label is bounded: only exactly-registered paths get their
+  // own series; malformed, unknown, and rejected requests share
+  // "other". Requests dropped before a response (timeout, hangup) are
+  // not scrapes and record nothing.
+  const auto started = std::chrono::steady_clock::now();
+  std::string method = "GET";
+  std::string path_label = "other";
+  HttpResponse response;
+  if (!DispatchRequest(fd, method, path_label, response)) return;
+  SendResponse(config_.ops, fd, method, response);
+  if (MetricsEnabled()) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    auto& reg = Registry::Global();
+    reg.GetHistogram("pelican_scrape_seconds",
+                     "Introspection request duration (handler + send)",
+                     DefaultTimeBuckets(), {{"path", path_label}})
+        .Observe(seconds);
+    reg.GetCounter("pelican_scrape_requests_total",
+                   "Introspection requests answered",
+                   {{"path", path_label},
+                    {"code", std::to_string(response.status)}})
+        .Inc();
+  }
+}
+
+bool HttpServer::DispatchRequest(int fd, std::string& method,
+                                 std::string& path_label,
+                                 HttpResponse& response) {
   // Read until the end of the request head; a GET carries no body we
   // care about, so everything past "\r\n\r\n" is ignored.
   std::string head;
   char buf[1024];
   while (head.find("\r\n\r\n") == std::string::npos) {
     if (head.size() > config_.max_request_bytes) {
-      SendResponse(config_.ops, fd, "GET",
-                   {431, "text/plain; charset=utf-8", "request too large\n"});
-      return;
+      response = {431, "text/plain; charset=utf-8", "request too large\n"};
+      return true;
     }
     // RecvRetry absorbs EINTR, so only a real timeout (EAGAIN via
     // SO_RCVTIMEO) or hangup drops the request — a signal landing
     // mid-read no longer kills an otherwise healthy scrape.
     const ssize_t n = RecvRetry(config_.ops, fd, buf, sizeof buf);
-    if (n <= 0) return;  // timeout or client hangup: drop silently
+    if (n <= 0) return false;  // timeout or client hangup: drop silently
     head.append(buf, static_cast<std::size_t>(n));
   }
 
@@ -151,9 +191,8 @@ void HttpServer::HandleConnection(int fd) {
                               : line.find(' ', sp1 + 1);
   if (sp2 == std::string::npos ||
       line.compare(sp2 + 1, 5, "HTTP/") != 0) {
-    SendResponse(config_.ops, fd, "GET", {400, "text/plain; charset=utf-8",
-                             "malformed request line\n"});
-    return;
+    response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+    return true;
   }
   HttpRequest request;
   request.method = line.substr(0, sp1);
@@ -162,24 +201,29 @@ void HttpServer::HandleConnection(int fd) {
   request.path = target.substr(0, qmark);
   if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
 
-  if (request.method != "GET" && request.method != "HEAD") {
-    SendResponse(config_.ops, fd, request.method, {405, "text/plain; charset=utf-8",
-                                      "method not allowed\n"});
-    return;
-  }
-
   HttpHandler handler;
   {
     std::lock_guard lock(handlers_mu_);
     auto it = handlers_.find(request.path);
-    if (it != handlers_.end()) handler = it->second;
+    if (it != handlers_.end()) {
+      handler = it->second;
+      path_label = request.path;
+    }
   }
+
+  if (request.method != "GET" && request.method != "HEAD") {
+    method = request.method;
+    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    return true;
+  }
+  method = request.method;
   if (!handler) {
-    SendResponse(config_.ops, fd, request.method,
-                 {404, "text/plain; charset=utf-8", "not found\n"});
-    return;
+    path_label = "other";
+    response = {404, "text/plain; charset=utf-8", "not found\n"};
+    return true;
   }
-  SendResponse(config_.ops, fd, request.method, handler(request));
+  response = handler(request);
+  return true;
 }
 
 }  // namespace pelican::obs

@@ -89,6 +89,11 @@ class HttpServer {
  private:
   void Serve();
   void HandleConnection(int fd);
+  // Reads + parses + runs the handler; false = drop without response.
+  // `path_label` is the bounded metrics label ("other" unless the
+  // request hit a registered path).
+  bool DispatchRequest(int fd, std::string& method, std::string& path_label,
+                       HttpResponse& response);
 
   HttpServerConfig config_;
   std::mutex handlers_mu_;

@@ -1,13 +1,19 @@
 #include "obs/introspect.h"
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
 
@@ -25,6 +31,81 @@ Clock::time_point ProcessStart() {
 // Ensures the start time is captured at static-init, not first scrape.
 [[maybe_unused]] const Clock::time_point g_start_anchor = ProcessStart();
 
+// Snapshot of /proc/self; negative fields mean the read failed (non-
+// Linux or exotic mount) and the corresponding gauge keeps its last
+// value rather than reporting garbage.
+struct ProcSelfStats {
+  double cpu_seconds = -1.0;
+  double rss_bytes = -1.0;
+  double open_fds = -1.0;
+};
+
+ProcSelfStats ReadProcSelf() {
+  ProcSelfStats out;
+  char buf[2048];
+  if (FILE* f = std::fopen("/proc/self/stat", "re")) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    // comm (field 2) may contain spaces and parens; fields 3+ start
+    // after the LAST ')'. utime/stime are fields 14/15, i.e. the 12th
+    // and 13th tokens after comm.
+    if (const char* p = std::strrchr(buf, ')')) {
+      ++p;
+      unsigned long long utime = 0;
+      unsigned long long stime = 0;
+      int field = 2;
+      for (const char* tok = p; *tok != '\0' && field < 16;) {
+        while (*tok == ' ') ++tok;
+        if (*tok == '\0') break;
+        ++field;
+        if (field == 14) utime = std::strtoull(tok, nullptr, 10);
+        if (field == 15) stime = std::strtoull(tok, nullptr, 10);
+        while (*tok != '\0' && *tok != ' ') ++tok;
+      }
+      if (field >= 15) {
+        const double ticks =
+            static_cast<double>(::sysconf(_SC_CLK_TCK));
+        if (ticks > 0) {
+          out.cpu_seconds =
+              static_cast<double>(utime + stime) / ticks;
+        }
+      }
+    }
+  }
+  if (FILE* f = std::fopen("/proc/self/statm", "re")) {
+    unsigned long long size_pages = 0;
+    unsigned long long rss_pages = 0;
+    if (std::fscanf(f, "%llu %llu", &size_pages, &rss_pages) == 2) {
+      out.rss_bytes = static_cast<double>(rss_pages) *
+                      static_cast<double>(::sysconf(_SC_PAGESIZE));
+    }
+    std::fclose(f);
+  }
+  if (DIR* dir = ::opendir("/proc/self/fd")) {
+    long fds = 0;
+    while (const dirent* entry = ::readdir(dir)) {
+      if (entry->d_name[0] != '.') ++fds;
+    }
+    ::closedir(dir);
+    out.open_fds = static_cast<double>(fds);
+  }
+  return out;
+}
+
+// Parses "seconds=N" out of a query string; fallback when absent or
+// unparsable, clamped to [0, max].
+double QuerySeconds(const std::string& query, double fallback, double max) {
+  double seconds = fallback;
+  const std::size_t pos = query.find("seconds=");
+  if (pos != std::string::npos &&
+      (pos == 0 || query[pos - 1] == '&')) {
+    seconds = std::strtod(query.c_str() + pos + 8, nullptr);
+  }
+  if (!(seconds >= 0.0)) seconds = 0.0;
+  return seconds > max ? max : seconds;
+}
+
 }  // namespace
 
 double ProcessUptimeSeconds() {
@@ -38,6 +119,9 @@ void UpdateProcessMetrics() {
   static std::once_flag once;
   static Gauge* build_info = nullptr;
   static Gauge* uptime = nullptr;
+  static Gauge* cpu_seconds = nullptr;
+  static Gauge* rss_bytes = nullptr;
+  static Gauge* open_fds = nullptr;
   std::call_once(once, [&reg] {
     static Gauge bi = reg.GetGauge(
         "pelican_build_info",
@@ -47,15 +131,38 @@ void UpdateProcessMetrics() {
          {"flags", BuildFlags()}});
     static Gauge up = reg.GetGauge("process_uptime_seconds",
                                    "Seconds since process start");
-    // Registration only: the tracer increments it at drop time. Eager
-    // here so a scrape shows an explicit 0 before the first overflow.
+    // Standard process metrics from /proc/self. cpu_seconds_total is
+    // semantically a counter (monotone: utime+stime only grows) but
+    // registers as a gauge — the registry's Counter is integer-only
+    // and CPU seconds need sub-second resolution.
+    static Gauge cpu = reg.GetGauge(
+        "process_cpu_seconds_total",
+        "Total user+system CPU time consumed by the process");
+    static Gauge rss = reg.GetGauge("process_resident_memory_bytes",
+                                    "Resident set size");
+    static Gauge fds = reg.GetGauge("process_open_fds",
+                                    "Open file descriptors");
+    // Registration only: the tracer/profiler increment these at drop
+    // time. Eager here so a scrape shows an explicit 0 before the
+    // first overflow.
     reg.GetCounter("pelican_trace_dropped_total",
                    "Trace events dropped by per-thread buffer overflow");
+    reg.GetCounter("pelican_profile_samples_total",
+                   "CPU profile samples captured across all threads");
+    reg.GetCounter("pelican_profile_samples_dropped_total",
+                   "CPU profile samples dropped by per-thread ring overflow");
     build_info = &bi;
     uptime = &up;
+    cpu_seconds = &cpu;
+    rss_bytes = &rss;
+    open_fds = &fds;
   });
   build_info->Set(1.0);
   uptime->Set(ProcessUptimeSeconds());
+  const ProcSelfStats stats = ReadProcSelf();
+  if (stats.cpu_seconds >= 0) cpu_seconds->Set(stats.cpu_seconds);
+  if (stats.rss_bytes >= 0) rss_bytes->Set(stats.rss_bytes);
+  if (stats.open_fds >= 0) open_fds->Set(stats.open_fds);
 }
 
 IntrospectionServer::IntrospectionServer(IntrospectConfig config)
@@ -95,6 +202,42 @@ IntrospectionServer::IntrospectionServer(IntrospectConfig config)
   });
   server_->Handle("/trace", [](const HttpRequest&) {
     return HttpResponse{200, "application/json", TraceJson()};
+  });
+  // Windowed CPU profile as collapsed-stack text (flamegraph.pl /
+  // speedscope). ?seconds=N (default 2, clamped to 30) sleeps the
+  // scrape thread while samples accumulate, then streams the delta;
+  // seconds=0 returns everything aggregated since start. The server
+  // handles one request at a time, so a long window delays other
+  // scrapers — that is the operator's explicit choice.
+  server_->Handle("/profile", [](const HttpRequest& request) {
+    if (!ProfilerRunning()) {
+      return HttpResponse{503, "text/plain; charset=utf-8",
+                          "profiler off (run with --profile-hz > 0)\n"};
+    }
+    const double seconds = QuerySeconds(request.query, 2.0, 30.0);
+    if (seconds <= 0.0) {
+      return HttpResponse{200, "text/plain; charset=utf-8",
+                          ProfileCollapsed()};
+    }
+    const ProfileSnapshot snap = SnapshotProfile();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        ProfileCollapsed(&snap)};
+  });
+  // JSON self-time table; cumulative by default, windowed with
+  // ?seconds=N like /profile.
+  server_->Handle("/profile/top", [](const HttpRequest& request) {
+    if (!ProfilerRunning()) {
+      return HttpResponse{503, "application/json",
+                          "{\"error\": \"profiler off\"}\n"};
+    }
+    const double seconds = QuerySeconds(request.query, 0.0, 30.0);
+    if (seconds <= 0.0) {
+      return HttpResponse{200, "application/json", ProfileTopJson()};
+    }
+    const ProfileSnapshot snap = SnapshotProfile();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return HttpResponse{200, "application/json", ProfileTopJson(&snap)};
   });
   server_->Handle("/stream", [](const HttpRequest&) {
     return HttpResponse{200, "application/json",

@@ -10,5 +10,6 @@
 #include "obs/json.h"         // IWYU pragma: export
 #include "obs/line_sink.h"    // IWYU pragma: export
 #include "obs/metrics.h"      // IWYU pragma: export
+#include "obs/profiler.h"     // IWYU pragma: export
 #include "obs/run_log.h"      // IWYU pragma: export
 #include "obs/trace.h"        // IWYU pragma: export

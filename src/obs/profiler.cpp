@@ -1,0 +1,702 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// glibc only exposes the sigev_notify_thread_id member name under
+// certain feature macros; the field itself is always there.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace pelican::obs {
+
+namespace {
+
+constexpr int kMaxStackDepth = 64;
+
+struct Sample {
+  std::int32_t depth = 0;
+  std::uint32_t span_path = 0;
+  // The interrupted pc from the signal ucontext: the true leaf frame.
+  // backtrace() reports it verbatim when unwinding through the signal
+  // frame, so rendering skips everything captured before it (the
+  // handler, the trampoline, sanitizer shims) by exact match.
+  void* sig_pc = nullptr;
+  void* pcs[kMaxStackDepth];
+};
+
+// Single-producer (the owning thread's signal handler) / single-
+// consumer (the collector) ring. Slots hold plain data; the head
+// store-release / load-acquire pair publishes each filled slot. The
+// handler never waits: a full ring counts a drop and moves on.
+struct SampleRing {
+  explicit SampleRing(std::size_t cap_pow2)
+      : cap(cap_pow2), slots(cap_pow2) {}
+  const std::uint64_t cap;  // power of two
+  std::vector<Sample> slots;
+  std::atomic<std::uint64_t> head{0};     // next write; handler only
+  std::atomic<std::uint64_t> tail{0};     // next read; collector only
+  std::atomic<std::uint64_t> taken{0};    // samples recorded
+  std::atomic<std::uint64_t> dropped{0};  // samples lost to overflow
+  std::atomic<std::uint32_t>* span_slot = nullptr;
+};
+
+struct ThreadRec {
+  std::shared_ptr<SampleRing> ring;
+  pid_t tid = 0;
+  pthread_t pthread{};
+  timer_t timer{};
+  bool armed = false;
+};
+
+struct AggEntry {
+  std::uint32_t span_path = 0;
+  void* sig_pc = nullptr;
+  std::vector<void*> pcs;  // leaf-first, as captured
+  std::uint64_t count = 0;
+};
+
+struct Profiler {
+  std::mutex mu;  // registry + lifecycle (threads, retired, config)
+  std::unordered_map<pid_t, ThreadRec> threads;
+  std::vector<std::shared_ptr<SampleRing>> retired;
+  ProfilerConfig config;
+  std::thread collector;
+  std::atomic<bool> collector_stop{false};
+
+  std::mutex collect_mu;  // serializes drain passes (collector vs DrainNow)
+  std::uint64_t exported_taken = 0;
+  std::uint64_t exported_dropped = 0;
+
+  std::mutex agg_mu;
+  std::vector<AggEntry> entries;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  std::uint64_t agg_samples = 0;
+  std::uint64_t agg_folded = 0;  // samples folded into [other]
+
+  std::mutex sym_mu;
+  std::unordered_map<void*, std::string> symbols;
+};
+
+// Leaked like Registry::Global(): worker threads may take a late
+// signal during static destruction.
+Profiler& G() {
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+std::atomic<bool> g_active{false};
+std::atomic<int> g_hz{0};
+
+thread_local SampleRing* t_ring = nullptr;
+
+// --- the only code that runs in signal context -----------------------------
+
+void ProfileSignalHandler(int /*signo*/, siginfo_t* /*info*/,
+                          void* ucontext) {
+  SampleRing* ring = t_ring;
+  if (ring == nullptr || !g_active.load(std::memory_order_relaxed)) return;
+  const int saved_errno = errno;
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
+  if (head - tail >= ring->cap) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Sample& s = ring->slots[head & (ring->cap - 1)];
+    // backtrace() is not on the POSIX async-signal-safe list but is
+    // safe here in practice: its one lazy step (loading libgcc) is
+    // forced at StartProfiler before any timer is armed, after which
+    // it only walks eh_frame tables. This is the same contract
+    // perf-style in-process profilers (gperftools, pprof) rely on.
+    const int n = ::backtrace(s.pcs, kMaxStackDepth);
+    s.depth = n > 0 ? n : 0;
+    s.sig_pc = nullptr;
+#if defined(__x86_64__)
+    if (ucontext != nullptr) {
+      s.sig_pc = reinterpret_cast<void*>(
+          static_cast<const ucontext_t*>(ucontext)->uc_mcontext.gregs[REG_RIP]);
+    }
+#elif defined(__aarch64__)
+    if (ucontext != nullptr) {
+      s.sig_pc = reinterpret_cast<void*>(
+          static_cast<const ucontext_t*>(ucontext)->uc_mcontext.pc);
+    }
+#else
+    (void)ucontext;
+#endif
+    s.span_path = ring->span_slot->load(std::memory_order_relaxed);
+    ring->taken.fetch_add(1, std::memory_order_relaxed);
+    ring->head.store(head + 1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+// ---------------------------------------------------------------------------
+
+std::size_t RoundPow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n && p < (std::size_t{1} << 24)) p <<= 1;
+  return p;
+}
+
+bool ArmTimer(ThreadRec& rec, int hz) {
+  clockid_t clock;
+  if (pthread_getcpuclockid(rec.pthread, &clock) != 0) return false;
+  sigevent sev{};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = rec.tid;
+  if (timer_create(clock, &sev, &rec.timer) != 0) return false;
+  // Clamp to [10 µs, 1 s]; the kernel rounds short CPU-time periods up
+  // to its tick anyway.
+  const long period_ns = std::clamp(1000000000L / std::max(hz, 1), 10000L,
+                                    1000000000L);
+  itimerspec spec{};
+  spec.it_interval.tv_sec = period_ns / 1000000000L;
+  spec.it_interval.tv_nsec = period_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  if (timer_settime(rec.timer, 0, &spec, nullptr) != 0) {
+    timer_delete(rec.timer);
+    return false;
+  }
+  rec.armed = true;
+  return true;
+}
+
+std::uint64_t StackHash(const Sample& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ULL;
+    }
+  };
+  mix(s.span_path);
+  for (std::int32_t i = 0; i < s.depth; ++i) {
+    mix(reinterpret_cast<std::uint64_t>(s.pcs[i]));
+  }
+  return h;
+}
+
+// Aggregates one sample under agg_mu.
+void Aggregate(Profiler& p, const Sample& s) {
+  std::lock_guard lock(p.agg_mu);
+  const std::uint64_t hash = StackHash(s);
+  for (std::uint32_t idx : p.index[hash]) {
+    AggEntry& e = p.entries[idx];
+    if (e.span_path == s.span_path &&
+        e.pcs.size() == static_cast<std::size_t>(s.depth) &&
+        std::equal(e.pcs.begin(), e.pcs.end(), s.pcs)) {
+      ++e.count;
+      ++p.agg_samples;
+      return;
+    }
+  }
+  if (p.entries.size() >= p.config.max_unique_stacks) {
+    ++p.agg_folded;
+    ++p.agg_samples;
+    return;
+  }
+  const auto idx = static_cast<std::uint32_t>(p.entries.size());
+  AggEntry& e = p.entries.emplace_back();
+  e.span_path = s.span_path;
+  e.sig_pc = s.sig_pc;
+  e.pcs.assign(s.pcs, s.pcs + s.depth);
+  e.count = 1;
+  ++p.agg_samples;
+  p.index[hash].push_back(idx);
+}
+
+void CollectOnce(Profiler& p) {
+  std::lock_guard collect_lock(p.collect_mu);
+  std::vector<std::shared_ptr<SampleRing>> rings;
+  {
+    std::lock_guard lock(p.mu);
+    rings.reserve(p.threads.size() + p.retired.size());
+    for (auto& [tid, rec] : p.threads) rings.push_back(rec.ring);
+    for (auto& ring : p.retired) rings.push_back(ring);
+  }
+  std::uint64_t total_taken = 0;
+  std::uint64_t total_dropped = 0;
+  for (auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+    while (tail != head) {
+      Aggregate(p, ring->slots[tail & (ring->cap - 1)]);
+      ++tail;
+    }
+    ring->tail.store(tail, std::memory_order_release);
+    total_taken += ring->taken.load(std::memory_order_relaxed);
+    total_dropped += ring->dropped.load(std::memory_order_relaxed);
+  }
+  if (MetricsEnabled()) {
+    static Counter samples = Registry::Global().GetCounter(
+        "pelican_profile_samples_total",
+        "CPU profile samples captured across all threads");
+    static Counter dropped = Registry::Global().GetCounter(
+        "pelican_profile_samples_dropped_total",
+        "CPU profile samples dropped by per-thread ring overflow");
+    // Ring totals are cumulative; export the delta since the last
+    // pass. Totals can shrink when ResetProfiler retires accounting —
+    // the exported watermarks are reset with them.
+    if (total_taken > p.exported_taken) {
+      samples.Inc(total_taken - p.exported_taken);
+      p.exported_taken = total_taken;
+    }
+    if (total_dropped > p.exported_dropped) {
+      dropped.Inc(total_dropped - p.exported_dropped);
+      p.exported_dropped = total_dropped;
+    }
+  }
+}
+
+void CollectorLoop(Profiler& p) {
+  while (!p.collector_stop.load(std::memory_order_relaxed)) {
+    int slept = 0;
+    const int interval = std::max(p.config.collect_interval_ms, 10);
+    while (slept < interval &&
+           !p.collector_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      slept += 10;
+    }
+    CollectOnce(p);
+  }
+}
+
+// --- symbolization (render time only) --------------------------------------
+
+// Demangles and strips the parameter list: callers want one readable
+// frame name, not a full signature. `operator()` keeps its parens.
+std::string CleanSymbol(const char* mangled) {
+  std::string name = mangled;
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) name = demangled;
+  std::free(demangled);
+  std::size_t cut = name.find('(');
+  if (cut != std::string::npos && cut >= 8 &&
+      name.compare(cut - 8, 8, "operator") == 0) {
+    cut = name.find('(', cut + 2);
+  }
+  if (cut != std::string::npos) name.resize(cut);
+  return name;
+}
+
+// Parses one backtrace_symbols() line: "module(mangled+0xoff) [0xpc]".
+// Fallback when dladdr resolves nothing at all.
+std::string ParseSymbolLine(const char* line) {
+  const char* open = std::strchr(line, '(');
+  if (open != nullptr) {
+    const char* end = open + 1;
+    while (*end != '\0' && *end != '+' && *end != ')') ++end;
+    if (end > open + 1) {
+      return CleanSymbol(std::string(open + 1, end).c_str());
+    }
+  }
+  return "";
+}
+
+std::string SymbolizePc(void* pc) {
+  Dl_info info{};
+  if (::dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    if (info.dli_sname != nullptr) return CleanSymbol(info.dli_sname);
+    // In-module but unnamed (static / stripped): render a module-
+    // relative offset an operator can feed straight to addr2line.
+    const char* slash = std::strrchr(info.dli_fname, '/');
+    const char* module = slash != nullptr ? slash + 1 : info.dli_fname;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s+0x%zx", module,
+                  reinterpret_cast<std::size_t>(pc) -
+                      reinterpret_cast<std::size_t>(info.dli_fbase));
+    return buf;
+  }
+  std::string name;
+  char** lines = ::backtrace_symbols(&pc, 1);
+  if (lines != nullptr) {
+    name = ParseSymbolLine(lines[0]);
+    std::free(lines);
+  }
+  if (name.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%p", pc);
+    name = buf;
+  }
+  return name;
+}
+
+// Resolves a pc through the process-wide symbol cache.
+std::string SymbolFor(Profiler& p, void* pc) {
+  std::lock_guard lock(p.sym_mu);
+  auto it = p.symbols.find(pc);
+  if (it != p.symbols.end()) return it->second;
+  return p.symbols.emplace(pc, SymbolizePc(pc)).first->second;
+}
+
+// Frames belonging to the capture machinery itself — the handler, the
+// signal trampoline, and (under TSan) the interceptor shims above it.
+bool IsCaptureFrame(const std::string& symbol) {
+  static const char* const kJunk[] = {
+      "ProfileSignalHandler", "backtrace",      "__restore_rt",
+      "CallUserSignalHandler", "SignalHandler", "sigaction",
+  };
+  for (const char* needle : kJunk) {
+    if (symbol.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// flamegraph.pl splits "frame;frame count" on the last space and on
+// ';' — keep both out of frame names.
+std::string SanitizeFrame(std::string s) {
+  for (char& c : s) {
+    if (c == ';' || c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  return s.empty() ? "?" : s;
+}
+
+struct RenderedEntry {
+  std::string line;  // collapsed frames, no count
+  std::string leaf;  // self-time attribution
+  std::string span;  // rendered span path ("" = none)
+  std::uint64_t count = 0;
+};
+
+// Renders the aggregate (optionally minus a snapshot) into collapsed
+// lines + per-entry leaf/span attribution, shared by ProfileCollapsed
+// and ProfileTopJson.
+std::vector<RenderedEntry> RenderEntries(Profiler& p,
+                                         const ProfileSnapshot* since,
+                                         std::uint64_t* folded_out) {
+  struct Flat {
+    std::uint32_t span_path;
+    void* sig_pc;
+    std::vector<void*> pcs;
+    std::uint64_t count;
+  };
+  std::vector<Flat> flats;
+  std::uint64_t folded = 0;
+  {
+    std::lock_guard lock(p.agg_mu);
+    flats.reserve(p.entries.size());
+    for (std::size_t i = 0; i < p.entries.size(); ++i) {
+      const std::uint64_t base =
+          (since != nullptr && i < since->counts.size()) ? since->counts[i]
+                                                         : 0;
+      const AggEntry& e = p.entries[i];
+      if (e.count <= base) continue;
+      flats.push_back({e.span_path, e.sig_pc, e.pcs, e.count - base});
+    }
+    folded = p.agg_folded;
+  }
+  if (folded_out != nullptr) *folded_out = folded;
+
+  std::vector<RenderedEntry> out;
+  out.reserve(flats.size());
+  for (const Flat& f : flats) {
+    RenderedEntry r;
+    r.count = f.count;
+    // Leaf-first native frames: skip the capture machinery (handler,
+    // trampoline, sanitizer shims), then reverse to root-first for the
+    // collapsed line. The interrupted pc from the ucontext marks the
+    // true leaf exactly; name matching is the fallback when the
+    // unwinder didn't report it verbatim.
+    std::vector<std::string> native;
+    native.reserve(f.pcs.size());
+    std::size_t skip = 0;
+    if (f.sig_pc != nullptr) {
+      while (skip < f.pcs.size() && f.pcs[skip] != f.sig_pc) ++skip;
+      if (skip == f.pcs.size()) skip = 0;  // not found: no skip by pc
+    }
+    if (skip == 0) {
+      while (skip < f.pcs.size() && skip < 8 &&
+             IsCaptureFrame(SymbolFor(p, f.pcs[skip]))) {
+        ++skip;
+      }
+      if (skip == f.pcs.size()) skip = 0;  // degenerate: keep everything
+    }
+    for (std::size_t j = f.pcs.size(); j > skip; --j) {
+      native.push_back(SanitizeFrame(SymbolFor(p, f.pcs[j - 1])));
+    }
+    if (!native.empty()) r.leaf = native.back();
+    for (const std::string& part : SpanPathComponents(f.span_path)) {
+      if (!r.span.empty()) r.span += ";";
+      r.span += SanitizeFrame(part);
+    }
+    std::string& line = r.line;
+    if (!r.span.empty()) line = r.span;
+    for (const std::string& frame : native) {
+      if (!line.empty()) line += ";";
+      line += frame;
+    }
+    if (line.empty()) line = "?";
+    if (r.leaf.empty()) r.leaf = "?";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+void StartProfiler(const ProfilerConfig& config) {
+  Profiler& p = G();
+  std::lock_guard lock(p.mu);
+  if (g_active.load(std::memory_order_relaxed)) return;
+  p.config = config;
+  static const bool handler_installed = [] {
+    // Warm up backtrace() on a normal thread: its first call may
+    // dlopen libgcc (malloc, loader lock) — everything the handler
+    // must never do.
+    void* warm[4];
+    ::backtrace(warm, 4);
+    struct sigaction sa{};
+    sa.sa_sigaction = &ProfileSignalHandler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    return ::sigaction(SIGPROF, &sa, nullptr) == 0;
+  }();
+  (void)handler_installed;
+  EnableSpanTracking(true);
+  g_hz.store(config.hz, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_relaxed);
+  if (config.hz > 0) {
+    for (auto& [tid, rec] : p.threads) {
+      if (!rec.armed) ArmTimer(rec, config.hz);
+    }
+  }
+  p.collector_stop.store(false, std::memory_order_relaxed);
+  p.collector = std::thread([&p] { CollectorLoop(p); });
+}
+
+void StopProfiler() {
+  Profiler& p = G();
+  {
+    std::lock_guard lock(p.mu);
+    if (!g_active.load(std::memory_order_relaxed)) return;
+    for (auto& [tid, rec] : p.threads) {
+      if (rec.armed) {
+        timer_delete(rec.timer);
+        rec.armed = false;
+      }
+    }
+    g_active.store(false, std::memory_order_relaxed);
+    g_hz.store(0, std::memory_order_relaxed);
+    EnableSpanTracking(false);
+  }
+  p.collector_stop.store(true, std::memory_order_relaxed);
+  if (p.collector.joinable()) p.collector.join();
+  CollectOnce(p);  // final drain, including any straggler signal
+}
+
+bool ProfilerRunning() { return g_active.load(std::memory_order_relaxed); }
+
+int ProfilerHz() { return g_hz.load(std::memory_order_relaxed); }
+
+void ProfileRegisterCurrentThread() {
+  if (t_ring != nullptr) return;
+  Profiler& p = G();
+  std::lock_guard lock(p.mu);
+  ThreadRec rec;
+  rec.tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  rec.pthread = pthread_self();
+  rec.ring = std::make_shared<SampleRing>(RoundPow2(p.config.ring_slots));
+  rec.ring->span_slot = ThreadSpanPathSlot();
+  t_ring = rec.ring.get();
+  if (g_active.load(std::memory_order_relaxed) && p.config.hz > 0) {
+    ArmTimer(rec, p.config.hz);
+  }
+  p.threads[rec.tid] = std::move(rec);
+}
+
+void ProfileUnregisterCurrentThread() {
+  if (t_ring == nullptr) return;
+  Profiler& p = G();
+  std::lock_guard lock(p.mu);
+  const auto tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  auto it = p.threads.find(tid);
+  if (it != p.threads.end()) {
+    if (it->second.armed) timer_delete(it->second.timer);
+    // Retire the ring rather than dropping it: undrained samples (and
+    // the drop/taken accounting) survive until the next collect.
+    p.retired.push_back(std::move(it->second.ring));
+    p.threads.erase(it);
+  }
+  t_ring = nullptr;
+}
+
+std::uint64_t ProfileSampleCount() {
+  Profiler& p = G();
+  std::lock_guard lock(p.agg_mu);
+  return p.agg_samples;
+}
+
+std::uint64_t ProfileDroppedCount() {
+  Profiler& p = G();
+  std::lock_guard lock(p.mu);
+  std::uint64_t n = 0;
+  for (auto& [tid, rec] : p.threads) {
+    n += rec.ring->dropped.load(std::memory_order_relaxed);
+  }
+  for (auto& ring : p.retired) {
+    n += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+ProfileSnapshot SnapshotProfile() {
+  profiler_detail::DrainNow();
+  Profiler& p = G();
+  ProfileSnapshot snap;
+  std::lock_guard lock(p.agg_mu);
+  snap.counts.reserve(p.entries.size());
+  for (const AggEntry& e : p.entries) snap.counts.push_back(e.count);
+  return snap;
+}
+
+std::string ProfileCollapsed(const ProfileSnapshot* since) {
+  profiler_detail::DrainNow();
+  Profiler& p = G();
+  std::uint64_t folded = 0;
+  std::vector<RenderedEntry> entries = RenderEntries(p, since, &folded);
+  // Deterministic output order: by count desc, then line.
+  std::sort(entries.begin(), entries.end(),
+            [](const RenderedEntry& a, const RenderedEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.line < b.line;
+            });
+  std::string out;
+  char buf[32];
+  for (const RenderedEntry& e : entries) {
+    out += e.line;
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(e.count));
+    out += buf;
+  }
+  if (folded > 0 && since == nullptr) {
+    std::snprintf(buf, sizeof buf, "[other] %llu\n",
+                  static_cast<unsigned long long>(folded));
+    out += buf;
+  }
+  return out;
+}
+
+std::string ProfileTopJson(const ProfileSnapshot* since, std::size_t top_n) {
+  profiler_detail::DrainNow();
+  Profiler& p = G();
+  std::vector<RenderedEntry> entries = RenderEntries(p, since, nullptr);
+  std::uint64_t total = 0;
+  std::unordered_map<std::string, std::uint64_t> by_leaf;
+  std::unordered_map<std::string, std::uint64_t> by_span;
+  for (const RenderedEntry& e : entries) {
+    total += e.count;
+    by_leaf[e.leaf] += e.count;
+    if (!e.span.empty()) by_span[e.span] += e.count;
+  }
+  const auto render_table = [total, top_n](
+                                const std::unordered_map<std::string,
+                                                         std::uint64_t>& m,
+                                const char* key_name) {
+    std::vector<std::pair<std::string, std::uint64_t>> rows(m.begin(),
+                                                            m.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (rows.size() > top_n) rows.resize(top_n);
+    std::string out = "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      Json row;
+      row.Set(key_name, rows[i].first);
+      row.Set("samples", rows[i].second);
+      row.Set("pct", total > 0 ? 100.0 * static_cast<double>(rows[i].second) /
+                                     static_cast<double>(total)
+                               : 0.0);
+      if (i > 0) out += ",";
+      out += row.Str();
+    }
+    out += "]";
+    return out;
+  };
+  Json doc;
+  doc.Set("samples", total);
+  doc.Set("dropped", ProfileDroppedCount());
+  doc.Set("hz", ProfilerHz());
+  doc.SetRaw("top", render_table(by_leaf, "symbol"));
+  doc.SetRaw("spans", render_table(by_span, "path"));
+  return doc.Str() + "\n";
+}
+
+void ResetProfiler() {
+  Profiler& p = G();
+  std::lock_guard collect_lock(p.collect_mu);
+  {
+    std::lock_guard lock(p.mu);
+    p.retired.clear();
+    for (auto& [tid, rec] : p.threads) {
+      // Drop whatever the rings hold: consume to head and zero the
+      // cumulative accounting (producer may race a reset only in
+      // tests, which are quiescent by contract).
+      rec.ring->tail.store(rec.ring->head.load(std::memory_order_acquire),
+                           std::memory_order_release);
+      rec.ring->taken.store(0, std::memory_order_relaxed);
+      rec.ring->dropped.store(0, std::memory_order_relaxed);
+    }
+    p.exported_taken = 0;
+    p.exported_dropped = 0;
+  }
+  std::lock_guard lock(p.agg_mu);
+  p.entries.clear();
+  p.index.clear();
+  p.agg_samples = 0;
+  p.agg_folded = 0;
+}
+
+namespace profiler_detail {
+
+bool RecordSyntheticSample(const void* const* pcs, int depth,
+                           std::uint32_t span_path) {
+  SampleRing* ring = t_ring;
+  if (ring == nullptr) return false;
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
+  if (head - tail >= ring->cap) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Sample& s = ring->slots[head & (ring->cap - 1)];
+  s.depth = std::min(depth, kMaxStackDepth);
+  std::memcpy(s.pcs, pcs, sizeof(void*) * static_cast<std::size_t>(s.depth));
+  s.span_path = span_path;
+  ring->taken.fetch_add(1, std::memory_order_relaxed);
+  ring->head.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+void DrainNow() { CollectOnce(G()); }
+
+}  // namespace profiler_detail
+
+}  // namespace pelican::obs

@@ -1,0 +1,125 @@
+// pelican::obs — always-on sampling CPU profiler.
+//
+// Per-thread POSIX CPU-time timers (timer_create on the thread's
+// cpuclock, SIGEV_THREAD_ID → SIGPROF) fire at ~97 Hz of *consumed
+// CPU*, so idle threads cost nothing. The signal handler does only
+// async-signal-safe work: one backtrace() into a preallocated slot of
+// the thread's single-producer/single-consumer sample ring, plus one
+// relaxed load of the thread's current TraceSpan path id (see
+// trace.h). On ring overflow the sample is dropped and counted
+// (`pelican_profile_samples_dropped_total`) — the handler never
+// blocks, allocates, or takes a lock, so the sampled computation is
+// bit-identical profiled or not.
+//
+// A background collector drains the rings every ~100 ms into an
+// aggregate keyed on (native pc chain, span path). Symbolization
+// (backtrace_symbols + demangling) happens only at render time on
+// normal threads. Each sample therefore carries dual attribution:
+//
+//   serve_batch;serve_score;pelican::kernels::Gemm;... 412
+//   ^ logical span path        ^ symbolized native stack   ^ count
+//
+// rendered as collapsed-stack text (flamegraph.pl / speedscope) via
+// /profile?seconds=N, a JSON self-time table via /profile/top, or
+// --profile-out at exit.
+//
+//   obs::StartProfiler({.hz = 97});
+//   obs::ProfileRegisterCurrentThread();   // each sampled thread
+//   ...work...
+//   std::string folded = obs::ProfileCollapsed();
+//   obs::StopProfiler();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pelican::obs {
+
+// Default sampling rate. Prime, so the sampler can't phase-lock with
+// millisecond-periodic work (batch ticks, scrape loops).
+inline constexpr int kDefaultProfileHz = 97;
+
+struct ProfilerConfig {
+  // Samples per second of CPU time, per thread. 0 arms no timers —
+  // rings and the collector still run, which tests and --profile-out
+  // use to drive synthetic samples deterministically.
+  int hz = kDefaultProfileHz;
+  // Per-thread ring capacity in samples (rounded up to a power of
+  // two). 2048 slots ≈ 21 s of backlog at 97 Hz; the collector drains
+  // every ~100 ms, so overflow means a wedged collector, not a burst.
+  std::size_t ring_slots = 2048;
+  // Aggregate-table bound: beyond this many unique (stack, span path)
+  // keys new stacks fold into an "[other]" overflow bucket.
+  std::size_t max_unique_stacks = std::size_t{1} << 15;
+  // Collector drain period. Tests crank this up to freeze draining.
+  int collect_interval_ms = 100;
+};
+
+// Installs the SIGPROF handler (first call only), enables span
+// tracking, arms timers for every registered thread, and starts the
+// collector. Idempotent while running. Stop disarms all timers, joins
+// the collector, and drains whatever the rings still hold; aggregated
+// samples survive Stop so end-of-run rendering sees everything.
+void StartProfiler(const ProfilerConfig& config = {});
+void StopProfiler();
+bool ProfilerRunning();
+int ProfilerHz();
+
+// Per-thread sampling registration. Register is idempotent and cheap
+// (a map insert; no signals until a profiler is running). Unregister
+// disarms the thread's timer and retires its ring — mandatory before
+// thread exit, or the timer would signal a dead tid.
+void ProfileRegisterCurrentThread();
+void ProfileUnregisterCurrentThread();
+
+// RAII for worker threads (thread pool, scorers, listeners).
+class ProfiledThreadScope {
+ public:
+  ProfiledThreadScope() { ProfileRegisterCurrentThread(); }
+  ~ProfiledThreadScope() { ProfileUnregisterCurrentThread(); }
+  ProfiledThreadScope(const ProfiledThreadScope&) = delete;
+  ProfiledThreadScope& operator=(const ProfiledThreadScope&) = delete;
+};
+
+// Process-wide accounting: samples aggregated so far / samples dropped
+// to ring overflow. DroppedCount reads the rings live, so it is exact
+// the moment an overflowing burst ends.
+std::uint64_t ProfileSampleCount();
+std::uint64_t ProfileDroppedCount();
+
+// Windowed scrapes: snapshot per-aggregate-entry counts, work, then
+// render the delta. Entries are append-only between Resets, so a
+// snapshot is just the count vector.
+struct ProfileSnapshot {
+  std::vector<std::uint64_t> counts;
+};
+ProfileSnapshot SnapshotProfile();
+
+// Collapsed-stack text: one "frame;frame;frame N" line per unique
+// (span path, native stack), root-first, span components leading.
+// `since` = nullptr renders the whole aggregate.
+std::string ProfileCollapsed(const ProfileSnapshot* since = nullptr);
+
+// JSON self-time table: {"samples":…, "dropped":…, "hz":…,
+//  "top":[{"symbol":…,"samples":…,"pct":…}…],
+//  "spans":[{"path":…,"samples":…,"pct":…}…]}.
+std::string ProfileTopJson(const ProfileSnapshot* since = nullptr,
+                           std::size_t top_n = 25);
+
+// Forgets every aggregated sample and zeroes ring accounting. Callers
+// must be quiescent (tests/benchmarks between arms).
+void ResetProfiler();
+
+namespace profiler_detail {
+// Pushes one synthetic sample through the exact handler record path
+// into the calling thread's ring (thread must be registered). Returns
+// false if the ring was full (the sample is then counted as dropped).
+// Tests use this for deterministic overflow accounting.
+bool RecordSyntheticSample(const void* const* pcs, int depth,
+                           std::uint32_t span_path);
+// Forces one collector pass now (also safe while the collector runs).
+void DrainNow();
+}  // namespace profiler_detail
+
+}  // namespace pelican::obs

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -15,6 +16,7 @@ namespace pelican::obs {
 
 namespace detail {
 std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_span_tracking_enabled{false};
 }  // namespace detail
 
 namespace {
@@ -122,6 +124,139 @@ void EnableTracing(bool on) {
   detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Span-path interning.
+//
+// A path is a chain of (parent path, span name) nodes; id 0 is the
+// empty root. Nodes are append-only for the process lifetime — sample
+// rings hold bare ids, so an id must never be invalidated. The global
+// table is mutex-guarded but fronted by a per-thread direct-mapped
+// cache, so a steady-state training loop interns each distinct
+// (parent, name) pair once and then pushes spans without any lock.
+
+namespace {
+
+struct SpanPathNode {
+  std::uint32_t parent = 0;
+  char name[detail::kSpanNameCap] = {};
+};
+
+struct SpanPathTable {
+  std::mutex mu;
+  std::vector<SpanPathNode> nodes;  // nodes[0] = root (unused)
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+};
+
+// Bounds intern-table memory: once hit, deeper spans reuse the parent
+// path (attribution degrades gracefully instead of growing unbounded).
+constexpr std::size_t kMaxSpanPaths = std::size_t{1} << 16;
+
+SpanPathTable& GlobalSpanPaths() {
+  static SpanPathTable* table = [] {
+    auto* t = new SpanPathTable();
+    t->nodes.emplace_back();
+    return t;
+  }();
+  return *table;
+}
+
+std::uint64_t SpanPathHash(std::uint32_t parent, const char* name) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (int i = 0; i < 4; ++i) {
+    h = (h ^ ((parent >> (8 * i)) & 0xff)) * 1099511628211ULL;
+  }
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+struct PathCacheEntry {
+  std::uint32_t parent = 0;
+  std::uint32_t id = 0;  // 0 = empty slot
+  char name[detail::kSpanNameCap] = {};
+};
+constexpr std::size_t kPathCacheSlots = 256;
+thread_local PathCacheEntry t_path_cache[kPathCacheSlots];
+
+// The slot the signal handler reads. thread_local atomics get stable
+// addresses for the thread's lifetime; ThreadSpanPathSlot() hands that
+// address to the profiler at registration time (normal context), so
+// the handler itself never triggers lazy TLS initialization.
+thread_local std::atomic<std::uint32_t> t_span_path{0};
+
+std::uint32_t InternSpanPath(std::uint32_t parent, const char* name) {
+  const std::uint64_t hash = SpanPathHash(parent, name);
+  PathCacheEntry& slot = t_path_cache[hash & (kPathCacheSlots - 1)];
+  if (slot.id != 0 && slot.parent == parent &&
+      std::strncmp(slot.name, name, detail::kSpanNameCap) == 0) {
+    return slot.id;
+  }
+  SpanPathTable& table = GlobalSpanPaths();
+  std::uint32_t id = 0;
+  {
+    std::lock_guard lock(table.mu);
+    for (std::uint32_t candidate : table.index[hash]) {
+      const SpanPathNode& node = table.nodes[candidate];
+      if (node.parent == parent &&
+          std::strncmp(node.name, name, detail::kSpanNameCap) == 0) {
+        id = candidate;
+        break;
+      }
+    }
+    if (id == 0) {
+      if (table.nodes.size() >= kMaxSpanPaths) {
+        return parent;  // table full: attribute to the enclosing path
+      }
+      id = static_cast<std::uint32_t>(table.nodes.size());
+      SpanPathNode& node = table.nodes.emplace_back();
+      node.parent = parent;
+      std::strncpy(node.name, name, detail::kSpanNameCap - 1);
+      table.index[hash].push_back(id);
+    }
+  }
+  slot.parent = parent;
+  slot.id = id;
+  std::strncpy(slot.name, name, detail::kSpanNameCap - 1);
+  slot.name[detail::kSpanNameCap - 1] = '\0';
+  return id;
+}
+
+}  // namespace
+
+void EnableSpanTracking(bool on) {
+  detail::g_span_tracking_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t CurrentSpanPathId() {
+  return t_span_path.load(std::memory_order_relaxed);
+}
+
+std::atomic<std::uint32_t>* ThreadSpanPathSlot() { return &t_span_path; }
+
+std::vector<std::string> SpanPathComponents(std::uint32_t id) {
+  std::vector<std::string> out;
+  SpanPathTable& table = GlobalSpanPaths();
+  std::lock_guard lock(table.mu);
+  // Walk leaf → root; a corrupt id (never handed out) renders empty.
+  std::size_t guard = 0;
+  while (id != 0 && id < table.nodes.size() && guard++ < 64) {
+    out.emplace_back(table.nodes[id].name);
+    id = table.nodes[id].parent;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string SpanPathString(std::uint32_t id) {
+  std::string out;
+  for (const std::string& part : SpanPathComponents(id)) {
+    if (!out.empty()) out += " > ";
+    out += part;
+  }
+  return out;
+}
+
 namespace {
 std::atomic<bool> g_kernel_tracing{true};
 }  // namespace
@@ -135,21 +270,36 @@ bool KernelTracingEnabled() {
 }
 
 TraceSpan::TraceSpan(std::string_view name, const char* category) {
-  if (!TracingEnabled()) return;
-  if (!g_kernel_tracing.load(std::memory_order_relaxed) &&
+  const bool tracking = SpanTrackingEnabled();
+  bool tracing = TracingEnabled();
+  if (!tracing && !tracking) return;
+  if (tracing && !g_kernel_tracing.load(std::memory_order_relaxed) &&
       std::strcmp(category, "kernel") == 0) {
-    return;
+    // Kernel spans stay on the span path even when their trace events
+    // are gated off — the profiler wants "serve score > conv1d_gemm"
+    // attribution precisely where per-event tracing is too expensive.
+    tracing = false;
   }
-  active_ = true;
-  category_ = category;
   const std::size_t n =
       std::min(name.size(), detail::kSpanNameCap - 1);
   std::memcpy(name_, name.data(), n);
   name_[n] = '\0';
+  if (tracking) {
+    prev_path_ = t_span_path.load(std::memory_order_relaxed);
+    t_span_path.store(InternSpanPath(prev_path_, name_),
+                      std::memory_order_relaxed);
+    tracked_ = true;
+  }
+  if (!tracing) return;
+  active_ = true;
+  category_ = category;
   start_ns_ = NowNs();
 }
 
 TraceSpan::~TraceSpan() {
+  if (tracked_) {
+    t_span_path.store(prev_path_, std::memory_order_relaxed);
+  }
   if (!active_) return;
   const std::int64_t end_ns = NowNs();
   Buffer& buffer = LocalBuffer();

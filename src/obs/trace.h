@@ -27,11 +27,13 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pelican::obs {
 
 namespace detail {
 extern std::atomic<bool> g_tracing_enabled;
+extern std::atomic<bool> g_span_tracking_enabled;
 inline constexpr std::size_t kSpanNameCap = 48;
 }  // namespace detail
 
@@ -56,6 +58,37 @@ bool KernelTracingEnabled();
 // log lines and trace rows cross-reference.
 int CurrentThreadId();
 
+// ---------------------------------------------------------------------------
+// Logical span-path tracking (profiler attribution).
+//
+// Orthogonal to event recording: while enabled (the sampling profiler
+// turns it on), every TraceSpan pushes its name onto the calling
+// thread's *span path* — an interned integer naming the chain of open
+// spans ("epoch > fwd Conv1D > conv1d_gemm_fwd"). The current path id
+// lives in one thread-local std::atomic<uint32_t>, so the SIGPROF
+// handler can attribute a sample to the logical pipeline stage with a
+// single relaxed load — no locks, no allocation, and meaningful even
+// in a stripped binary. Paths are interned once under a mutex (fronted
+// by a per-thread cache), so steady-state push/pop is lock-free.
+// Interned ids are stable for the process lifetime.
+void EnableSpanTracking(bool on);
+inline bool SpanTrackingEnabled() {
+  return detail::g_span_tracking_enabled.load(std::memory_order_relaxed);
+}
+
+// The calling thread's current span path (0 = no open span).
+std::uint32_t CurrentSpanPathId();
+
+// Stable address of the calling thread's path slot. The profiler
+// captures this at thread registration; the signal handler then reads
+// it with one relaxed atomic load. Valid for the thread's lifetime.
+std::atomic<std::uint32_t>* ThreadSpanPathSlot();
+
+// Renders an interned path as "epoch > fwd Conv1D" (empty for id 0 or
+// an unknown id). Components() returns the same root-first.
+std::string SpanPathString(std::uint32_t id);
+std::vector<std::string> SpanPathComponents(std::uint32_t id);
+
 // Flow events: arrows between slices on different threads. A flow is a
 // chain start ("s") → zero or more steps ("t") → end ("f") sharing one
 // id; viewers bind each point to the duration slice that encloses its
@@ -79,7 +112,9 @@ class TraceSpan {
  private:
   std::int64_t start_ns_ = 0;
   const char* category_ = nullptr;
-  bool active_ = false;
+  bool active_ = false;    // emits a trace event on destruction
+  bool tracked_ = false;   // pushed onto the thread's span path
+  std::uint32_t prev_path_ = 0;
   char name_[detail::kSpanNameCap];
 };
 

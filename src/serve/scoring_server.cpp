@@ -15,6 +15,7 @@
 #include "data/dataset.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace pelican::serve {
@@ -267,6 +268,7 @@ void ScoringServer::Drain() {
 }
 
 void ScoringServer::ListenLoop() {
+  obs::ProfiledThreadScope profiled;
   struct ConnSlot {
     std::thread thread;
     std::atomic<bool> done{false};
@@ -302,6 +304,7 @@ void ScoringServer::ListenLoop() {
     active_connections_.fetch_add(1);
     auto& slot = conns.emplace_back();
     slot.thread = std::thread([this, fd, &slot] {
+      obs::ProfiledThreadScope conn_profiled;
       HandleConnection(fd);
       active_connections_.fetch_sub(1);
       slot.done.store(true);
@@ -596,6 +599,9 @@ void ScoringServer::FulfillSlot(const QueueItem& item, std::string reply,
 // Counters are atomics; the queue_depth gauge is last-write-wins,
 // which is fine for a sampled depth.
 void ScoringServer::ScorerLoop(std::size_t scorer_index) {
+  // Scorer threads run the GEMM-backed PredictAll hot path — the
+  // acceptance target for "serve batch > serve score" attribution.
+  obs::ProfiledThreadScope profiled;
   const bool metrics_on = config_.observe && obs::MetricsEnabled();
   const auto linger = std::chrono::milliseconds(config_.batch_linger_ms);
   obs::Gauge busy_gauge;

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <regex>
@@ -273,6 +274,76 @@ TEST(Introspect, ProcessMetricsRegisterUptimeAndBuildInfo) {
       R"(pelican_build_info\{[^}]*git="[^"]*"[^}]*\} 1)");
   EXPECT_TRUE(std::regex_search(text, info_re)) << text;
   EXPECT_GT(obs::ProcessUptimeSeconds(), 0.0);
+}
+
+TEST(Introspect, ProcSelfMetricsMonotoneCpuAndPositiveRssFds) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  obs::UpdateProcessMetrics();
+  auto& reg = obs::Registry::Global();
+  const double cpu1 = reg.GaugeValue("process_cpu_seconds_total");
+  EXPECT_GE(cpu1, 0.0);
+  EXPECT_GT(reg.GaugeValue("process_resident_memory_bytes"), 0.0);
+  // At least stdin/stdout/stderr are open.
+  EXPECT_GE(reg.GaugeValue("process_open_fds"), 3.0);
+
+  // /proc/self/stat ticks at clock granularity (typically 10ms), so
+  // burn CPU in slices until the counter visibly advances — asserting
+  // monotonicity at every scrape along the way.
+  double cpu_prev = cpu1;
+  double cpu_now = cpu1;
+  volatile double sink = 0.0;
+  for (int tries = 0; tries < 200 && cpu_now <= cpu1; ++tries) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(5)) {
+      for (int i = 0; i < 10000; ++i) sink = sink + i * 1e-9;
+    }
+    obs::UpdateProcessMetrics();
+    cpu_now = reg.GaugeValue("process_cpu_seconds_total");
+    EXPECT_GE(cpu_now, cpu_prev);
+    cpu_prev = cpu_now;
+  }
+  EXPECT_GT(cpu_now, cpu1);
+}
+
+// ---- scrape self-observability --------------------------------------------
+
+TEST(Introspect, ScrapeSelfMetricsCountRequestsAndLatency) {
+  ObsOff guard;
+  obs::EnableMetrics(true);
+  obs::IntrospectionServer server;
+  server.Start();
+  auto& reg = obs::Registry::Global();
+
+  const std::uint64_t metrics_before = reg.CounterValue(
+      "pelican_scrape_requests_total", {{"path", "/metrics"}, {"code", "200"}});
+  const std::uint64_t other_before = reg.CounterValue(
+      "pelican_scrape_requests_total", {{"path", "other"}, {"code", "404"}});
+
+  EXPECT_EQ(Get(server.Port(), "/metrics").status, 200);
+  EXPECT_EQ(Get(server.Port(), "/metrics").status, 200);
+  // Unknown paths fold into the bounded "other" label, so a scanner
+  // can't mint unbounded series.
+  EXPECT_EQ(Get(server.Port(), "/definitely-not-a-route").status, 404);
+
+  EXPECT_EQ(reg.CounterValue("pelican_scrape_requests_total",
+                             {{"path", "/metrics"}, {"code", "200"}}) -
+                metrics_before,
+            2U);
+  EXPECT_EQ(reg.CounterValue("pelican_scrape_requests_total",
+                             {{"path", "other"}, {"code", "404"}}) -
+                other_before,
+            1U);
+
+  // The latency histogram renders as valid Prometheus with the path
+  // label attached.
+  const Response r = Get(server.Port(), "/metrics");
+  ExpectValidPrometheus(r.body);
+  EXPECT_NE(r.body.find("pelican_scrape_seconds_bucket{"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("path=\"/metrics\""), std::string::npos);
+  server.Stop();
 }
 
 // ---- malformed requests ---------------------------------------------------

@@ -43,8 +43,15 @@ test -s "$WORK_DIR/model_resumed.bin"
     --trace-out "$WORK_DIR/trace.json" \
     --run-log "$WORK_DIR/run.jsonl" \
     --log-file "$WORK_DIR/pelican.log" \
+    --profile-hz 997 --profile-out "$WORK_DIR/train_profile.folded" \
     --out "$WORK_DIR/model_obs.bin"
 cmp "$WORK_DIR/model.bin" "$WORK_DIR/model_obs.bin"
+
+# Exit-time profile dump: collapsed-stack grammar (frames SPACE count),
+# no stray spaces — what flamegraph.pl / speedscope ingest. A very fast
+# run may legitimately catch zero samples; the grammar check still runs.
+test -f "$WORK_DIR/train_profile.folded"
+! grep -qvE '^[^ ]+ [0-9]+$' "$WORK_DIR/train_profile.folded"
 
 # Prometheus text: at least 10 pelican_* series, each with HELP/TYPE.
 test "$(grep -c '^pelican_' "$WORK_DIR/metrics.prom")" -ge 10
@@ -88,6 +95,7 @@ grep -q "rolling window" "$WORK_DIR/classify_quality.out"
 if command -v curl >/dev/null 2>&1; then
     "$PELICAN_BIN" train --dataset nsl --csv "$WORK_DIR/flows.csv" \
         --blocks 2 --channels 8 --epochs 2000 --serve-port 0 \
+        --profile-hz 97 \
         --out "$WORK_DIR/model_serve_long.bin" \
         > "$WORK_DIR/serve.log" 2>&1 &
     SERVE_PID=$!
@@ -117,6 +125,13 @@ if command -v curl >/dev/null 2>&1; then
         curl -fsS "$BASE/trace" | grep -q '"traceEvents"'
     fi
     curl -fsS "$BASE/stream" | grep -q '"active"'
+    # /profile mid-train: a 1s windowed scrape of the still-training
+    # process returns collapsed stacks attributed to the epoch span.
+    curl -fsS "$BASE/profile?seconds=1" > "$WORK_DIR/live_profile.folded"
+    test -s "$WORK_DIR/live_profile.folded"
+    ! grep -qvE '^[^ ]+ [0-9]+$' "$WORK_DIR/live_profile.folded"
+    grep -q 'epoch' "$WORK_DIR/live_profile.folded"
+    curl -fsS "$BASE/profile/top" | grep -q '"samples"'
     kill "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
 fi
@@ -137,6 +152,7 @@ cmp "$WORK_DIR/model.bin" "$WORK_DIR/model_serve.bin"
     --out "$WORK_DIR/score_flows.csv"
 "$PELICAN_BIN" serve --model "$WORK_DIR/model.bin" --port 0 \
     --serve-port 0 --sample-every 1 --slow-top-k 8 \
+    --profile-hz 997 \
     --access-log "$WORK_DIR/access.jsonl" \
     --trace-out "$WORK_DIR/serve_trace.json" \
     > "$WORK_DIR/score_serve.log" 2>&1 &
@@ -178,6 +194,23 @@ if command -v curl >/dev/null 2>&1; then
     fi
     curl -fsS "http://127.0.0.1:$HTTP_PORT/serve" \
         | grep -q '"scorer_busy_ratio"'
+    # /profile mid-serve: pump score traffic until the cumulative
+    # profile carries a sample dual-attributed to the batch>score span
+    # (the retry absorbs kernel-tick sampling granularity on a server
+    # that is otherwise idle between bursts).
+    i=0
+    while [ $i -lt 30 ]; do
+        "$PELICAN_BIN" score --port "$PORT" \
+            --csv "$WORK_DIR/score_flows.csv" \
+            --out /dev/null > /dev/null
+        curl -fsS "http://127.0.0.1:$HTTP_PORT/profile?seconds=0" \
+            > "$WORK_DIR/serve_profile.folded"
+        grep -q 'serve_batch;serve_score' "$WORK_DIR/serve_profile.folded" \
+            && break
+        i=$((i + 1))
+    done
+    ! grep -qvE '^[^ ]+ [0-9]+$' "$WORK_DIR/serve_profile.folded"
+    grep -q 'serve_batch;serve_score' "$WORK_DIR/serve_profile.folded"
 fi
 
 kill -TERM "$SCORE_PID"
@@ -186,13 +219,18 @@ grep -q "draining scoring server" "$WORK_DIR/score_serve.log"
 grep -q "drained: " "$WORK_DIR/score_serve.log"
 
 # Access log: sample-every 1 puts one atomic JSONL line per scored
-# record on disk, each with the lifecycle schema.
-test "$(wc -l < "$WORK_DIR/access.jsonl")" -eq 100
+# record on disk, each with the lifecycle schema. The first score pass
+# sent 100 records and the /profile pump resent the same 100-record
+# file N more times, so the count is a positive multiple of 100.
+ACCESS_LINES="$(wc -l < "$WORK_DIR/access.jsonl")"
+test "$ACCESS_LINES" -ge 100
+test $((ACCESS_LINES % 100)) -eq 0
 if command -v jq >/dev/null 2>&1; then
     jq -e '.time and .verdict == "ok" and .queue_ms != null' \
         "$WORK_DIR/access.jsonl" > /dev/null
 else
-    test "$(grep -c '"verdict": "ok"' "$WORK_DIR/access.jsonl")" -eq 100
+    test "$(grep -c '"verdict": "ok"' "$WORK_DIR/access.jsonl")" \
+        -eq "$ACCESS_LINES"
 fi
 
 # The serve trace carries the cross-thread flow arrows (s → t → f).

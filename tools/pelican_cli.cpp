@@ -619,8 +619,16 @@ int Usage() {
       "  --serve-port N    live introspection server on 127.0.0.1:N\n"
       "                    (0 = ephemeral; implies metrics + tracing;\n"
       "                     endpoints: /healthz /readyz /buildinfo\n"
-      "                     /metrics /metrics.json /trace /stream,\n"
-      "                     plus /serve and /slow while serving)\n"
+      "                     /metrics /metrics.json /trace /stream\n"
+      "                     /profile /profile/top, plus /serve and\n"
+      "                     /slow while serving)\n"
+      "  --profile-hz N    sampling CPU profiler rate for train/eval/\n"
+      "                    classify/serve (default 97; 0 = off). Scrape\n"
+      "                    /profile?seconds=N for collapsed stacks\n"
+      "                    (flamegraph.pl / speedscope), /profile/top\n"
+      "                    for a JSON self-time table\n"
+      "  --profile-out f   write the full run's collapsed-stack profile\n"
+      "                    to f on exit\n"
       "inference flags:\n"
       "  --quantized       eval/classify/serve: score with the int8\n"
       "                    post-training-quantized predict path (reads\n"
@@ -651,6 +659,22 @@ int main(int argc, char** argv) {
     const std::string trace_out = flags.Get("trace-out");
     if (!metrics_out.empty()) obs::EnableMetrics(true);
     if (!trace_out.empty()) obs::EnableTracing(true);
+
+    // Always-on sampling profiler for the commands that burn CPU. The
+    // main thread registers here; pool workers, scorers, and serve
+    // connection threads register at their own spawn points.
+    const long profile_hz = flags.GetLong("profile-hz", obs::kDefaultProfileHz);
+    PELICAN_CHECK(profile_hz >= 0 && profile_hz <= 10000,
+                  "--profile-hz must be 0..10000");
+    const std::string profile_out = flags.Get("profile-out");
+    const bool profiled_command = command == "train" || command == "eval" ||
+                                  command == "classify" || command == "serve";
+    if (profiled_command && profile_hz > 0) {
+      obs::ProfilerConfig pc;
+      pc.hz = static_cast<int>(profile_hz);
+      obs::StartProfiler(pc);
+      obs::ProfileRegisterCurrentThread();
+    }
 
     std::unique_ptr<obs::IntrospectionServer> server;
     if (flags.Has("serve-port")) {
@@ -697,6 +721,13 @@ int main(int argc, char** argv) {
       PELICAN_CHECK(out.good(), "metrics write failed: " + metrics_out);
     }
     if (!trace_out.empty()) obs::WriteTraceJson(trace_out);
+    if (obs::ProfilerRunning()) obs::StopProfiler();  // final ring drain
+    if (!profile_out.empty()) {
+      std::ofstream out(profile_out);
+      PELICAN_CHECK(out.is_open(), "cannot write " + profile_out);
+      out << obs::ProfileCollapsed();
+      PELICAN_CHECK(out.good(), "profile write failed: " + profile_out);
+    }
     if (server != nullptr) {
       g_server = nullptr;
       server->Stop();  // graceful: in-flight scrape answered first
