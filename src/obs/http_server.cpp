@@ -205,23 +205,21 @@ bool HttpServer::DispatchRequest(int fd, std::string& method,
   {
     std::lock_guard lock(handlers_mu_);
     auto it = handlers_.find(request.path);
-    if (it != handlers_.end()) {
-      handler = it->second;
-      path_label = request.path;
-    }
+    if (it != handlers_.end()) handler = it->second;
   }
 
+  method = request.method;
   if (request.method != "GET" && request.method != "HEAD") {
-    method = request.method;
+    // path_label stays "other": rejected requests share one series
+    // even when the target path is registered.
     response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
     return true;
   }
-  method = request.method;
   if (!handler) {
-    path_label = "other";
     response = {404, "text/plain; charset=utf-8", "not found\n"};
     return true;
   }
+  path_label = request.path;
   response = handler(request);
   return true;
 }

@@ -100,7 +100,12 @@ double QuerySeconds(const std::string& query, double fallback, double max) {
   const std::size_t pos = query.find("seconds=");
   if (pos != std::string::npos &&
       (pos == 0 || query[pos - 1] == '&')) {
-    seconds = std::strtod(query.c_str() + pos + 8, nullptr);
+    const char* start = query.c_str() + pos + 8;
+    char* end = nullptr;
+    const double parsed = std::strtod(start, &end);
+    // strtod returns 0.0 for unparsable input (end == start); keep the
+    // fallback then, so ?seconds=abc doesn't mean "cumulative dump".
+    if (end != start) seconds = parsed;
   }
   if (!(seconds >= 0.0)) seconds = 0.0;
   return seconds > max ? max : seconds;

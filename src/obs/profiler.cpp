@@ -85,6 +85,10 @@ struct Profiler {
   std::mutex mu;  // registry + lifecycle (threads, retired, config)
   std::unordered_map<pid_t, ThreadRec> threads;
   std::vector<std::shared_ptr<SampleRing>> retired;
+  // Cumulative taken/dropped folded out of retired rings before they
+  // were freed. Guarded by mu, like the retired list itself.
+  std::uint64_t retired_taken = 0;
+  std::uint64_t retired_dropped = 0;
   ProfilerConfig config;
   std::thread collector;
   std::atomic<bool> collector_stop{false};
@@ -196,6 +200,7 @@ std::uint64_t StackHash(const Sample& s) {
     }
   };
   mix(s.span_path);
+  mix(reinterpret_cast<std::uint64_t>(s.sig_pc));
   for (std::int32_t i = 0; i < s.depth; ++i) {
     mix(reinterpret_cast<std::uint64_t>(s.pcs[i]));
   }
@@ -208,7 +213,7 @@ void Aggregate(Profiler& p, const Sample& s) {
   const std::uint64_t hash = StackHash(s);
   for (std::uint32_t idx : p.index[hash]) {
     AggEntry& e = p.entries[idx];
-    if (e.span_path == s.span_path &&
+    if (e.span_path == s.span_path && e.sig_pc == s.sig_pc &&
         e.pcs.size() == static_cast<std::size_t>(s.depth) &&
         std::equal(e.pcs.begin(), e.pcs.end(), s.pcs)) {
       ++e.count;
@@ -233,25 +238,46 @@ void Aggregate(Profiler& p, const Sample& s) {
 
 void CollectOnce(Profiler& p) {
   std::lock_guard collect_lock(p.collect_mu);
-  std::vector<std::shared_ptr<SampleRing>> rings;
+  std::vector<std::shared_ptr<SampleRing>> live;
+  std::vector<std::shared_ptr<SampleRing>> retired;
   {
     std::lock_guard lock(p.mu);
-    rings.reserve(p.threads.size() + p.retired.size());
-    for (auto& [tid, rec] : p.threads) rings.push_back(rec.ring);
-    for (auto& ring : p.retired) rings.push_back(ring);
+    live.reserve(p.threads.size());
+    for (auto& [tid, rec] : p.threads) live.push_back(rec.ring);
+    retired = p.retired;
   }
-  std::uint64_t total_taken = 0;
-  std::uint64_t total_dropped = 0;
-  for (auto& ring : rings) {
-    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
-    std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+  const auto drain = [&p](SampleRing& ring) {
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
     while (tail != head) {
-      Aggregate(p, ring->slots[tail & (ring->cap - 1)]);
+      Aggregate(p, ring.slots[tail & (ring.cap - 1)]);
       ++tail;
     }
-    ring->tail.store(tail, std::memory_order_release);
+    ring.tail.store(tail, std::memory_order_release);
+  };
+  std::uint64_t total_taken = 0;
+  std::uint64_t total_dropped = 0;
+  for (auto& ring : live) {
+    drain(*ring);
     total_taken += ring->taken.load(std::memory_order_relaxed);
     total_dropped += ring->dropped.load(std::memory_order_relaxed);
+  }
+  for (auto& ring : retired) drain(*ring);
+  {
+    // A retired ring has no producer left (its timer died with the
+    // thread), so one drain empties it for good: fold its accounting
+    // into the persistent totals and free it. A long-running serve
+    // retires one ring (~1MB) per connection thread — keeping them
+    // would leak memory and grow every future drain pass.
+    std::lock_guard lock(p.mu);
+    for (const auto& ring : retired) {
+      p.retired_taken += ring->taken.load(std::memory_order_relaxed);
+      p.retired_dropped += ring->dropped.load(std::memory_order_relaxed);
+      auto it = std::find(p.retired.begin(), p.retired.end(), ring);
+      if (it != p.retired.end()) p.retired.erase(it);
+    }
+    total_taken += p.retired_taken;
+    total_dropped += p.retired_dropped;
   }
   if (MetricsEnabled()) {
     static Counter samples = Registry::Global().GetCounter(
@@ -539,9 +565,21 @@ void ProfileUnregisterCurrentThread() {
   auto it = p.threads.find(tid);
   if (it != p.threads.end()) {
     if (it->second.armed) timer_delete(it->second.timer);
-    // Retire the ring rather than dropping it: undrained samples (and
-    // the drop/taken accounting) survive until the next collect.
-    p.retired.push_back(std::move(it->second.ring));
+    // The timer is gone and this thread is here (not in the handler),
+    // so the ring's producer side is final. A drained ring is freed on
+    // the spot with its accounting folded into the persistent totals —
+    // the common case for serve connection threads when no profiler
+    // ever ran, which must not leak a ~1MB ring per connection. Only a
+    // ring with undrained samples is retired, and the next collect
+    // drains, folds, and frees it.
+    SampleRing& ring = *it->second.ring;
+    if (ring.tail.load(std::memory_order_relaxed) ==
+        ring.head.load(std::memory_order_acquire)) {
+      p.retired_taken += ring.taken.load(std::memory_order_relaxed);
+      p.retired_dropped += ring.dropped.load(std::memory_order_relaxed);
+    } else {
+      p.retired.push_back(std::move(it->second.ring));
+    }
     p.threads.erase(it);
   }
   t_ring = nullptr;
@@ -556,7 +594,7 @@ std::uint64_t ProfileSampleCount() {
 std::uint64_t ProfileDroppedCount() {
   Profiler& p = G();
   std::lock_guard lock(p.mu);
-  std::uint64_t n = 0;
+  std::uint64_t n = p.retired_dropped;
   for (auto& [tid, rec] : p.threads) {
     n += rec.ring->dropped.load(std::memory_order_relaxed);
   }
@@ -655,6 +693,8 @@ void ResetProfiler() {
   {
     std::lock_guard lock(p.mu);
     p.retired.clear();
+    p.retired_taken = 0;
+    p.retired_dropped = 0;
     for (auto& [tid, rec] : p.threads) {
       // Drop whatever the rings hold: consume to head and zero the
       // cumulative accounting (producer may race a reset only in
@@ -687,8 +727,11 @@ bool RecordSyntheticSample(const void* const* pcs, int depth,
     return false;
   }
   Sample& s = ring->slots[head & (ring->cap - 1)];
-  s.depth = std::min(depth, kMaxStackDepth);
+  s.depth = std::clamp(depth, 0, kMaxStackDepth);
   std::memcpy(s.pcs, pcs, sizeof(void*) * static_cast<std::size_t>(s.depth));
+  // Slots are reused: clear any stale interrupted-pc from a prior real
+  // sample, or rendering would mis-skip frames of this synthetic one.
+  s.sig_pc = nullptr;
   s.span_path = span_path;
   ring->taken.fetch_add(1, std::memory_order_relaxed);
   ring->head.store(head + 1, std::memory_order_release);
@@ -696,6 +739,12 @@ bool RecordSyntheticSample(const void* const* pcs, int depth,
 }
 
 void DrainNow() { CollectOnce(G()); }
+
+std::size_t RetiredRingCount() {
+  Profiler& p = G();
+  std::lock_guard lock(p.mu);
+  return p.retired.size();
+}
 
 }  // namespace profiler_detail
 

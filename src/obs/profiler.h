@@ -120,6 +120,10 @@ bool RecordSyntheticSample(const void* const* pcs, int depth,
                            std::uint32_t span_path);
 // Forces one collector pass now (also safe while the collector runs).
 void DrainNow();
+// Rings retired by unregistered threads and not yet drained-and-freed
+// by a collector pass. Steady state is 0: tests assert retirement
+// cannot leak rings across long-running serves.
+std::size_t RetiredRingCount();
 }  // namespace profiler_detail
 
 }  // namespace pelican::obs

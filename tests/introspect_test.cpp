@@ -321,11 +321,17 @@ TEST(Introspect, ScrapeSelfMetricsCountRequestsAndLatency) {
   const std::uint64_t other_before = reg.CounterValue(
       "pelican_scrape_requests_total", {{"path", "other"}, {"code", "404"}});
 
+  const std::uint64_t rejected_before = reg.CounterValue(
+      "pelican_scrape_requests_total", {{"path", "other"}, {"code", "405"}});
+
   EXPECT_EQ(Get(server.Port(), "/metrics").status, 200);
   EXPECT_EQ(Get(server.Port(), "/metrics").status, 200);
   // Unknown paths fold into the bounded "other" label, so a scanner
   // can't mint unbounded series.
   EXPECT_EQ(Get(server.Port(), "/definitely-not-a-route").status, 404);
+  // Rejected methods share "other" too, even on a registered path —
+  // only answered GET/HEAD scrapes earn a per-path series.
+  EXPECT_EQ(Get(server.Port(), "/metrics", "POST").status, 405);
 
   EXPECT_EQ(reg.CounterValue("pelican_scrape_requests_total",
                              {{"path", "/metrics"}, {"code", "200"}}) -
@@ -335,6 +341,13 @@ TEST(Introspect, ScrapeSelfMetricsCountRequestsAndLatency) {
                              {{"path", "other"}, {"code", "404"}}) -
                 other_before,
             1U);
+  EXPECT_EQ(reg.CounterValue("pelican_scrape_requests_total",
+                             {{"path", "other"}, {"code", "405"}}) -
+                rejected_before,
+            1U);
+  EXPECT_EQ(reg.CounterValue("pelican_scrape_requests_total",
+                             {{"path", "/metrics"}, {"code", "405"}}),
+            0U);
 
   // The latency histogram renders as valid Prometheus with the path
   // label attached.
@@ -344,6 +357,29 @@ TEST(Introspect, ScrapeSelfMetricsCountRequestsAndLatency) {
             std::string::npos);
   EXPECT_NE(r.body.find("path=\"/metrics\""), std::string::npos);
   server.Stop();
+}
+
+// An unparsable ?seconds= must fall back to the documented default
+// window, not the cumulative dump (strtod returns 0.0 on garbage,
+// which used to read as seconds=0).
+TEST(Introspect, ProfileSecondsUnparsableUsesFallbackWindow) {
+  ObsOff guard;
+  obs::ProfilerConfig pc;
+  pc.hz = 0;
+  pc.collect_interval_ms = 1000000;
+  obs::StartProfiler(pc);
+  obs::IntrospectionServer server;
+  server.Start();
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response r = Get(server.Port(), "/profile?seconds=abc");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.status, 200);
+  EXPECT_GE(elapsed, 1.5);  // 2-second default window, not instant
+  server.Stop();
+  obs::StopProfiler();
+  obs::ResetProfiler();
 }
 
 // ---- malformed requests ---------------------------------------------------

@@ -296,6 +296,98 @@ TEST(RingOverflow, ExactDropAccounting) {
   obs::StopProfiler();
 }
 
+// ---- ring retirement --------------------------------------------------------
+
+// A long-running serve registers/unregisters one profiled thread per
+// connection. Retired rings must be drained once, their accounting
+// folded, and the ~1MB ring freed — never accumulated (that was a
+// leak: only ResetProfiler ever cleared the retired list).
+TEST(RingRetirement, RetiredRingsFoldAccountingAndFree) {
+  ProfilerOff guard;
+  obs::ProfilerConfig pc;
+  pc.hz = 0;
+  pc.ring_slots = 8;
+  pc.collect_interval_ms = 1000000;
+  obs::StartProfiler(pc);
+  obs::ResetProfiler();
+
+  void* pcs[4];
+  const int depth = ::backtrace(pcs, 4);
+  ASSERT_GT(depth, 0);
+
+  // Three short-lived threads, each overflowing its 8-slot ring
+  // (12 pushes: 8 taken + 4 dropped), exiting with samples undrained.
+  for (int t = 0; t < 3; ++t) {
+    std::thread([&] {
+      obs::ProfileRegisterCurrentThread();
+      for (int i = 0; i < 12; ++i) {
+        obs::profiler_detail::RecordSyntheticSample(pcs, depth, 0);
+      }
+      obs::ProfileUnregisterCurrentThread();
+    }).join();
+  }
+  EXPECT_EQ(obs::profiler_detail::RetiredRingCount(), 3U);
+  EXPECT_EQ(obs::ProfileDroppedCount(), 12U);
+
+  // One collect drains, folds, and frees every retired ring; the
+  // accounting survives the free and a second pass never double-counts.
+  obs::profiler_detail::DrainNow();
+  EXPECT_EQ(obs::profiler_detail::RetiredRingCount(), 0U);
+  EXPECT_EQ(obs::ProfileSampleCount(), 24U);
+  EXPECT_EQ(obs::ProfileDroppedCount(), 12U);
+  obs::profiler_detail::DrainNow();
+  EXPECT_EQ(obs::ProfileSampleCount(), 24U);
+  EXPECT_EQ(obs::ProfileDroppedCount(), 12U);
+
+  // A ring that is already drained at unregister time (the common case
+  // when no timer ever fired) is freed on the spot, not retired.
+  std::thread([&] {
+    obs::ProfileRegisterCurrentThread();
+    for (int i = 0; i < 5; ++i) {
+      obs::profiler_detail::RecordSyntheticSample(pcs, depth, 0);
+    }
+    obs::profiler_detail::DrainNow();
+    obs::ProfileUnregisterCurrentThread();
+  }).join();
+  EXPECT_EQ(obs::profiler_detail::RetiredRingCount(), 0U);
+  EXPECT_EQ(obs::ProfileSampleCount(), 29U);
+  EXPECT_EQ(obs::ProfileDroppedCount(), 12U);
+  obs::StopProfiler();
+}
+
+// Threads that register and exit while NO profiler is running (every
+// serve connection thread in an unprofiled run) must not leave rings
+// behind either — there is no collector to clean up after them.
+TEST(RingRetirement, UnprofiledThreadsLeaveNothingBehind) {
+  ProfilerOff guard;
+  obs::ResetProfiler();
+  ASSERT_FALSE(obs::ProfilerRunning());
+  for (int t = 0; t < 16; ++t) {
+    std::thread([] {
+      obs::ProfileRegisterCurrentThread();
+      obs::ProfileUnregisterCurrentThread();
+    }).join();
+  }
+  EXPECT_EQ(obs::profiler_detail::RetiredRingCount(), 0U);
+}
+
+// Negative depth must clamp to zero, not wrap the memcpy size (that
+// was a buffer overflow under a hostile caller).
+TEST(RingOverflow, SyntheticSampleClampsNegativeDepth) {
+  ProfilerOff guard;
+  obs::ProfilerConfig pc;
+  pc.hz = 0;
+  pc.collect_interval_ms = 1000000;
+  obs::StartProfiler(pc);
+  obs::ResetProfiler();
+  ReregisterThisThread();
+  void* pcs[1] = {nullptr};
+  EXPECT_TRUE(obs::profiler_detail::RecordSyntheticSample(pcs, -3, 0));
+  obs::profiler_detail::DrainNow();
+  EXPECT_EQ(obs::ProfileSampleCount(), 1U);
+  obs::StopProfiler();
+}
+
 // ---- collapsed format + dual attribution (synthetic) -----------------------
 
 TEST(Collapsed, FormatDualAttributionAndWindowedDelta) {
